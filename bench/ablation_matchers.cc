@@ -1,0 +1,75 @@
+// Discovery-algorithm independence (§IV): "DRG construction is independent
+// of the dataset discovery algorithm; any algorithm which outputs a
+// similarity score can be used". This harness builds the data-lake DRG
+// with two different matchers — the COMA-substitute (names + values) and
+// an instance-only Jaccard/containment matcher — and runs AutoFeat over
+// each, comparing graph density, discovery time and downstream accuracy.
+
+#include <cstdio>
+
+#include "core/autofeat.h"
+#include "discovery/overlap_matcher.h"
+#include "harness.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace autofeat;
+  using namespace autofeat::benchx;
+
+  PrintModeBanner("Ablation: dataset-discovery matcher independence");
+
+  std::vector<std::string> names = FullMode()
+      ? std::vector<std::string>{"credit", "covertype", "steel", "school"}
+      : std::vector<std::string>{"credit", "covertype", "steel"};
+
+  std::printf("\n%-12s %-16s %8s %12s %10s %8s\n", "dataset", "matcher",
+              "edges", "discovery_s", "fs_time_s", "acc");
+  PrintRule(72);
+
+  for (const auto& name : names) {
+    auto spec = ScaledSpec(*datagen::FindDataset(name));
+    datagen::BuiltLake built = datagen::BuildPaperLake(spec, 42);
+
+    struct NamedMatcher {
+      const char* name;
+      std::function<std::vector<ColumnMatch>(const Table&, const Table&)> fn;
+    };
+    MatchOptions coma;
+    coma.threshold = 0.55;
+    OverlapMatchOptions jaccard;
+    jaccard.threshold = 0.55;
+    const NamedMatcher matchers[] = {
+        {"COMA-like", [&coma](const Table& l, const Table& r) {
+           return MatchSchemas(l, r, coma);
+         }},
+        {"instance-only", [&jaccard](const Table& l, const Table& r) {
+           return MatchByValueOverlap(l, r, jaccard);
+         }},
+    };
+
+    for (const NamedMatcher& matcher : matchers) {
+      Timer discovery_timer;
+      auto drg = BuildDrgWithMatcher(built.lake, matcher.fn);
+      drg.status().Abort(matcher.name);
+      double discovery_seconds = discovery_timer.ElapsedSeconds();
+
+      AutoFeatConfig config;
+      config.sample_rows = 1000;
+      config.max_paths = 600;
+      AutoFeat engine(&built.lake, &*drg, config);
+      auto result = engine.Augment(built.base_table, built.label_column,
+                                   ml::ModelKind::kLightGbm);
+      result.status().Abort("AutoFeat");
+      std::printf("%-12s %-16s %8zu %12.3f %10.3f %8.3f\n",
+                  spec.name.c_str(), matcher.name, drg->num_edges(),
+                  discovery_seconds,
+                  result->discovery.feature_selection_seconds,
+                  result->accuracy);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected: both matchers recover the true links, so AutoFeat "
+              "reaches comparable accuracy; the instance-only matcher "
+              "reports more edges (no name evidence to filter on).\n");
+  return 0;
+}

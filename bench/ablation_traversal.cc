@@ -1,0 +1,63 @@
+// Ablation of the traversal-control design choices (DESIGN.md §4.12):
+// node-set deduplication and the novelty-first beam. Measures explored
+// paths, feature-selection time and accuracy on a data-lake (discovered
+// multigraph) configuration, where pure BFS explodes.
+
+#include <cstdio>
+
+#include "core/autofeat.h"
+#include "harness.h"
+
+int main() {
+  using namespace autofeat;
+  using namespace autofeat::benchx;
+
+  PrintModeBanner("Ablation: traversal control (beam + dedup)");
+
+  struct Variant {
+    const char* name;
+    size_t beam;
+    bool dedup;
+  };
+  const Variant variants[] = {
+      {"pure BFS", 0, false},
+      {"dedup only", 0, true},
+      {"beam only", 8, false},
+      {"beam+dedup", 8, true},
+  };
+
+  std::vector<std::string> names = FullMode()
+      ? std::vector<std::string>{"covertype", "steel", "school"}
+      : std::vector<std::string>{"covertype", "steel"};
+
+  std::printf("\n%-12s %-12s %10s %10s %8s %8s\n", "dataset", "variant",
+              "explored", "fs_time_s", "acc", "#joined");
+  PrintRule(66);
+  for (const auto& name : names) {
+    auto spec = ScaledSpec(*datagen::FindDataset(name));
+    datagen::BuiltLake built = datagen::BuildPaperLake(spec, 42);
+    auto drg = BuildSettingDrg(built, Setting::kDataLake);
+    drg.status().Abort();
+
+    for (const Variant& variant : variants) {
+      AutoFeatConfig config;
+      config.sample_rows = 1000;
+      config.max_paths = FullMode() ? 2000 : 800;
+      config.beam_width = variant.beam;
+      config.dedup_node_sets = variant.dedup;
+      AutoFeat engine(&built.lake, &*drg, config);
+      auto result = engine.Augment(built.base_table, built.label_column,
+                                   ml::ModelKind::kLightGbm);
+      result.status().Abort(variant.name);
+      std::printf("%-12s %-12s %10zu %10.3f %8.3f %8zu\n", spec.name.c_str(),
+                  variant.name, result->discovery.paths_explored,
+                  result->discovery.feature_selection_seconds,
+                  result->accuracy, result->best_path.tables_joined());
+    }
+    std::printf("\n");
+  }
+  std::printf("expected: pure BFS exhausts the path cap on shallow "
+              "combinations and may miss deep signal; beam+dedup reaches "
+              "the transitive features with far fewer explored paths.\n");
+  return 0;
+}

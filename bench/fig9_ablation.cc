@@ -1,0 +1,94 @@
+// Figure 9: ablation study over AutoFeat's metric choices.
+//
+// Configurations: Spearman-MRMR (AutoFeat), Pearson-MRMR, Spearman-JMI,
+// Pearson-JMI, Spearman-only (no redundancy analysis), MRMR-only (no
+// relevance analysis). Reports accuracy and total time per dataset.
+
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+namespace {
+
+using namespace autofeat;
+using namespace autofeat::benchx;
+
+struct Variant {
+  const char* name;
+  RelevanceKind relevance;
+  RedundancyKind redundancy;
+  bool use_relevance;
+  bool use_redundancy;
+};
+
+constexpr Variant kVariants[] = {
+    {"AutoFeat", RelevanceKind::kSpearman, RedundancyKind::kMrmr, true, true},
+    {"Pearson-MRMR", RelevanceKind::kPearson, RedundancyKind::kMrmr, true,
+     true},
+    {"Spearman-JMI", RelevanceKind::kSpearman, RedundancyKind::kJmi, true,
+     true},
+    {"Pearson-JMI", RelevanceKind::kPearson, RedundancyKind::kJmi, true, true},
+    {"Spearman-only", RelevanceKind::kSpearman, RedundancyKind::kMrmr, true,
+     false},
+    {"MRMR-only", RelevanceKind::kSpearman, RedundancyKind::kMrmr, false,
+     true},
+};
+
+}  // namespace
+
+int main() {
+  PrintModeBanner("Figure 9: ablation over relevance/redundancy choices");
+  std::printf("\n%-12s %-14s %8s %10s %10s\n", "dataset", "variant", "acc",
+              "fs_time_s", "total_s");
+  PrintRule(60);
+
+  struct Sums {
+    double acc = 0, total = 0;
+    size_t count = 0;
+  };
+  std::map<std::string, Sums> sums;
+
+  for (const auto& raw : datagen::PaperDatasets()) {
+    datagen::DatasetSpec spec = ScaledSpec(raw);
+    datagen::BuiltLake built = datagen::BuildPaperLake(spec, 42);
+    auto drg = BuildSettingDrg(built, Setting::kBenchmark);
+    drg.status().Abort();
+
+    for (const Variant& variant : kVariants) {
+      AutoFeatConfig config;
+      config.sample_rows = FullMode() ? 2000 : 1000;
+      config.max_paths = FullMode() ? 2000 : 600;
+      config.relevance = variant.relevance;
+      config.redundancy = variant.redundancy;
+      config.use_relevance = variant.use_relevance;
+      config.use_redundancy = variant.use_redundancy;
+      AutoFeat engine(&built.lake, &*drg, config);
+      auto result = engine.Augment(built.base_table, built.label_column,
+                                   ml::ModelKind::kLightGbm);
+      result.status().Abort(variant.name);
+      std::printf("%-12s %-14s %8.3f %10.3f %10.3f\n", spec.name.c_str(),
+                  variant.name, result->accuracy,
+                  result->discovery.feature_selection_seconds,
+                  result->total_seconds);
+      Sums& s = sums[variant.name];
+      s.acc += result->accuracy;
+      s.total += result->total_seconds;
+      ++s.count;
+    }
+    std::printf("\n");
+  }
+
+  PrintRule(60);
+  std::printf("%-14s %10s %12s\n", "variant", "mean_acc", "mean_total_s");
+  for (const Variant& variant : kVariants) {
+    const Sums& s = sums[variant.name];
+    std::printf("%-14s %10.3f %12.3f\n", variant.name,
+                s.acc / static_cast<double>(s.count),
+                s.total / static_cast<double>(s.count));
+  }
+  std::printf("\nexpected shape: Spearman-MRMR (AutoFeat) is the most "
+              "efficient variant with minimal accuracy loss; JMI variants "
+              "are ~2x slower.\n");
+  return 0;
+}

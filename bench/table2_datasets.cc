@@ -1,0 +1,39 @@
+// Table II: overview of the evaluation datasets. Prints the registry
+// entries side by side with the properties of the synthetic lakes actually
+// built (rows, #joinable tables, #features, reference accuracy) plus the
+// scale factor applied for the single-core budget.
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace autofeat;
+  using namespace autofeat::benchx;
+
+  PrintModeBanner("Table II: dataset overview");
+  std::printf("%-12s %9s %9s %7s %9s %9s %8s %7s\n", "dataset", "rows",
+              "built", "scale", "#tables", "#features", "best_acc", "schema");
+  PrintRule(80);
+  for (const auto& raw : datagen::PaperDatasets()) {
+    datagen::DatasetSpec spec = ScaledSpec(raw);
+    datagen::BuiltLake built = datagen::BuildPaperLake(spec, 42);
+    size_t total_features = 0;
+    for (const auto& truth : built.truth) total_features += truth.num_features;
+    auto base = built.lake.GetTable(built.base_table);
+    base.status().Abort();
+    // Base features = columns minus key and label.
+    total_features += (*base)->num_columns() - 2;
+    double scale = static_cast<double>(spec.paper_rows) /
+                   static_cast<double>((*base)->num_rows());
+    std::printf("%-12s %9zu %9zu %6.1fx %9zu %9zu %8.3f %7s\n",
+                spec.name.c_str(), spec.paper_rows, (*base)->num_rows(),
+                scale, built.truth.size(), total_features,
+                spec.reference_accuracy,
+                spec.star_schema ? "star" : "snow");
+  }
+  PrintRule(80);
+  std::printf("paper column values: rows / #joinable tables / #features / "
+              "best accuracy (openml.org)\n");
+  return 0;
+}

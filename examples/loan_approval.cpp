@@ -1,0 +1,197 @@
+// The paper's running example (Figure 2): a bank-loan base table
+// `applicants` with a `loan_approval` label, surrounded by candidate
+// tables — `personal_information`, `credit_profile`, `property_value` and
+// `loan_history`. The relevant features live in `property_value`, which is
+// only reachable *transitively* through `credit_profile`; a spurious
+// discovered connection (applicant_id ~ credit_score) also exists.
+//
+// AutoFeat must rank the transitive path
+//   applicants -> credit_profile -> property_value
+// highest and augment the base table with the property features.
+
+#include <cstdio>
+
+#include "core/autofeat.h"
+#include "discovery/data_lake.h"
+#include "ml/trainer.h"
+#include "util/rng.h"
+
+using namespace autofeat;
+
+namespace {
+
+constexpr size_t kApplicants = 1500;
+
+// Ground truth: approval depends on income (weakly) and on the applicant's
+// property value and prior defaults (strongly) — data that lives two hops
+// away from the base table.
+struct World {
+  std::vector<int> approved;
+  std::vector<double> income;
+  std::vector<double> property_value;
+  std::vector<int64_t> defaults;
+  std::vector<int64_t> credit_id;  // applicant -> credit profile id
+
+  explicit World(uint64_t seed) {
+    Rng rng(seed);
+    approved.resize(kApplicants);
+    income.resize(kApplicants);
+    property_value.resize(kApplicants);
+    defaults.resize(kApplicants);
+    credit_id.resize(kApplicants);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      income[i] = rng.Normal(60, 15);
+      property_value[i] = rng.Normal(300, 80);
+      defaults[i] = rng.Bernoulli(0.2) ? rng.UniformInt(1, 4) : 0;
+      credit_id[i] = 100000 + static_cast<int64_t>(i);
+      double score = 0.01 * (income[i] - 60) + 0.012 * (property_value[i] - 300) -
+                     0.8 * static_cast<double>(defaults[i]) + rng.Normal(0, 0.8);
+      approved[i] = score > 0 ? 1 : 0;
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  World world(7);
+  Rng rng(8);
+  DataLake lake;
+
+  // -- applicants: the base table (id, age, income, label) -------------------
+  {
+    Table t("applicants");
+    Column id(DataType::kInt64), age(DataType::kDouble),
+        income(DataType::kDouble), label(DataType::kInt64);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      id.AppendInt64(static_cast<int64_t>(i));
+      age.AppendDouble(rng.Normal(40, 12));
+      income.AppendDouble(world.income[i]);
+      label.AppendInt64(world.approved[i]);
+    }
+    t.AddColumn("applicant_id", std::move(id)).Abort();
+    t.AddColumn("age", std::move(age)).Abort();
+    t.AddColumn("income", std::move(income)).Abort();
+    t.AddColumn("loan_approval", std::move(label)).Abort();
+    lake.AddTable(std::move(t)).Abort();
+  }
+
+  // -- personal_information: direct neighbour, irrelevant features -----------
+  {
+    Table t("personal_information");
+    Column id(DataType::kInt64), phone(DataType::kInt64),
+        height(DataType::kDouble);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      id.AppendInt64(static_cast<int64_t>(i));
+      phone.AppendInt64(600000000 + rng.UniformInt(0, 99999999));
+      height.AppendDouble(rng.Normal(172, 9));
+    }
+    t.AddColumn("applicant_id", std::move(id)).Abort();
+    t.AddColumn("phone", std::move(phone)).Abort();
+    t.AddColumn("height_cm", std::move(height)).Abort();
+    lake.AddTable(std::move(t)).Abort();
+  }
+
+  // -- credit_profile: direct neighbour; mostly a bridge to deeper data ------
+  {
+    Table t("credit_profile");
+    Column id(DataType::kInt64), score(DataType::kInt64),
+        property_ref(DataType::kInt64);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      id.AppendInt64(static_cast<int64_t>(i));
+      score.AppendInt64(world.credit_id[i]);
+      property_ref.AppendInt64(static_cast<int64_t>(i) + 5000);
+    }
+    t.AddColumn("applicant_id", std::move(id)).Abort();
+    t.AddColumn("credit_score", std::move(score)).Abort();
+    t.AddColumn("property_ref", std::move(property_ref)).Abort();
+    lake.AddTable(std::move(t)).Abort();
+  }
+
+  // -- property_value: transitive table with the predictive features ---------
+  {
+    Table t("property_value");
+    Column ref(DataType::kInt64), value(DataType::kDouble),
+        tax(DataType::kDouble);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      ref.AppendInt64(static_cast<int64_t>(i) + 5000);
+      value.AppendDouble(world.property_value[i]);
+      tax.AppendDouble(world.property_value[i] * 0.011 + rng.Normal(0, 0.4));
+    }
+    t.AddColumn("property_ref", std::move(ref)).Abort();
+    t.AddColumn("market_value", std::move(value)).Abort();
+    t.AddColumn("yearly_tax", std::move(tax)).Abort();
+    lake.AddTable(std::move(t)).Abort();
+  }
+
+  // -- loan_history: transitive via credit_profile.credit_score --------------
+  {
+    Table t("loan_history");
+    Column cid(DataType::kInt64), defaults(DataType::kInt64);
+    for (size_t i = 0; i < kApplicants; ++i) {
+      cid.AppendInt64(world.credit_id[i]);
+      defaults.AppendInt64(world.defaults[i]);
+    }
+    t.AddColumn("credit_id", std::move(cid)).Abort();
+    t.AddColumn("past_defaults", std::move(defaults)).Abort();
+    lake.AddTable(std::move(t)).Abort();
+  }
+
+  // The DRG as a dataset-discovery tool would produce it — including the
+  // spurious edge from Figure 2 (applicant_id ~ credit_score: both are
+  // "numbers about an applicant" but joining them is meaningless).
+  DatasetRelationGraph drg;
+  drg.AddEdge("applicants", "applicant_id", "personal_information",
+              "applicant_id", 1.0).Abort();
+  drg.AddEdge("applicants", "applicant_id", "credit_profile", "applicant_id",
+              1.0).Abort();
+  drg.AddEdge("applicants", "applicant_id", "credit_profile", "credit_score",
+              0.58).Abort();  // Spurious (Fig. 2's red arrow).
+  drg.AddEdge("credit_profile", "property_ref", "property_value",
+              "property_ref", 0.92).Abort();
+  drg.AddEdge("credit_profile", "credit_score", "loan_history", "credit_id",
+              0.88).Abort();
+
+  std::printf("lake: %zu tables | DRG: %zu nodes, %zu edges (incl. 1 "
+              "spurious)\n\n",
+              lake.num_tables(), drg.num_nodes(), drg.num_edges());
+
+  auto base_eval = ml::TrainAndEvaluate(**lake.GetTable("applicants"),
+                                        "loan_approval",
+                                        ml::ModelKind::kLightGbm);
+  base_eval.status().Abort();
+  std::printf("base table accuracy          : %.3f\n", base_eval->accuracy);
+
+  AutoFeatConfig config;
+  config.kappa = 10;
+  config.top_k_paths = 3;
+  AutoFeat engine(&lake, &drg, config);
+  auto result =
+      engine.Augment("applicants", "loan_approval", ml::ModelKind::kLightGbm);
+  result.status().Abort("AutoFeat");
+
+  std::printf("augmented accuracy           : %.3f\n", result->accuracy);
+  std::printf("paths explored               : %zu\n",
+              result->discovery.paths_explored);
+  std::printf("\nranked join paths:\n");
+  for (size_t i = 0; i < result->discovery.ranked.size(); ++i) {
+    const RankedPath& rp = result->discovery.ranked[i];
+    std::printf("  #%zu score=%.3f :", i + 1, rp.score);
+    for (const auto& step : rp.path.steps) {
+      std::printf(" %s.%s->%s.%s |", drg.NodeName(step.from_node).c_str(),
+                  step.from_column.c_str(),
+                  drg.NodeName(step.to_node).c_str(), step.to_column.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nbest path selected features:\n");
+  for (const auto& fs : result->best_path.selected_features) {
+    std::printf("  %-16s (score %.3f)\n", fs.name.c_str(), fs.score);
+  }
+  std::printf("\naugmented table columns:");
+  for (const auto& name : result->augmented.ColumnNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// ARDA baseline (Chepurko et al., PVLDB 2020; paper §VII-B).
+//
+// ARDA supports star schemata only: it joins every table directly connected
+// to the base table, then selects features by *random injection* (RIFS):
+// random noise features are injected, a random forest is trained, and real
+// features survive only if they out-rank the injected noise consistently
+// across trials. A final wrapper sweep picks the feature-count threshold by
+// validation accuracy. Its feature selection trains models repeatedly —
+// which is exactly why it is slow relative to AutoFeat.
+//
+// The original system is closed source; like the paper, we implement the
+// feature-selection component from the algorithms in the ARDA paper.
+
+#ifndef AUTOFEAT_BASELINES_ARDA_H_
+#define AUTOFEAT_BASELINES_ARDA_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/augmenter.h"
+
+namespace autofeat::baselines {
+
+struct ArdaOptions {
+  /// RIFS trials (each trains one forest).
+  size_t num_trials = 4;
+  /// Injected random features as a fraction of real features (>= 3).
+  double random_fraction = 0.2;
+  /// A feature survives if it beats the median random feature in at least
+  /// this fraction of trials.
+  double beat_fraction = 0.5;
+  /// Wrapper sweep: fractions of the surviving ranked features to evaluate.
+  std::vector<double> wrapper_fractions = {0.25, 0.5, 0.75, 1.0};
+  size_t forest_trees = 24;
+  /// Rows sampled for the internal model training.
+  size_t sample_rows = 2000;
+  uint64_t seed = 42;
+};
+
+class Arda final : public Augmenter {
+ public:
+  explicit Arda(ArdaOptions options = {}) : options_(std::move(options)) {}
+
+  Result<AugmenterResult> Augment(const DataLake& lake,
+                                  const DatasetRelationGraph& drg,
+                                  const std::string& base_table,
+                                  const std::string& label_column) override;
+
+  std::string name() const override { return "ARDA"; }
+
+ private:
+  ArdaOptions options_;
+};
+
+}  // namespace autofeat::baselines
+
+#endif  // AUTOFEAT_BASELINES_ARDA_H_

@@ -1,0 +1,20 @@
+#include "baselines/augmenter.h"
+
+namespace autofeat::baselines {
+
+Result<AugmenterResult> BaseMethod::Augment(const DataLake& lake,
+                                            const DatasetRelationGraph& drg,
+                                            const std::string& base_table,
+                                            const std::string& label_column) {
+  (void)drg;
+  AF_ASSIGN_OR_RETURN(const Table* base, lake.GetTable(base_table));
+  if (!base->HasColumn(label_column)) {
+    return Status::KeyError("label column missing from base table");
+  }
+  AugmenterResult result;
+  result.augmented = *base;
+  result.tables_joined = 0;
+  return result;
+}
+
+}  // namespace autofeat::baselines

@@ -1,0 +1,55 @@
+// Common interface for all augmentation methods compared in §VII
+// (AutoFeat, BASE, ARDA, MAB, JoinAll, JoinAll+F). An Augmenter takes the
+// lake + DRG + base table and returns the augmented table it proposes; the
+// harness then trains the evaluation models on that table.
+
+#ifndef AUTOFEAT_BASELINES_AUGMENTER_H_
+#define AUTOFEAT_BASELINES_AUGMENTER_H_
+
+#include <string>
+
+#include "discovery/data_lake.h"
+#include "graph/drg.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat::baselines {
+
+struct AugmenterResult {
+  Table augmented;
+  /// Time spent assessing feature fitness (the paper's "feature selection
+  /// time" metric).
+  double feature_selection_seconds = 0.0;
+  /// Wall time of the whole augmentation (joins + selection + any internal
+  /// model training).
+  double total_seconds = 0.0;
+  /// Number of datasets joined into the result (the bar labels of Fig. 4/6).
+  size_t tables_joined = 0;
+};
+
+/// \brief A table-augmentation method.
+class Augmenter {
+ public:
+  virtual ~Augmenter() = default;
+
+  virtual Result<AugmenterResult> Augment(const DataLake& lake,
+                                          const DatasetRelationGraph& drg,
+                                          const std::string& base_table,
+                                          const std::string& label_column) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief BASE: the unaugmented base table (paper §VII-B).
+class BaseMethod final : public Augmenter {
+ public:
+  Result<AugmenterResult> Augment(const DataLake& lake,
+                                  const DatasetRelationGraph& drg,
+                                  const std::string& base_table,
+                                  const std::string& label_column) override;
+  std::string name() const override { return "BASE"; }
+};
+
+}  // namespace autofeat::baselines
+
+#endif  // AUTOFEAT_BASELINES_AUGMENTER_H_

@@ -1,0 +1,19 @@
+#include "baselines/autofeat_method.h"
+
+namespace autofeat::baselines {
+
+Result<AugmenterResult> AutoFeatMethod::Augment(
+    const DataLake& lake, const DatasetRelationGraph& drg,
+    const std::string& base_table, const std::string& label_column) {
+  AutoFeat engine(&lake, &drg, config_);
+  AF_ASSIGN_OR_RETURN(
+      last_, engine.Augment(base_table, label_column, selection_model_));
+  AugmenterResult result;
+  result.augmented = last_.augmented;
+  result.feature_selection_seconds = last_.discovery.feature_selection_seconds;
+  result.total_seconds = last_.total_seconds;
+  result.tables_joined = last_.best_path.tables_joined();
+  return result;
+}
+
+}  // namespace autofeat::baselines

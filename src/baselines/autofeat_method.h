@@ -1,0 +1,39 @@
+// Adaptor exposing the core AutoFeat engine through the common Augmenter
+// interface so the benchmark harness can treat all methods uniformly.
+
+#ifndef AUTOFEAT_BASELINES_AUTOFEAT_METHOD_H_
+#define AUTOFEAT_BASELINES_AUTOFEAT_METHOD_H_
+
+#include <string>
+
+#include "baselines/augmenter.h"
+#include "core/autofeat.h"
+
+namespace autofeat::baselines {
+
+class AutoFeatMethod final : public Augmenter {
+ public:
+  explicit AutoFeatMethod(AutoFeatConfig config = {},
+                          ml::ModelKind selection_model =
+                              ml::ModelKind::kLightGbm)
+      : config_(config), selection_model_(selection_model) {}
+
+  Result<AugmenterResult> Augment(const DataLake& lake,
+                                  const DatasetRelationGraph& drg,
+                                  const std::string& base_table,
+                                  const std::string& label_column) override;
+
+  std::string name() const override { return "AutoFeat"; }
+
+  /// Result details of the last Augment call (ranked paths etc.).
+  const AugmentationResult& last_result() const { return last_; }
+
+ private:
+  AutoFeatConfig config_;
+  ml::ModelKind selection_model_;
+  AugmentationResult last_;
+};
+
+}  // namespace autofeat::baselines
+
+#endif  // AUTOFEAT_BASELINES_AUTOFEAT_METHOD_H_

@@ -1,0 +1,88 @@
+#include "baselines/join_all.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "fs/feature_view.h"
+#include "fs/relevance.h"
+#include "relational/join.h"
+#include "util/timer.h"
+
+namespace autofeat::baselines {
+
+Result<AugmenterResult> JoinAll::Augment(const DataLake& lake,
+                                         const DatasetRelationGraph& drg,
+                                         const std::string& base_table,
+                                         const std::string& label_column) {
+  Timer total_timer;
+  AF_ASSIGN_OR_RETURN(const Table* base, lake.GetTable(base_table));
+  AF_ASSIGN_OR_RETURN(size_t base_node, drg.NodeId(base_table));
+  Rng rng(options_.seed);
+
+  AugmenterResult result;
+  result.augmented = *base;
+
+  // BFS join of every reachable table, each joined once, in level order.
+  std::unordered_set<size_t> joined{base_node};
+  std::deque<size_t> queue{base_node};
+  // Remember, per joined node, which join column reached it so transitive
+  // edges can be followed (the edge's from-column must exist in the
+  // accumulated wide table; with unique satellite column names it does).
+  while (!queue.empty()) {
+    size_t node = queue.front();
+    queue.pop_front();
+    for (size_t neighbor : drg.Neighbors(node)) {
+      // The cap counts the base table plus every joined satellite.
+      if (joined.size() >= options_.max_tables) break;
+      if (joined.count(neighbor) > 0) continue;
+      const Table* right = nullptr;
+      {
+        auto r = lake.GetTable(drg.NodeName(neighbor));
+        if (!r.ok()) continue;
+        right = *r;
+      }
+      if (right->HasColumn(label_column)) continue;
+      std::vector<JoinStep> edges = drg.BestEdgesBetween(node, neighbor);
+      for (const JoinStep& edge : edges) {
+        if (edge.from_column == label_column) continue;  // Label leakage.
+        if (!result.augmented.HasColumn(edge.from_column)) continue;
+        auto join = LeftJoin(result.augmented, edge.from_column, *right,
+                             edge.to_column, &rng);
+        if (!join.ok() || join->stats.matched_rows == 0) continue;
+        result.augmented = std::move(join->table);
+        joined.insert(neighbor);
+        queue.push_back(neighbor);
+        ++result.tables_joined;
+        break;  // One join per table.
+      }
+    }
+  }
+
+  if (options_.filter) {
+    // Filter feature selection once, over the single wide table.
+    Timer fs_timer;
+    AF_ASSIGN_OR_RETURN(FeatureView view,
+                        FeatureView::FromTable(result.augmented, label_column));
+    RelevanceOptions rel;
+    rel.kind = RelevanceKind::kSpearman;
+    rel.top_k = options_.keep_features;
+    std::vector<FeatureScore> scores = ScoreRelevance(view, {}, rel);
+    std::vector<FeatureScore> kept =
+        SelectKBest(std::move(scores), options_.keep_features, 1e-9);
+    result.feature_selection_seconds = fs_timer.ElapsedSeconds();
+
+    std::vector<std::string> columns;
+    columns.reserve(kept.size() + 1);
+    for (const auto& fs : kept) columns.push_back(fs.name);
+    columns.push_back(label_column);
+    AF_ASSIGN_OR_RETURN(Table filtered,
+                        result.augmented.SelectColumns(columns));
+    filtered.set_name(result.augmented.name());
+    result.augmented = std::move(filtered);
+  }
+
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace autofeat::baselines

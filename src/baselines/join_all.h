@@ -1,0 +1,48 @@
+// JoinAll and JoinAll+F baselines (paper §VII-B).
+//
+// JoinAll joins every table reachable from the base table (BFS over the
+// DRG, one canonical order — with 1:1-normalised KFK joins the result is
+// order-independent up to column order; the factorial path blow-up of
+// Eq. 3 is what the harness *skips*, exactly as the paper does on `school`
+// and in the data-lake setting). JoinAll+F additionally applies a filter
+// feature selection (select-k-best Spearman) on the single wide table.
+
+#ifndef AUTOFEAT_BASELINES_JOIN_ALL_H_
+#define AUTOFEAT_BASELINES_JOIN_ALL_H_
+
+#include <string>
+
+#include "baselines/augmenter.h"
+
+namespace autofeat::baselines {
+
+struct JoinAllOptions {
+  /// Apply the filter feature-selection stage (the "+F" variant).
+  bool filter = false;
+  /// Features kept by the filter.
+  size_t keep_features = 50;
+  /// Safety bound on joins (the harness skips infeasible configs anyway).
+  size_t max_tables = 64;
+  uint64_t seed = 42;
+};
+
+class JoinAll final : public Augmenter {
+ public:
+  explicit JoinAll(JoinAllOptions options = {}) : options_(options) {}
+
+  Result<AugmenterResult> Augment(const DataLake& lake,
+                                  const DatasetRelationGraph& drg,
+                                  const std::string& base_table,
+                                  const std::string& label_column) override;
+
+  std::string name() const override {
+    return options_.filter ? "JoinAll+F" : "JoinAll";
+  }
+
+ private:
+  JoinAllOptions options_;
+};
+
+}  // namespace autofeat::baselines
+
+#endif  // AUTOFEAT_BASELINES_JOIN_ALL_H_

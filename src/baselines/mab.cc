@@ -1,0 +1,151 @@
+#include "baselines/mab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "relational/join.h"
+#include "relational/sampling.h"
+#include "util/timer.h"
+
+namespace autofeat::baselines {
+
+namespace {
+
+// One bandit arm: a candidate (table, same-name join column) pair.
+struct Arm {
+  size_t node = 0;
+  std::string column;  // identical on both sides (the MAB restriction)
+  double reward_sum = 0.0;
+  size_t pulls = 0;
+
+  double UcbScore(double c, size_t total_pulls) const {
+    if (pulls == 0) return std::numeric_limits<double>::infinity();
+    double mean = reward_sum / static_cast<double>(pulls);
+    return mean + c * std::sqrt(std::log(static_cast<double>(total_pulls + 1)) /
+                                static_cast<double>(pulls));
+  }
+};
+
+}  // namespace
+
+Result<AugmenterResult> Mab::Augment(const DataLake& lake,
+                                     const DatasetRelationGraph& drg,
+                                     const std::string& base_table,
+                                     const std::string& label_column) {
+  Timer total_timer;
+  AF_ASSIGN_OR_RETURN(const Table* base, lake.GetTable(base_table));
+  AF_ASSIGN_OR_RETURN(size_t base_node, drg.NodeId(base_table));
+  Rng rng(options_.seed);
+
+  AugmenterResult result;
+  result.augmented = *base;
+
+  // Validation machinery: sampled rows, fixed split, reward = accuracy delta.
+  auto evaluate = [&](const Table& table) -> Result<double> {
+    Table sampled = table;
+    if (options_.sample_rows > 0 && table.num_rows() > options_.sample_rows) {
+      AF_ASSIGN_OR_RETURN(sampled, StratifiedSample(table, label_column,
+                                                    options_.sample_rows,
+                                                    &rng));
+    }
+    AF_ASSIGN_OR_RETURN(ml::Dataset data,
+                        ml::Dataset::FromTable(sampled, label_column));
+    size_t n = data.num_rows();
+    std::vector<size_t> rows(n);
+    for (size_t r = 0; r < n; ++r) rows[r] = r;
+    Rng split_rng(options_.seed);  // Same split every episode.
+    split_rng.Shuffle(&rows);
+    size_t val_n = std::max<size_t>(1, n / 5);
+    std::vector<size_t> val(rows.begin(),
+                            rows.begin() + static_cast<ptrdiff_t>(val_n));
+    std::vector<size_t> train(rows.begin() + static_cast<ptrdiff_t>(val_n),
+                              rows.end());
+    ml::Forest forest =
+        ml::Forest::RandomForest(options_.forest_trees, rng.engine()());
+    AF_RETURN_NOT_OK(forest.Fit(data.TakeRows(train)));
+    ml::Dataset val_data = data.TakeRows(val);
+    return ml::Accuracy(val_data.labels(), forest.PredictProbaAll(val_data));
+  };
+
+  Timer fs_timer;
+  AF_ASSIGN_OR_RETURN(double current_accuracy, evaluate(result.augmented));
+
+  // Seed arms with the base table's same-name join opportunities.
+  std::vector<Arm> arms;
+  std::unordered_set<size_t> joined{base_node};
+  auto add_arms_for = [&](size_t node) {
+    for (size_t neighbor : drg.Neighbors(node)) {
+      if (joined.count(neighbor) > 0) continue;
+      for (const JoinStep& edge : drg.EdgesBetween(node, neighbor)) {
+        // The MAB restriction: both sides must carry the same column name.
+        if (edge.from_column != edge.to_column) continue;
+        if (edge.from_column == label_column) continue;  // Label leakage.
+        bool duplicate = false;
+        for (const Arm& a : arms) {
+          if (a.node == neighbor && a.column == edge.from_column) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) arms.push_back(Arm{neighbor, edge.from_column, 0, 0});
+      }
+    }
+  };
+  add_arms_for(base_node);
+
+  size_t total_pulls = 0;
+  for (size_t episode = 0; episode < options_.episodes && !arms.empty();
+       ++episode) {
+    // UCB pick.
+    size_t best = 0;
+    for (size_t a = 1; a < arms.size(); ++a) {
+      if (arms[a].UcbScore(options_.ucb_c, total_pulls) >
+          arms[best].UcbScore(options_.ucb_c, total_pulls)) {
+        best = a;
+      }
+    }
+    Arm arm = arms[best];
+    ++total_pulls;
+
+    double reward = -1.0;
+    bool accepted = false;
+    const Table* right = nullptr;
+    {
+      auto r = lake.GetTable(drg.NodeName(arm.node));
+      if (r.ok()) right = *r;
+    }
+    if (right != nullptr && !right->HasColumn(label_column) &&
+        result.augmented.HasColumn(arm.column)) {
+      auto join =
+          LeftJoin(result.augmented, arm.column, *right, arm.column, &rng);
+      if (join.ok() && join->stats.matched_rows > 0) {
+        AF_ASSIGN_OR_RETURN(double new_accuracy, evaluate(join->table));
+        reward = new_accuracy - current_accuracy;
+        if (reward > 0) {
+          accepted = true;
+          current_accuracy = new_accuracy;
+          result.augmented = std::move(join->table);
+          ++result.tables_joined;
+        }
+      }
+    }
+
+    if (accepted) {
+      joined.insert(arm.node);
+      arms.erase(arms.begin() + static_cast<ptrdiff_t>(best));
+      add_arms_for(arm.node);  // Transitive arms become reachable.
+    } else {
+      arms[best].reward_sum += reward;
+      arms[best].pulls += 1;
+    }
+  }
+  result.feature_selection_seconds = fs_timer.ElapsedSeconds();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace autofeat::baselines

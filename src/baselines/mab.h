@@ -1,0 +1,48 @@
+// MAB baseline (Liu et al., "Feature Augmentation with Reinforcement
+// Learning"; paper §VII-B).
+//
+// Candidate joinable tables are bandit arms. Each episode, a UCB policy
+// picks an arm; the table is joined and an internal model is trained; the
+// validation-accuracy delta is the reward, and the join is kept only if the
+// reward is positive. The model-in-the-loop reward makes MAB the slowest
+// method, and — as the paper reports — it only follows joins whose columns
+// share the *same name* on both sides, which blocks most transitive hops.
+
+#ifndef AUTOFEAT_BASELINES_MAB_H_
+#define AUTOFEAT_BASELINES_MAB_H_
+
+#include <string>
+
+#include "baselines/augmenter.h"
+
+namespace autofeat::baselines {
+
+struct MabOptions {
+  /// Bandit episodes (each trains at least one model).
+  size_t episodes = 12;
+  /// UCB exploration constant.
+  double ucb_c = 0.7;
+  size_t forest_trees = 20;
+  /// Rows sampled for internal reward evaluation.
+  size_t sample_rows = 1500;
+  uint64_t seed = 42;
+};
+
+class Mab final : public Augmenter {
+ public:
+  explicit Mab(MabOptions options = {}) : options_(options) {}
+
+  Result<AugmenterResult> Augment(const DataLake& lake,
+                                  const DatasetRelationGraph& drg,
+                                  const std::string& base_table,
+                                  const std::string& label_column) override;
+
+  std::string name() const override { return "MAB"; }
+
+ private:
+  MabOptions options_;
+};
+
+}  // namespace autofeat::baselines
+
+#endif  // AUTOFEAT_BASELINES_MAB_H_

@@ -1,0 +1,301 @@
+#include "core/autofeat.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "core/ranking.h"
+#include "fs/streaming.h"
+#include "relational/join.h"
+#include "relational/sampling.h"
+#include "util/timer.h"
+
+namespace autofeat {
+
+namespace {
+
+// Column names present in `joined` but not in `before` — the features the
+// latest join appended.
+std::vector<std::string> AppendedColumns(const Table& before,
+                                         const Table& joined) {
+  std::vector<std::string> out;
+  for (const auto& name : joined.ColumnNames()) {
+    if (!before.HasColumn(name)) out.push_back(name);
+  }
+  return out;
+}
+
+StreamingFeatureSelector::Options MakeSelectorOptions(
+    const AutoFeatConfig& config) {
+  StreamingFeatureSelector::Options options;
+  options.relevance.kind = config.relevance;
+  options.relevance.top_k = config.kappa;
+  options.relevance.seed = config.seed;
+  options.redundancy.kind = config.redundancy;
+  options.use_relevance = config.use_relevance;
+  options.use_redundancy = config.use_redundancy;
+  return options;
+}
+
+}  // namespace
+
+Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
+    const std::string& base_table, const std::string& label_column) {
+  Timer total_timer;
+  AF_ASSIGN_OR_RETURN(const Table* base_full, lake_->GetTable(base_table));
+  if (!base_full->HasColumn(label_column)) {
+    return Status::KeyError("label column '" + label_column +
+                            "' missing from base table " + base_table);
+  }
+  AF_ASSIGN_OR_RETURN(size_t base_node, drg_->NodeId(base_table));
+  Rng rng(config_.seed);
+
+  // Stratified sampling speeds up feature selection without biasing the
+  // label distribution (§VI); model training later uses the full data.
+  Table base_sampled = *base_full;
+  if (config_.sample_rows > 0 && base_full->num_rows() > config_.sample_rows) {
+    AF_ASSIGN_OR_RETURN(
+        base_sampled,
+        StratifiedSample(*base_full, label_column, config_.sample_rows, &rng));
+  }
+
+  StreamingFeatureSelector selector(MakeSelectorOptions(config_));
+  double fs_seconds = 0.0;
+  {
+    Timer t;
+    AF_ASSIGN_OR_RETURN(FeatureView base_view,
+                        FeatureView::FromTable(base_sampled, label_column));
+    selector.SeedWithBaseFeatures(base_view);
+    fs_seconds += t.ElapsedSeconds();
+  }
+
+  // BFS frontier of partial join paths, each carrying its (sampled) join
+  // result so transitive joins extend the intermediate table (§IV-B).
+  struct State {
+    JoinPath path;
+    Table table;
+    double score = 0.0;
+    std::vector<FeatureScore> selected;
+  };
+  std::deque<State> frontier;
+  frontier.push_back(State{JoinPath{}, std::move(base_sampled), 0.0, {}});
+
+  DiscoveryResult result;
+  // Tables reached by any path so far (drives the beam's novelty order).
+  std::vector<bool> node_visited(drg_->num_nodes(), false);
+  node_visited[base_node] = true;
+  // Signatures of (visited node set, terminal) used for path dedup.
+  std::unordered_set<std::string> seen_signatures;
+  auto signature = [&](const JoinPath& path) {
+    std::vector<size_t> nodes;
+    nodes.reserve(path.steps.size());
+    for (const auto& s : path.steps) nodes.push_back(s.to_node);
+    size_t terminal = nodes.empty() ? base_node : nodes.back();
+    std::sort(nodes.begin(), nodes.end());
+    std::string sig;
+    for (size_t n : nodes) {
+      sig += std::to_string(n);
+      sig += ',';
+    }
+    sig += ':';
+    sig += std::to_string(terminal);
+    return sig;
+  };
+
+  while (!frontier.empty() && result.paths_explored < config_.max_paths) {
+    State state = std::move(frontier.front());
+    frontier.pop_front();
+    if (state.path.length() >= config_.max_hops) continue;
+    size_t tail = state.path.Terminal(base_node);
+
+    // Beam pruning: on dense discovered graphs expand only a bounded set
+    // of neighbours per path — never-visited tables first (they are the
+    // only way to reach new features), then by similarity. On KFK trees
+    // every child is unvisited, so the beam changes nothing there.
+    std::vector<size_t> neighbors = drg_->Neighbors(tail);
+    if (config_.beam_width > 0 && neighbors.size() > config_.beam_width) {
+      auto weight = [&](size_t node) {
+        double best = 0.0;
+        for (const auto& e : drg_->EdgesBetween(tail, node)) {
+          best = std::max(best, e.weight);
+        }
+        return best;
+      };
+      std::stable_sort(neighbors.begin(), neighbors.end(),
+                       [&](size_t a, size_t b) {
+                         bool fresh_a = !node_visited[a];
+                         bool fresh_b = !node_visited[b];
+                         if (fresh_a != fresh_b) return fresh_a;
+                         return weight(a) > weight(b);
+                       });
+      neighbors.resize(config_.beam_width);
+    }
+
+    for (size_t neighbor : neighbors) {
+      if (neighbor == base_node || state.path.ContainsNode(neighbor)) continue;
+      auto table_result = lake_->GetTable(drg_->NodeName(neighbor));
+      if (!table_result.ok()) continue;
+      const Table* right = *table_result;
+      // Candidate tables must not carry the label (left-join assumption of
+      // §IV-B: Y only lives in the base table).
+      if (right->HasColumn(label_column)) continue;
+
+      // Similarity-score pruning keeps only the best join columns (§IV-C).
+      std::vector<JoinStep> edges =
+          config_.prune_join_columns ? drg_->BestEdgesBetween(tail, neighbor)
+                                     : drg_->EdgesBetween(tail, neighbor);
+      for (const JoinStep& edge : edges) {
+        if (result.paths_explored >= config_.max_paths) break;
+        // Never join on the target column: a label-valued join key leaks
+        // the label into the appended features.
+        if (edge.from_column == label_column) continue;
+        if (config_.dedup_node_sets &&
+            !seen_signatures.insert(signature(state.path.Extend(edge)))
+                 .second) {
+          continue;  // Same table set and terminal already explored.
+        }
+        ++result.paths_explored;
+
+        if (!state.table.HasColumn(edge.from_column)) {
+          ++result.paths_pruned_infeasible;
+          continue;
+        }
+        auto joined = LeftJoin(state.table, edge.from_column, *right,
+                               edge.to_column, &rng);
+        if (!joined.ok() || joined->stats.matched_rows == 0) {
+          ++result.paths_pruned_infeasible;
+          continue;
+        }
+
+        // Data-quality pruning: completeness of the appended columns must
+        // reach tau (§IV-C).
+        std::vector<std::string> new_columns =
+            AppendedColumns(state.table, joined->table);
+        double completeness = JoinCompleteness(joined->table, new_columns);
+        if (completeness < config_.tau) {
+          ++result.paths_pruned_quality;
+          continue;
+        }
+
+        // Streaming feature selection over the appended feature batch.
+        Timer t;
+        auto view = FeatureView::FromTable(joined->table, label_column,
+                                           new_columns);
+        if (!view.ok()) return view.status();
+        std::vector<size_t> all_indices(view->num_features());
+        for (size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
+        StreamingFeatureSelector::BatchResult batch =
+            selector.ProcessBatch(*view, all_indices);
+        fs_seconds += t.ElapsedSeconds();
+
+        State next;
+        next.path = state.path.Extend(edge);
+        next.score =
+            state.score + ComputeRankingScore(batch.relevant, batch.selected);
+        next.selected = state.selected;
+        next.selected.insert(next.selected.end(), batch.selected.begin(),
+                             batch.selected.end());
+        // Paths whose batch was all-irrelevant or all-redundant are not
+        // ranked but stay in the frontier: they may be the gateway to
+        // relevant multi-hop features (§V-A).
+        if (!batch.selected.empty()) {
+          result.ranked.push_back(
+              RankedPath{next.path, next.score, next.selected});
+        }
+        node_visited[neighbor] = true;
+        // Leaf states (at the hop limit) can never expand; skip carrying
+        // their join result into the frontier.
+        if (next.path.length() < config_.max_hops) {
+          next.table = std::move(joined->table);
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+  }
+
+  // Descending score; stable keeps BFS (shortest-first) order for ties.
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [](const RankedPath& a, const RankedPath& b) {
+                     return a.score > b.score;
+                   });
+  result.feature_selection_seconds = fs_seconds;
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<Table> AutoFeat::MaterializeAugmentedTable(
+    const std::string& base_table, const RankedPath& ranked,
+    const std::string& label_column) {
+  AF_ASSIGN_OR_RETURN(const Table* base, lake_->GetTable(base_table));
+  if (!base->HasColumn(label_column)) {
+    return Status::KeyError("label column '" + label_column +
+                            "' missing from base table " + base_table);
+  }
+  Rng rng(config_.seed);
+
+  Table current = *base;
+  for (const JoinStep& step : ranked.path.steps) {
+    AF_ASSIGN_OR_RETURN(const Table* right,
+                        lake_->GetTable(drg_->NodeName(step.to_node)));
+    if (!current.HasColumn(step.from_column)) {
+      return Status::KeyError("join column vanished during materialisation: " +
+                              step.from_column);
+    }
+    AF_ASSIGN_OR_RETURN(
+        JoinResult joined,
+        LeftJoin(current, step.from_column, *right, step.to_column, &rng));
+    current = std::move(joined.table);
+  }
+
+  // Keep base columns (including the label) plus the selected features.
+  std::vector<std::string> keep = base->ColumnNames();
+  std::unordered_set<std::string> seen(keep.begin(), keep.end());
+  for (const auto& fs : ranked.selected_features) {
+    if (seen.insert(fs.name).second && current.HasColumn(fs.name)) {
+      keep.push_back(fs.name);
+    }
+  }
+  AF_ASSIGN_OR_RETURN(Table augmented, current.SelectColumns(keep));
+  augmented.set_name(base->name() + "_augmented");
+  return augmented;
+}
+
+Result<AugmentationResult> AutoFeat::Augment(const std::string& base_table,
+                                             const std::string& label_column,
+                                             ml::ModelKind model) {
+  Timer total_timer;
+  AugmentationResult out;
+  AF_ASSIGN_OR_RETURN(out.discovery,
+                      DiscoverFeatures(base_table, label_column));
+
+  ml::TrainerOptions trainer_options;
+  trainer_options.seed = config_.seed;
+
+  AF_ASSIGN_OR_RETURN(const Table* base, lake_->GetTable(base_table));
+  // Fallback: no rankable path found — the base table stands alone.
+  AF_ASSIGN_OR_RETURN(
+      ml::EvalResult base_eval,
+      ml::TrainAndEvaluate(*base, label_column, model, trainer_options));
+  out.augmented = *base;
+  out.accuracy = base_eval.accuracy;
+
+  size_t k = std::min(config_.top_k_paths, out.discovery.ranked.size());
+  for (size_t i = 0; i < k; ++i) {
+    const RankedPath& candidate = out.discovery.ranked[i];
+    AF_ASSIGN_OR_RETURN(
+        Table augmented,
+        MaterializeAugmentedTable(base_table, candidate, label_column));
+    AF_ASSIGN_OR_RETURN(
+        ml::EvalResult eval,
+        ml::TrainAndEvaluate(augmented, label_column, model, trainer_options));
+    if (eval.accuracy > out.accuracy) {
+      out.accuracy = eval.accuracy;
+      out.augmented = std::move(augmented);
+      out.best_path = candidate;
+    }
+  }
+  out.total_seconds = total_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,95 @@
+// AutoFeat: transitive feature discovery over join paths (paper §VI).
+//
+// Given a base table with a label and a Dataset Relation Graph over the
+// lake, AutoFeat explores multi-hop join paths breadth-first, prunes
+// low-quality joins, runs streaming relevance/redundancy feature selection
+// on each join batch, ranks paths (Algorithm 2) and finally evaluates the
+// top-k paths by training an ML model, returning the best augmented table.
+
+#ifndef AUTOFEAT_CORE_AUTOFEAT_H_
+#define AUTOFEAT_CORE_AUTOFEAT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "discovery/data_lake.h"
+#include "graph/drg.h"
+#include "graph/join_path.h"
+#include "ml/trainer.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief A join path with its ranking score and selected features.
+struct RankedPath {
+  JoinPath path;
+  /// Cumulative ranking score along the path (Algorithm 2 per hop, summed).
+  double score = 0.0;
+  /// Features selected anywhere along the path (names in the joined table).
+  std::vector<FeatureScore> selected_features;
+  /// Datasets joined by the path (excluding the base table).
+  size_t tables_joined() const { return path.length(); }
+};
+
+/// \brief Outcome of the ranking phase (Algorithm 1).
+struct DiscoveryResult {
+  /// Paths with a positive score, sorted by descending score. Ties keep BFS
+  /// (shortest-first) order.
+  std::vector<RankedPath> ranked;
+  /// Time spent in relevance + redundancy analysis only.
+  double feature_selection_seconds = 0.0;
+  /// Wall time of the whole discovery (joins + pruning + selection).
+  double total_seconds = 0.0;
+  size_t paths_explored = 0;
+  size_t paths_pruned_infeasible = 0;  // join produced no matches
+  size_t paths_pruned_quality = 0;     // completeness < tau
+};
+
+/// \brief Outcome of the full augmentation pipeline (§III-C).
+struct AugmentationResult {
+  /// Base table augmented with the best path's selected features.
+  Table augmented;
+  RankedPath best_path;
+  /// Test accuracy of the model trained on `augmented`.
+  double accuracy = 0.0;
+  DiscoveryResult discovery;
+  /// End-to-end wall time (discovery + top-k training).
+  double total_seconds = 0.0;
+};
+
+/// \brief The AutoFeat engine.
+class AutoFeat {
+ public:
+  /// `lake` and `drg` must outlive the engine.
+  AutoFeat(const DataLake* lake, const DatasetRelationGraph* drg,
+           AutoFeatConfig config)
+      : lake_(lake), drg_(drg), config_(config) {}
+
+  /// Algorithm 1: explores join paths from `base_table`, returns the ranked
+  /// list. `label_column` must exist in the base table.
+  Result<DiscoveryResult> DiscoverFeatures(const std::string& base_table,
+                                           const std::string& label_column);
+
+  /// Full pipeline: discovery, then trains `model` on the top-k ranked
+  /// paths' augmented tables (full data) and returns the best.
+  Result<AugmentationResult> Augment(const std::string& base_table,
+                                     const std::string& label_column,
+                                     ml::ModelKind model);
+
+  /// Materialises a join path against the full (unsampled) lake tables and
+  /// keeps base columns + the path's selected features.
+  Result<Table> MaterializeAugmentedTable(const std::string& base_table,
+                                          const RankedPath& ranked,
+                                          const std::string& label_column);
+
+ private:
+  const DataLake* lake_;
+  const DatasetRelationGraph* drg_;
+  AutoFeatConfig config_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_CORE_AUTOFEAT_H_

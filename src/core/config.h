@@ -1,0 +1,61 @@
+// AutoFeat hyper-parameters (paper §VI, §VII-B, §VII-D).
+
+#ifndef AUTOFEAT_CORE_CONFIG_H_
+#define AUTOFEAT_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fs/redundancy.h"
+#include "fs/relevance.h"
+
+namespace autofeat {
+
+/// \brief Configuration of the AutoFeat discovery algorithm.
+struct AutoFeatConfig {
+  /// Data-quality (completeness) threshold tau: joins whose appended
+  /// columns are less complete than this are pruned (paper default 0.65).
+  double tau = 0.65;
+  /// Maximum features selected from one table, kappa (paper default 15).
+  size_t kappa = 15;
+  /// Join paths handed to the ML evaluation stage (top-k).
+  size_t top_k_paths = 4;
+  /// Maximum join-path length explored (transitive-hop budget).
+  size_t max_hops = 4;
+  /// Safety cap on the number of join paths materialised during search.
+  size_t max_paths = 2000;
+
+  /// Relevance heuristic (§V-C; recommended: Spearman).
+  RelevanceKind relevance = RelevanceKind::kSpearman;
+  /// Redundancy criterion (§V-D; recommended: MRMR).
+  RedundancyKind redundancy = RedundancyKind::kMrmr;
+  /// Ablation switches (Fig. 9): disable one of the two analyses.
+  bool use_relevance = true;
+  bool use_redundancy = true;
+
+  /// Similarity-score join-column pruning (§IV-C): keep only top-scoring
+  /// join columns between a table pair.
+  bool prune_join_columns = true;
+
+  /// Beam pruning on dense (discovered) graphs: each partial path only
+  /// expands to its `beam_width` highest-similarity neighbours (0 = all).
+  /// The paper's future work anticipates "more aggressive pruning" for
+  /// real data lakes; KFK snowflakes have small degrees and are unaffected.
+  size_t beam_width = 8;
+
+  /// Collapse join paths that visit the same set of tables and end at the
+  /// same table (different visit orders produce near-identical augmented
+  /// tables). Tames the factorial path blow-up of dense multigraphs; no
+  /// effect on tree-shaped KFK schemata, where node sets identify paths.
+  bool dedup_node_sets = true;
+
+  /// Stratified sample size of the base table used during feature selection
+  /// (0 = use all rows). Model training always sees the full data (§VI).
+  size_t sample_rows = 2000;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_CORE_CONFIG_H_

@@ -1,0 +1,22 @@
+#include "core/ranking.h"
+
+namespace autofeat {
+
+namespace {
+double MeanScore(const std::vector<FeatureScore>& scores) {
+  if (scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : scores) sum += s.score;
+  return sum / static_cast<double>(scores.size());
+}
+}  // namespace
+
+double ComputeRankingScore(
+    const std::vector<FeatureScore>& relevance_scores,
+    const std::vector<FeatureScore>& redundancy_scores) {
+  double sum_rel = MeanScore(relevance_scores);
+  double sum_red = MeanScore(redundancy_scores);
+  return (sum_rel + sum_red) / 2.0;
+}
+
+}  // namespace autofeat

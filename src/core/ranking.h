@@ -1,0 +1,24 @@
+// Algorithm 2: the ranking score of a join path from its relevance and
+// redundancy analysis scores.
+
+#ifndef AUTOFEAT_CORE_RANKING_H_
+#define AUTOFEAT_CORE_RANKING_H_
+
+#include <vector>
+
+#include "fs/relevance.h"
+
+namespace autofeat {
+
+/// Computes the ranking score of one join (one batch through the streaming
+/// pipeline). Per Algorithm 2 the relevance scores are summed and weighted
+/// by the cardinality of the selected subset, likewise the redundancy
+/// scores, and the two sums are combined weighted by their common divisor —
+/// implemented as score = mean(relevance scores) + mean(redundancy scores),
+/// halved (see DESIGN.md §4.3 for the interpretation).
+double ComputeRankingScore(const std::vector<FeatureScore>& relevance_scores,
+                           const std::vector<FeatureScore>& redundancy_scores);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_CORE_RANKING_H_

@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "graph/path_format.h"
+#include "util/string_utils.h"
+
+namespace autofeat {
+
+namespace {
+
+void AppendLine(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string FormatDiscoveryReport(const DiscoveryResult& result,
+                                  const DatasetRelationGraph& drg,
+                                  size_t max_paths) {
+  std::string out;
+  AppendLine(&out,
+             "discovery: %zu paths explored (%zu infeasible, %zu failed "
+             "completeness), %zu ranked",
+             result.paths_explored, result.paths_pruned_infeasible,
+             result.paths_pruned_quality, result.ranked.size());
+  AppendLine(&out, "timing: feature selection %.3fs of %.3fs total",
+             result.feature_selection_seconds, result.total_seconds);
+  size_t shown = std::min(max_paths, result.ranked.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const RankedPath& rp = result.ranked[i];
+    AppendLine(&out, "#%zu score=%.4f  %s", i + 1, rp.score,
+               FormatJoinPath(drg, rp.path).c_str());
+    std::string features;
+    for (const auto& fs : rp.selected_features) {
+      if (!features.empty()) features += ", ";
+      features += fs.name + " (" + FormatDouble(fs.score, 3) + ")";
+    }
+    AppendLine(&out, "    features: %s",
+               features.empty() ? "<none>" : features.c_str());
+  }
+  if (result.ranked.size() > shown) {
+    AppendLine(&out, "... and %zu more ranked paths",
+               result.ranked.size() - shown);
+  }
+  return out;
+}
+
+std::string FormatAugmentationReport(const AugmentationResult& result,
+                                     const DatasetRelationGraph& drg) {
+  std::string out;
+  AppendLine(&out, "augmentation accuracy: %.3f (total %.3fs)",
+             result.accuracy, result.total_seconds);
+  AppendLine(&out, "best path: %s",
+             FormatJoinPath(drg, result.best_path.path).c_str());
+  for (const auto& fs : result.best_path.selected_features) {
+    AppendLine(&out, "  + %-28s %.4f", fs.name.c_str(), fs.score);
+  }
+  out += FormatDiscoveryReport(result.discovery, drg, /*max_paths=*/3);
+  return out;
+}
+
+}  // namespace autofeat

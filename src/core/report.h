@@ -1,0 +1,27 @@
+// Human-readable reports of discovery/augmentation results (shared by the
+// CLI, the examples and debugging sessions).
+
+#ifndef AUTOFEAT_CORE_REPORT_H_
+#define AUTOFEAT_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/autofeat.h"
+#include "graph/drg.h"
+
+namespace autofeat {
+
+/// Multi-line summary of a discovery run: counters, timings and the top
+/// `max_paths` ranked join paths with their selected features.
+std::string FormatDiscoveryReport(const DiscoveryResult& result,
+                                  const DatasetRelationGraph& drg,
+                                  size_t max_paths = 5);
+
+/// Multi-line summary of a full augmentation: accuracy, best path,
+/// selected features and the discovery counters.
+std::string FormatAugmentationReport(const AugmentationResult& result,
+                                     const DatasetRelationGraph& drg);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_CORE_REPORT_H_

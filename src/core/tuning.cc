@@ -1,0 +1,65 @@
+#include "core/tuning.h"
+
+#include "util/timer.h"
+
+namespace autofeat {
+
+Result<TuningResult> TuneHyperParameters(const DataLake& lake,
+                                         const DatasetRelationGraph& drg,
+                                         const std::string& base_table,
+                                         const std::string& label_column,
+                                         const AutoFeatConfig& base_config,
+                                         const TuningOptions& options) {
+  if (options.tau_grid.empty() || options.kappa_grid.empty()) {
+    return Status::InvalidArgument("tuning grids must be non-empty");
+  }
+
+  TuningResult result;
+  bool have_best = false;
+  for (double tau : options.tau_grid) {
+    for (size_t kappa : options.kappa_grid) {
+      AutoFeatConfig config = base_config;
+      config.tau = tau;
+      config.kappa = kappa;
+      config.sample_rows = options.sample_rows;
+      config.seed = options.seed;
+
+      Timer timer;
+      AutoFeat engine(&lake, &drg, config);
+      AF_ASSIGN_OR_RETURN(
+          AugmentationResult augmented,
+          engine.Augment(base_table, label_column, options.model));
+
+      TuningTrial trial;
+      trial.tau = tau;
+      trial.kappa = kappa;
+      trial.accuracy = augmented.accuracy;
+      trial.seconds = timer.ElapsedSeconds();
+      trial.produced_paths = !augmented.discovery.ranked.empty();
+      result.trials.push_back(trial);
+
+      // Strictly-better accuracy wins; ties prefer smaller kappa (cheaper)
+      // and then larger tau (stricter pruning).
+      bool better = !have_best || trial.accuracy > result.best_trial.accuracy;
+      if (!better && have_best &&
+          trial.accuracy == result.best_trial.accuracy) {
+        if (trial.kappa < result.best_trial.kappa) {
+          better = true;
+        } else if (trial.kappa == result.best_trial.kappa &&
+                   trial.tau > result.best_trial.tau) {
+          better = true;
+        }
+      }
+      if (better) {
+        result.best_trial = trial;
+        result.best_config = base_config;
+        result.best_config.tau = tau;
+        result.best_config.kappa = kappa;
+        have_best = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace autofeat

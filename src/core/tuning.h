@@ -1,0 +1,59 @@
+// Dynamic hyper-parameter tuning — the paper's first future-work item
+// ("we plan to explore dynamic hyper-parameter tuning, allowing the
+// algorithm to adapt to different data landscapes").
+//
+// Grid-searches the completeness threshold tau and the feature budget
+// kappa on a (stratified sample of the) lake, scoring each configuration
+// by the end accuracy of the augmentation pipeline with a cheap evaluation
+// model, and returns the best configuration for the full run.
+
+#ifndef AUTOFEAT_CORE_TUNING_H_
+#define AUTOFEAT_CORE_TUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/autofeat.h"
+
+namespace autofeat {
+
+struct TuningOptions {
+  /// Grids to sweep. Defaults follow the paper's recommended regions.
+  std::vector<double> tau_grid = {0.5, 0.65, 0.8, 0.95};
+  std::vector<size_t> kappa_grid = {5, 10, 15};
+  /// Evaluation model used to score configurations (cheap by default).
+  ml::ModelKind model = ml::ModelKind::kRandomForest;
+  /// Row sample used during the sweep (0 = all rows).
+  size_t sample_rows = 1000;
+  uint64_t seed = 42;
+};
+
+struct TuningTrial {
+  double tau = 0.0;
+  size_t kappa = 0;
+  double accuracy = 0.0;
+  double seconds = 0.0;
+  bool produced_paths = false;
+};
+
+struct TuningResult {
+  /// The base configuration with tau/kappa replaced by the winners.
+  AutoFeatConfig best_config;
+  TuningTrial best_trial;
+  /// Every evaluated configuration, in sweep order.
+  std::vector<TuningTrial> trials;
+};
+
+/// Sweeps options.tau_grid x options.kappa_grid over the lake, starting
+/// from `base_config` (its other knobs are kept). Ties favour the smaller
+/// kappa, then the larger tau (cheaper, stricter configurations).
+Result<TuningResult> TuneHyperParameters(const DataLake& lake,
+                                         const DatasetRelationGraph& drg,
+                                         const std::string& base_table,
+                                         const std::string& label_column,
+                                         const AutoFeatConfig& base_config,
+                                         const TuningOptions& options = {});
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_CORE_TUNING_H_

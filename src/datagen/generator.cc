@@ -1,0 +1,98 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+
+namespace autofeat::datagen {
+
+Table GenerateClassification(const GeneratorOptions& options,
+                             const std::string& table_name) {
+  Rng rng(options.seed);
+  size_t n = options.rows;
+  size_t ni = options.informative_features;
+  size_t nr = options.redundant_features;
+  size_t nn = options.noise_features;
+
+  // Balanced labels, then per-class Gaussian informative features.
+  std::vector<int> labels(n);
+  for (size_t r = 0; r < n; ++r) labels[r] = static_cast<int>(r % 2);
+  rng.Shuffle(&labels);
+
+  // Per-informative-feature effect size: how far apart the class means sit.
+  std::vector<double> effect(ni);
+  for (size_t f = 0; f < ni; ++f) {
+    effect[f] = options.class_separation * rng.Uniform(0.5, 1.5) *
+                (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+  }
+
+  std::vector<std::vector<double>> informative(ni, std::vector<double>(n));
+  for (size_t f = 0; f < ni; ++f) {
+    for (size_t r = 0; r < n; ++r) {
+      double mean = labels[r] == 1 ? effect[f] / 2 : -effect[f] / 2;
+      informative[f][r] = rng.Normal(mean, 1.0);
+    }
+  }
+
+  // Redundant features: noisy linear combinations of two informative ones.
+  std::vector<std::vector<double>> redundant(nr, std::vector<double>(n));
+  for (size_t f = 0; f < nr; ++f) {
+    size_t a = ni > 0 ? rng.UniformIndex(ni) : 0;
+    size_t b = ni > 0 ? rng.UniformIndex(ni) : 0;
+    double wa = rng.Uniform(0.5, 1.5);
+    double wb = rng.Uniform(-1.0, 1.0);
+    for (size_t r = 0; r < n; ++r) {
+      double base = ni > 0 ? wa * informative[a][r] + wb * informative[b][r]
+                           : 0.0;
+      redundant[f][r] = base + rng.Normal(0.0, 0.1);
+    }
+  }
+
+  // Label noise.
+  for (size_t r = 0; r < n; ++r) {
+    if (rng.Bernoulli(options.label_noise)) labels[r] = 1 - labels[r];
+  }
+
+  auto maybe_mask = [&](Column* col) {
+    if (options.missing_rate <= 0.0) return;
+    Column masked(col->type());
+    for (size_t r = 0; r < col->size(); ++r) {
+      if (rng.Bernoulli(options.missing_rate)) {
+        masked.AppendNull();
+      } else {
+        masked.AppendFrom(*col, r);
+      }
+    }
+    *col = std::move(masked);
+  };
+
+  Table table(table_name);
+  {
+    std::vector<int64_t> ids(n);
+    for (size_t r = 0; r < n; ++r) ids[r] = static_cast<int64_t>(r);
+    table.AddColumn("row_id", Column::Int64s(std::move(ids))).Abort();
+  }
+  for (size_t f = 0; f < ni; ++f) {
+    Column col = Column::Doubles(std::move(informative[f]));
+    maybe_mask(&col);
+    table.AddColumn("inf_" + std::to_string(f), std::move(col)).Abort();
+  }
+  for (size_t f = 0; f < nr; ++f) {
+    Column col = Column::Doubles(std::move(redundant[f]));
+    maybe_mask(&col);
+    table.AddColumn("red_" + std::to_string(f), std::move(col)).Abort();
+  }
+  for (size_t f = 0; f < nn; ++f) {
+    std::vector<double> noise(n);
+    for (size_t r = 0; r < n; ++r) noise[r] = rng.Normal(0.0, 1.0);
+    Column col = Column::Doubles(std::move(noise));
+    maybe_mask(&col);
+    table.AddColumn("noise_" + std::to_string(f), std::move(col)).Abort();
+  }
+  {
+    std::vector<int64_t> label_col(n);
+    for (size_t r = 0; r < n; ++r) label_col[r] = labels[r];
+    table.AddColumn("label", Column::Int64s(std::move(label_col))).Abort();
+  }
+  return table;
+}
+
+}  // namespace autofeat::datagen

@@ -1,0 +1,45 @@
+// Synthetic binary-classification data generator.
+//
+// Substitute for the paper's OpenML/Kaggle/UCI datasets (see DESIGN.md §1):
+// produces a flat table with informative, redundant (linear combinations)
+// and noise features plus a binary label, in the style of scikit-learn's
+// make_classification. The lake builder then scatters these features across
+// joinable tables with known ground truth.
+
+#ifndef AUTOFEAT_DATAGEN_GENERATOR_H_
+#define AUTOFEAT_DATAGEN_GENERATOR_H_
+
+#include <string>
+
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace autofeat::datagen {
+
+struct GeneratorOptions {
+  size_t rows = 1000;
+  /// Features that truly drive the label (class-conditional Gaussians).
+  size_t informative_features = 5;
+  /// Noisy linear combinations of informative features.
+  size_t redundant_features = 3;
+  /// Pure standard-normal noise features.
+  size_t noise_features = 8;
+  /// Probability of flipping a label (irreducible error).
+  double label_noise = 0.05;
+  /// Distance between class means in units of feature stddev.
+  double class_separation = 1.1;
+  /// Fraction of feature cells nulled out (simulates dirty open data).
+  double missing_rate = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a table named `table_name` with columns:
+///   row_id (int64 surrogate key 0..rows-1),
+///   inf_0..inf_{I-1}, red_0..red_{R-1}, noise_0..noise_{N-1} (doubles),
+///   label (int64 in {0, 1}).
+Table GenerateClassification(const GeneratorOptions& options,
+                             const std::string& table_name);
+
+}  // namespace autofeat::datagen
+
+#endif  // AUTOFEAT_DATAGEN_GENERATOR_H_

@@ -1,0 +1,286 @@
+#include "datagen/lake_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace autofeat::datagen {
+
+namespace {
+
+// Internal topology node for one satellite table.
+struct Satellite {
+  std::string name;
+  int parent = -1;  // -1 = base table, else index into the satellite vector
+  size_t depth = 1;
+  double effect = 0.0;
+  size_t num_features = 0;
+  std::vector<int> children;
+
+  // Filled during construction:
+  std::vector<size_t> base_rows;  // satellite row -> base row
+  std::vector<int64_t> codes;     // per-row surrogate codes (as join target)
+};
+
+// Short random identifier used in join-column names, so that the names of
+// unrelated links are only loosely similar (real schemata do not name all
+// foreign keys alike).
+std::string RandomToken(Rng* rng) {
+  std::string token;
+  for (int i = 0; i < 4; ++i) {
+    token += static_cast<char>('a' + rng->UniformInt(0, 25));
+  }
+  return token;
+}
+
+// Builds a class-conditional Gaussian feature column over `base_rows`.
+Column MakeFeature(const std::vector<size_t>& base_rows,
+                   const std::vector<int>& labels, double effect,
+                   double missing_rate, Rng* rng) {
+  double jitter = rng->Uniform(0.75, 1.25);
+  double separation = effect * jitter;
+  Column col(DataType::kDouble);
+  col.Reserve(base_rows.size());
+  for (size_t base_row : base_rows) {
+    if (missing_rate > 0 && rng->Bernoulli(missing_rate)) {
+      col.AppendNull();
+      continue;
+    }
+    double mean = labels[base_row] == 1 ? separation / 2 : -separation / 2;
+    col.AppendDouble(rng->Normal(mean, 1.0));
+  }
+  return col;
+}
+
+}  // namespace
+
+BuiltLake BuildLake(const LakeSpec& spec) {
+  Rng rng(spec.seed);
+  size_t n = std::max<size_t>(spec.rows, 10);
+  size_t num_satellites = std::max<size_t>(spec.joinable_tables, 1);
+
+  // ---- Labels -------------------------------------------------------------
+  std::vector<int> labels(n);
+  for (size_t r = 0; r < n; ++r) labels[r] = static_cast<int>(r % 2);
+  rng.Shuffle(&labels);
+  for (size_t r = 0; r < n; ++r) {
+    if (rng.Bernoulli(spec.label_noise)) labels[r] = 1 - labels[r];
+  }
+
+  // ---- Topology -----------------------------------------------------------
+  std::vector<Satellite> sats(num_satellites);
+  size_t hubs = spec.star_schema
+                    ? num_satellites
+                    : std::max<size_t>(1, (num_satellites + 1) / 2);
+  size_t mids = spec.star_schema
+                    ? 0
+                    : std::min(num_satellites - hubs,
+                               std::max<size_t>(1, num_satellites / 4));
+  for (size_t i = 0; i < num_satellites; ++i) {
+    sats[i].name = spec.name + "_t" + std::to_string(i);
+    if (i < hubs) {
+      sats[i].parent = -1;
+      sats[i].depth = 1;
+    } else if (i < hubs + mids) {
+      int parent = static_cast<int>((i - hubs) % hubs);
+      sats[i].parent = parent;
+      sats[i].depth = 2;
+      sats[parent].children.push_back(static_cast<int>(i));
+    } else {
+      // Deep tables hang behind depth-2 tables when available.
+      int parent = mids > 0
+                       ? static_cast<int>(hubs + (i - hubs - mids) % mids)
+                       : static_cast<int>((i - hubs) % hubs);
+      sats[i].parent = parent;
+      sats[i].depth = sats[static_cast<size_t>(parent)].depth + 1;
+      sats[static_cast<size_t>(parent)].children.push_back(
+          static_cast<int>(i));
+    }
+  }
+  size_t max_depth = 1;
+  for (const auto& s : sats) max_depth = std::max(max_depth, s.depth);
+
+  // ---- Signal placement ----------------------------------------------------
+  // Snowflake: strongest signal at the deepest level; moderate one level
+  // up; depth-1 tables are mostly noise (with a weak exception). Star: a
+  // minority of tables carry the signal, the rest are noise.
+  if (spec.star_schema || max_depth == 1) {
+    size_t relevant = std::max<size_t>(1, num_satellites * 2 / 5);
+    for (size_t i = 0; i < num_satellites; ++i) {
+      if (i < relevant) {
+        sats[i].effect = i == 0 ? 1.3 : 0.7;
+      } else {
+        sats[i].effect = 0.0;
+      }
+    }
+  } else {
+    // One dominant deep table (strong enough that a single join path gets
+    // close to the accuracy ceiling, as in the paper where AutoFeat rivals
+    // JoinAll); the remaining deep tables carry moderate signal.
+    bool dominant_assigned = false;
+    bool weak_hub_assigned = false;
+    for (auto& s : sats) {
+      if (s.depth == max_depth) {
+        s.effect = dominant_assigned ? 0.8 : 1.8;
+        dominant_assigned = true;
+      } else if (s.depth + 1 == max_depth) {
+        s.effect = 0.5;
+      } else if (!weak_hub_assigned) {
+        s.effect = 0.35;  // One weak direct table keeps ARDA honest.
+        weak_hub_assigned = true;
+      } else {
+        s.effect = 0.0;
+      }
+    }
+  }
+
+  // ---- Feature budget -------------------------------------------------------
+  size_t base_features =
+      std::max<size_t>(2, spec.total_features / 10);
+  size_t satellite_budget =
+      spec.total_features > base_features
+          ? spec.total_features - base_features
+          : num_satellites;
+  size_t per_table = std::max<size_t>(1, satellite_budget / num_satellites);
+  size_t remainder = satellite_budget > per_table * num_satellites
+                         ? satellite_budget - per_table * num_satellites
+                         : 0;
+  for (size_t i = 0; i < num_satellites; ++i) {
+    sats[i].num_features = per_table + (i < remainder ? 1 : 0);
+  }
+
+  // ---- Base table -----------------------------------------------------------
+  BuiltLake built;
+  built.base_table = spec.name + "_base";
+  std::string base_key = spec.name + "_id";
+
+  std::vector<size_t> identity(n);
+  for (size_t r = 0; r < n; ++r) identity[r] = r;
+
+  Table base(built.base_table);
+  {
+    std::vector<int64_t> ids(n);
+    for (size_t r = 0; r < n; ++r) ids[r] = static_cast<int64_t>(r);
+    base.AddColumn(base_key, Column::Int64s(std::move(ids))).Abort();
+  }
+  for (size_t f = 0; f < base_features; ++f) {
+    // Weak signal only: the base table is assumed to perform poorly (§VII-B).
+    base.AddColumn(spec.name + "_bf" + std::to_string(f),
+                   MakeFeature(identity, labels, 0.25, 0.0, &rng))
+        .Abort();
+  }
+  {
+    std::vector<int64_t> label_col(n);
+    for (size_t r = 0; r < n; ++r) label_col[r] = labels[r];
+    base.AddColumn(built.label_column, Column::Int64s(std::move(label_col)))
+        .Abort();
+  }
+  built.lake.AddTable(std::move(base)).Abort();
+
+  // ---- Satellites (depth order so parents exist first) ----------------------
+  std::vector<size_t> build_order(num_satellites);
+  for (size_t i = 0; i < num_satellites; ++i) build_order[i] = i;
+  std::stable_sort(build_order.begin(), build_order.end(),
+                   [&](size_t a, size_t b) {
+                     return sats[a].depth < sats[b].depth;
+                   });
+
+  for (size_t si : build_order) {
+    Satellite& sat = sats[si];
+
+    // Row mapping: a random subset of the parent's rows (key coverage).
+    const std::vector<size_t>& parent_base_rows =
+        sat.parent < 0 ? identity
+                       : sats[static_cast<size_t>(sat.parent)].base_rows;
+    size_t parent_rows = parent_base_rows.size();
+    size_t rows = std::max<size_t>(
+        2, static_cast<size_t>(std::floor(spec.key_coverage *
+                                          static_cast<double>(parent_rows))));
+    rows = std::min(rows, parent_rows);
+    std::vector<size_t> chosen = rng.Permutation(parent_rows);
+    chosen.resize(rows);
+
+    sat.base_rows.reserve(rows);
+    std::vector<int64_t> key_values;
+    key_values.reserve(rows);
+    for (size_t parent_pos : chosen) {
+      sat.base_rows.push_back(parent_base_rows[parent_pos]);
+      if (sat.parent < 0) {
+        // Key = the base table's surrogate id.
+        key_values.push_back(static_cast<int64_t>(parent_base_rows[parent_pos]));
+      } else {
+        // Key = the parent's surrogate code for that row.
+        key_values.push_back(
+            sats[static_cast<size_t>(sat.parent)].codes[parent_pos]);
+      }
+    }
+
+    // Key column names: depth-1 tables reuse the base key name (classic
+    // PK-FK). Deeper links get mismatched names with some probability,
+    // reproducing the same-name limitation that throttles MAB.
+    std::string parent_side_column;
+    std::string child_side_column;
+    std::string parent_name;
+    if (sat.parent < 0) {
+      parent_name = built.base_table;
+      parent_side_column = base_key;
+      child_side_column = base_key;
+    } else {
+      Satellite& parent = sats[static_cast<size_t>(sat.parent)];
+      parent_name = parent.name;
+      std::string token = RandomToken(&rng);
+      parent_side_column = "fk_" + token;
+      // Mismatched names share the token (the same entity is referenced)
+      // but differ in convention — enough to break same-name joining (the
+      // MAB limitation) while keeping discovered true edges above the
+      // unrelated-link noise.
+      child_side_column = rng.Bernoulli(spec.mismatched_name_rate)
+                              ? "key_" + token
+                              : parent_side_column;
+      // Materialise the FK column on the parent table (codes 0..rows-1 by
+      // parent row; overlapping integer ranges intentionally create
+      // spurious value-overlap matches in the data-lake setting).
+      auto parent_table = built.lake.GetTable(parent_name);
+      Table updated = **parent_table;
+      std::vector<int64_t> fk(parent.base_rows.size());
+      for (size_t r = 0; r < fk.size(); ++r) {
+        fk[r] = parent.codes[r];
+      }
+      updated.AddColumn(parent_side_column, Column::Int64s(std::move(fk)))
+          .Abort();
+      built.lake.ReplaceTable(std::move(updated)).Abort();
+    }
+
+    // Surrogate codes for this satellite's own rows (used by its children).
+    // A per-table random offset makes unrelated code columns overlap only
+    // partially, as unrelated id spaces do in real lakes; the true
+    // parent-child link still overlaps fully (the child inherits codes).
+    int64_t offset = rng.UniformInt(0, static_cast<int64_t>(2 * n));
+    sat.codes.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      sat.codes[r] = offset + static_cast<int64_t>(r);
+    }
+
+    Table table(sat.name);
+    table.AddColumn(child_side_column, Column::Int64s(std::move(key_values)))
+        .Abort();
+    for (size_t f = 0; f < sat.num_features; ++f) {
+      table
+          .AddColumn(sat.name + "_f" + std::to_string(f),
+                     MakeFeature(sat.base_rows, labels, sat.effect,
+                                 spec.missing_rate, &rng))
+          .Abort();
+    }
+    built.lake.AddTable(std::move(table)).Abort();
+
+    built.lake.AddKfk(KfkConstraint{parent_name, parent_side_column, sat.name,
+                                    child_side_column});
+    built.truth.push_back(
+        TableTruth{sat.name, sat.depth, sat.effect, sat.num_features});
+  }
+
+  return built;
+}
+
+}  // namespace autofeat::datagen

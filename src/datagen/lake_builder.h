@@ -1,0 +1,83 @@
+// Lake builder: splits a synthetic classification problem into a multi-table
+// data lake with known KFK constraints and ground-truth feature placement.
+//
+// This reproduces the paper's benchmark construction (§VII-A): a dataset is
+// divided into many small tables. Feature predictive power is placed by
+// depth — weak signal in the base table, moderate in direct (hub) tables,
+// and the strongest signal in *transitive* tables two or more hops away —
+// so that methods limited to star schemata (ARDA) or shallow exploration
+// (MAB) demonstrably miss it. Noise tables and partial key coverage model
+// uncurated open data.
+
+#ifndef AUTOFEAT_DATAGEN_LAKE_BUILDER_H_
+#define AUTOFEAT_DATAGEN_LAKE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/data_lake.h"
+
+namespace autofeat::datagen {
+
+struct LakeSpec {
+  std::string name = "synthetic";
+  size_t rows = 1000;
+  /// Number of joinable tables around the base table.
+  size_t joinable_tables = 6;
+  /// Total feature count across all tables (Table II "# features").
+  size_t total_features = 24;
+  /// Star schema (all tables direct neighbours, like the paper's `school`)
+  /// vs snowflake (transitive chains).
+  bool star_schema = false;
+  /// Fraction of base rows covered by each satellite table (drives nulls
+  /// after a left join; exercises the tau pruning).
+  double key_coverage = 0.9;
+  /// Fraction of satellite feature cells nulled out.
+  double missing_rate = 0.03;
+  /// Probability of flipping a label.
+  double label_noise = 0.05;
+  /// Fraction of deep KFK links whose two sides get *different* column
+  /// names (breaks same-name joining, the MAB limitation from the paper).
+  double mismatched_name_rate = 0.7;
+  uint64_t seed = 42;
+};
+
+/// Ground truth about one built satellite table (for tests/benches).
+struct TableTruth {
+  std::string name;
+  size_t depth = 1;       // hops from the base table
+  double effect = 0.0;    // class separation of its features (0 = noise)
+  size_t num_features = 0;
+};
+
+struct BuiltLake {
+  DataLake lake;
+  std::string base_table;
+  std::string label_column = "label";
+  std::vector<TableTruth> truth;
+
+  /// Names of tables whose features carry signal (effect > 0).
+  std::vector<std::string> RelevantTables() const {
+    std::vector<std::string> out;
+    for (const auto& t : truth) {
+      if (t.effect > 0) out.push_back(t.name);
+    }
+    return out;
+  }
+  /// The largest depth at which signal was planted.
+  size_t DeepestRelevantDepth() const {
+    size_t d = 0;
+    for (const auto& t : truth) {
+      if (t.effect > 0) d = std::max(d, t.depth);
+    }
+    return d;
+  }
+};
+
+/// Builds the lake. The base table is named "<spec.name>_base"; satellites
+/// "<spec.name>_t<i>". KFK constraints are registered on the lake.
+BuiltLake BuildLake(const LakeSpec& spec);
+
+}  // namespace autofeat::datagen
+
+#endif  // AUTOFEAT_DATAGEN_LAKE_BUILDER_H_

@@ -1,0 +1,42 @@
+#include "datagen/registry.h"
+
+namespace autofeat::datagen {
+
+std::vector<DatasetSpec> PaperDatasets() {
+  // name, paper_rows, rows(built), #joinable, #features, best acc, star,
+  // coverage, missing_rate. `covertype` keeps full key coverage and no
+  // missing values so that tau = 1 remains satisfiable (Fig. 8c); `school`
+  // has no perfect joins so tau = 1 yields no output (Fig. 8d).
+  return {
+      {"credit", 1001, 1001, 5, 21, 0.990, false, 0.90, 0.03},
+      {"eyemove", 7609, 7609, 6, 24, 0.894, false, 0.90, 0.03},
+      {"covertype", 423682, 8000, 12, 21, 0.990, false, 1.00, 0.00},
+      {"jannis", 57581, 6000, 12, 55, 0.875, false, 0.90, 0.03},
+      {"miniboone", 73000, 6000, 15, 51, 0.9465, false, 0.90, 0.03},
+      {"steel", 1943, 1943, 15, 34, 1.000, false, 0.90, 0.03},
+      {"school", 1775, 1775, 16, 731, 0.831, true, 0.85, 0.05},
+      {"bioresponse", 3435, 3435, 40, 420, 0.885, false, 0.90, 0.03},
+  };
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const auto& spec : PaperDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::KeyError("unknown registry dataset: " + name);
+}
+
+BuiltLake BuildPaperLake(const DatasetSpec& spec, uint64_t seed) {
+  LakeSpec lake_spec;
+  lake_spec.name = spec.name;
+  lake_spec.rows = spec.rows;
+  lake_spec.joinable_tables = spec.joinable_tables;
+  lake_spec.total_features = spec.total_features;
+  lake_spec.star_schema = spec.star_schema;
+  lake_spec.key_coverage = spec.key_coverage;
+  lake_spec.missing_rate = spec.missing_rate;
+  lake_spec.seed = seed;
+  return BuildLake(lake_spec);
+}
+
+}  // namespace autofeat::datagen

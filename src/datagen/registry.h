@@ -1,0 +1,41 @@
+// Registry of the paper's evaluation datasets (Table II), reproduced as
+// synthetic lakes with matching structure (rows, #joinable tables,
+// #features). Row counts of the largest datasets are scaled down to fit a
+// single-core budget; both the full and the scaled counts are retained so
+// the harness can report the scale factor (see EXPERIMENTS.md).
+
+#ifndef AUTOFEAT_DATAGEN_REGISTRY_H_
+#define AUTOFEAT_DATAGEN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/lake_builder.h"
+
+namespace autofeat::datagen {
+
+/// One Table II row, plus build parameters for its synthetic stand-in.
+struct DatasetSpec {
+  std::string name;
+  size_t paper_rows = 0;       // rows reported in Table II
+  size_t rows = 0;             // rows built here (scaled for large sets)
+  size_t joinable_tables = 0;  // Table II "# Joinable tables"
+  size_t total_features = 0;   // Table II "Total # features"
+  double reference_accuracy = 0.0;  // Table II "Best accuracy"
+  bool star_schema = false;    // `school` follows a star schema (§VII-C1)
+  double key_coverage = 0.9;
+  double missing_rate = 0.03;
+};
+
+/// The eight datasets of Table II, in the paper's order.
+std::vector<DatasetSpec> PaperDatasets();
+
+/// Lookup by name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Builds the synthetic lake for a registry entry.
+BuiltLake BuildPaperLake(const DatasetSpec& spec, uint64_t seed = 42);
+
+}  // namespace autofeat::datagen
+
+#endif  // AUTOFEAT_DATAGEN_REGISTRY_H_

@@ -1,0 +1,116 @@
+#include "discovery/data_lake.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "table/csv.h"
+
+namespace autofeat {
+
+Status DataLake::AddTable(Table table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("lake tables must be named");
+  }
+  if (index_.count(table.name()) > 0) {
+    return Status::InvalidArgument("duplicate table name: " + table.name());
+  }
+  index_[table.name()] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status DataLake::ReplaceTable(Table table) {
+  auto it = index_.find(table.name());
+  if (it == index_.end()) {
+    return Status::KeyError("no such table to replace: " + table.name());
+  }
+  tables_[it->second] = std::move(table);
+  return Status::OK();
+}
+
+Result<const Table*> DataLake::GetTable(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no such table in lake: " + name);
+  }
+  return &tables_[it->second];
+}
+
+std::vector<std::string> DataLake::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t.name());
+  return names;
+}
+
+Result<DataLake> DataLake::FromCsvDirectory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::IOError("not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // Deterministic load order.
+  DataLake lake;
+  for (const auto& path : paths) {
+    AF_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path));
+    AF_RETURN_NOT_OK(lake.AddTable(std::move(table)));
+  }
+  return lake;
+}
+
+Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake) {
+  DatasetRelationGraph drg;
+  for (const auto& table : lake.tables()) drg.AddNode(table.name());
+  for (const auto& kfk : lake.kfk_constraints()) {
+    // Validate the constraint against the lake before ingesting it.
+    AF_ASSIGN_OR_RETURN(const Table* from, lake.GetTable(kfk.from_table));
+    AF_ASSIGN_OR_RETURN(const Table* to, lake.GetTable(kfk.to_table));
+    if (!from->HasColumn(kfk.from_column)) {
+      return Status::KeyError("KFK references missing column " +
+                              kfk.from_table + "." + kfk.from_column);
+    }
+    if (!to->HasColumn(kfk.to_column)) {
+      return Status::KeyError("KFK references missing column " +
+                              kfk.to_table + "." + kfk.to_column);
+    }
+    AF_RETURN_NOT_OK(drg.AddEdge(kfk.from_table, kfk.from_column,
+                                 kfk.to_table, kfk.to_column,
+                                 /*weight=*/1.0));
+  }
+  return drg;
+}
+
+Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
+                                                 const MatchOptions& options) {
+  return BuildDrgWithMatcher(
+      lake, [&options](const Table& left, const Table& right) {
+        return MatchSchemas(left, right, options);
+      });
+}
+
+Result<DatasetRelationGraph> BuildDrgWithMatcher(
+    const DataLake& lake,
+    const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
+        matcher) {
+  DatasetRelationGraph drg;
+  for (const auto& table : lake.tables()) drg.AddNode(table.name());
+  const auto& tables = lake.tables();
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      for (const auto& match : matcher(tables[i], tables[j])) {
+        AF_RETURN_NOT_OK(drg.AddEdge(tables[i].name(), match.left_column,
+                                     tables[j].name(), match.right_column,
+                                     match.score));
+      }
+    }
+  }
+  return drg;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,83 @@
+// DataLake: the dataset collection AutoFeat explores, plus DRG construction
+// for the paper's two evaluation settings (§VII-A):
+//
+//  * benchmark setting — known KFK constraints become edges of weight 1
+//    (snowflake schemata);
+//  * data-lake setting — KFK metadata is discarded and edges are discovered
+//    by the schema matcher (dense multigraph, weight = similarity score).
+
+#ifndef AUTOFEAT_DISCOVERY_DATA_LAKE_H_
+#define AUTOFEAT_DISCOVERY_DATA_LAKE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/schema_matcher.h"
+#include "graph/drg.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief A declared key/foreign-key relationship between two tables.
+struct KfkConstraint {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+/// \brief Named collection of tables with optional KFK metadata.
+class DataLake {
+ public:
+  /// Adds a table (name taken from table.name()); fails on duplicates.
+  Status AddTable(Table table);
+
+  /// Replaces an existing table of the same name.
+  Status ReplaceTable(Table table);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<Table>& tables() const { return tables_; }
+  std::vector<std::string> TableNames() const;
+
+  void AddKfk(KfkConstraint constraint) {
+    kfk_.push_back(std::move(constraint));
+  }
+  const std::vector<KfkConstraint>& kfk_constraints() const { return kfk_; }
+
+  /// Loads every *.csv file of a directory as a table.
+  static Result<DataLake> FromCsvDirectory(const std::string& directory);
+
+ private:
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<KfkConstraint> kfk_;
+};
+
+/// Benchmark setting: DRG whose edges are exactly the declared KFK
+/// constraints with weight 1.
+Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake);
+
+/// Data-lake setting: ignores KFK metadata and runs the schema matcher over
+/// every table pair; matches at or above options.threshold become edges
+/// weighted by their similarity score.
+Result<DatasetRelationGraph> BuildDrgByDiscovery(
+    const DataLake& lake, const MatchOptions& options = {});
+
+/// Generic DRG construction with a pluggable matcher — "DRG construction is
+/// independent of the dataset discovery algorithm" (§IV). The matcher maps
+/// two tables to scored column pairs; every reported match becomes an edge.
+Result<DatasetRelationGraph> BuildDrgWithMatcher(
+    const DataLake& lake,
+    const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
+        matcher);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_DATA_LAKE_H_

@@ -1,0 +1,52 @@
+// Alternative dataset-discovery matcher: instance-only Jaccard similarity
+// (in the spirit of JOSIE/Lazo joinable-table search).
+//
+// The paper stresses that "DRG construction is independent of the dataset
+// discovery algorithm; any algorithm which outputs a similarity score can
+// be used". This second matcher demonstrates that property: it ignores
+// column names entirely and scores join candidates purely by the Jaccard
+// similarity (or containment) of their value sets. Plug it into
+// BuildDrgWithMatcher to build a DRG with different discovery behaviour.
+
+#ifndef AUTOFEAT_DISCOVERY_OVERLAP_MATCHER_H_
+#define AUTOFEAT_DISCOVERY_OVERLAP_MATCHER_H_
+
+#include <functional>
+#include <vector>
+
+#include "discovery/schema_matcher.h"
+#include "graph/drg.h"
+#include "table/table.h"
+
+namespace autofeat {
+
+struct OverlapMatchOptions {
+  /// Score = jaccard_weight * Jaccard + (1 - jaccard_weight) * containment.
+  /// Jaccard punishes size mismatch; containment finds FK-into-PK joins.
+  double jaccard_weight = 0.3;
+  /// Minimum score to report a match.
+  double threshold = 0.55;
+  /// Bottom-k-by-hash sketch size per column.
+  size_t max_sample_values = 4096;
+  /// Columns below this distinct count carry no overlap evidence.
+  size_t min_distinct = 16;
+};
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two columns' distinct values
+/// (bottom-k sketched like ValueOverlap).
+double ValueJaccard(const Column& a, const Column& b, size_t max_sample);
+
+/// Instance-only matching of two tables: key-like columns (int64/string)
+/// are compared by value sets; names are ignored. Sorted by score.
+std::vector<ColumnMatch> MatchByValueOverlap(
+    const Table& left, const Table& right,
+    const OverlapMatchOptions& options = {});
+
+/// A pluggable matcher: anything that maps two tables to scored column
+/// pairs can drive DRG construction.
+using Matcher =
+    std::function<std::vector<ColumnMatch>(const Table&, const Table&)>;
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_OVERLAP_MATCHER_H_

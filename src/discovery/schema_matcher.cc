@@ -1,0 +1,120 @@
+#include "discovery/schema_matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_utils.h"
+
+namespace autofeat {
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+  // Qualified names ("table.column") match on their column part.
+  auto strip = [](const std::string& s) {
+    size_t dot = s.find_last_of('.');
+    return dot == std::string::npos ? s : s.substr(dot + 1);
+  };
+  std::string ca = strip(la);
+  std::string cb = strip(lb);
+  if (ca == cb) return 1.0;
+  return std::max(LevenshteinSimilarity(ca, cb), QGramJaccard(ca, cb));
+}
+
+namespace {
+
+// Distinct values of a column, capped at `max_sample` by keeping the
+// values with the smallest hashes (a bottom-k sketch). Hash-based
+// selection keeps the *same* values on both sides of a comparison, so the
+// containment estimate survives sampling — first-k sampling of two
+// differently ordered columns would destroy it.
+std::unordered_set<std::string> DistinctSketch(const Column& col,
+                                               size_t max_sample) {
+  std::unordered_set<std::string> values;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
+  }
+  if (values.size() <= max_sample) return values;
+  std::vector<std::pair<size_t, std::string>> hashed;
+  hashed.reserve(values.size());
+  std::hash<std::string> hasher;
+  for (auto& v : values) hashed.emplace_back(hasher(v), v);
+  std::nth_element(hashed.begin(),
+                   hashed.begin() + static_cast<ptrdiff_t>(max_sample),
+                   hashed.end());
+  std::unordered_set<std::string> sketch;
+  for (size_t i = 0; i < max_sample; ++i) {
+    sketch.insert(std::move(hashed[i].second));
+  }
+  return sketch;
+}
+
+}  // namespace
+
+double ValueOverlap(const Column& a, const Column& b, size_t max_sample) {
+  std::unordered_set<std::string> sa = DistinctSketch(a, max_sample);
+  std::unordered_set<std::string> sb = DistinctSketch(b, max_sample);
+  if (sa.empty() || sb.empty()) return 0.0;
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  size_t inter = 0;
+  for (const auto& v : small) inter += large.count(v);
+  return static_cast<double>(inter) / static_cast<double>(small.size());
+}
+
+namespace {
+
+// Distinct non-null values, counted up to `cap`.
+size_t DistinctCount(const Column& col, size_t cap) {
+  std::unordered_set<std::string> values;
+  for (size_t i = 0; i < col.size() && values.size() < cap; ++i) {
+    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
+  }
+  return values.size();
+}
+
+}  // namespace
+
+std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
+                                      const MatchOptions& options) {
+  std::vector<ColumnMatch> matches;
+  for (size_t lc = 0; lc < left.num_columns(); ++lc) {
+    const Field& lf = left.schema().field(lc);
+    for (size_t rc = 0; rc < right.num_columns(); ++rc) {
+      const Field& rf = right.schema().field(rc);
+      // Join-plausibility filter: continuous doubles only pair with doubles;
+      // key-like types (int64/string) pair with each other.
+      bool l_key_like = lf.type != DataType::kDouble;
+      bool r_key_like = rf.type != DataType::kDouble;
+      if (l_key_like != r_key_like) continue;
+
+      double name_sim = NameSimilarity(lf.name, rf.name);
+      double value_sim = ValueOverlap(left.column(lc), right.column(rc),
+                                      options.max_sample_values);
+      // Containment of a tiny value set (binary flags, labels) inside a
+      // large key range carries no join evidence; discount it.
+      if (options.min_distinct_for_overlap > 1) {
+        size_t distinct = std::min(
+            DistinctCount(left.column(lc), options.min_distinct_for_overlap),
+            DistinctCount(right.column(rc),
+                          options.min_distinct_for_overlap));
+        value_sim *= std::min(
+            1.0, static_cast<double>(distinct) /
+                     static_cast<double>(options.min_distinct_for_overlap));
+      }
+      double score = options.name_weight * name_sim +
+                     options.value_weight * value_sim;
+      if (score >= options.threshold) {
+        matches.push_back(ColumnMatch{lf.name, rf.name, score});
+      }
+    }
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const ColumnMatch& a, const ColumnMatch& b) {
+                     return a.score > b.score;
+                   });
+  return matches;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,64 @@
+// Dataset-discovery substitute for COMA (paper §IV, §VII-A).
+//
+// The paper builds the data-lake DRG with the COMA schema matcher (via
+// Valentine), thresholded at 0.55 "to encourage spurious, but not
+// irrelevant, connections". COMA combines name-based and instance-based
+// matchers into a similarity score in [0, 1]; AutoFeat consumes only that
+// score. This module reproduces that contract with a combination of
+// column-name similarity (Levenshtein + q-gram Jaccard) and instance
+// value-overlap (containment of sampled distinct values).
+
+#ifndef AUTOFEAT_DISCOVERY_SCHEMA_MATCHER_H_
+#define AUTOFEAT_DISCOVERY_SCHEMA_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autofeat {
+
+struct MatchOptions {
+  /// Relative weight of name similarity vs value overlap. Equal weights
+  /// mean pure value containment (similarity 0.5) stays below the 0.55
+  /// threshold on its own; some name evidence is required, which keeps the
+  /// discovered graph spurious-but-plausible rather than complete.
+  double name_weight = 0.5;
+  double value_weight = 0.5;
+  /// Minimum combined score for a match to be reported (paper: 0.55).
+  double threshold = 0.55;
+  /// Distinct values kept per column for the overlap estimate (a bottom-k
+  /// by-hash sketch, so the same values survive on both sides).
+  size_t max_sample_values = 4096;
+  /// Columns with fewer distinct values than this have their value-overlap
+  /// evidence discounted proportionally: containment of a two-value column
+  /// (e.g. a binary label) in a key range is meaningless.
+  size_t min_distinct_for_overlap = 16;
+};
+
+/// A discovered join opportunity between two columns.
+struct ColumnMatch {
+  std::string left_column;
+  std::string right_column;
+  double score = 0.0;
+};
+
+/// Name similarity in [0, 1]: max of normalised Levenshtein similarity and
+/// 3-gram Jaccard over lower-cased names (1.0 for equal names).
+double NameSimilarity(std::string_view a, std::string_view b);
+
+/// Instance similarity in [0, 1]: containment |A ∩ B| / min(|A|, |B|) of the
+/// (up to max_sample) distinct non-null values of the two columns.
+double ValueOverlap(const Column& a, const Column& b, size_t max_sample);
+
+/// All column pairs between `left` and `right` whose combined score reaches
+/// options.threshold, sorted by descending score. Only columns of
+/// join-plausible types are compared (string/int64 join keys; double columns
+/// are compared with each other only).
+std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
+                                      const MatchOptions& options = {});
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_SCHEMA_MATCHER_H_

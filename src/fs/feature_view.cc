@@ -1,0 +1,55 @@
+#include "fs/feature_view.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "stats/discretize.h"
+
+namespace autofeat {
+
+namespace {
+
+// A numeric column with few distinct values is effectively categorical and
+// keeps value identity; otherwise it is equal-frequency binned.
+std::vector<int> DiscretizeFeature(const std::vector<double>& numeric) {
+  std::unordered_set<double> distinct;
+  for (double v : numeric) {
+    if (!std::isnan(v)) distinct.insert(v);
+    if (distinct.size() > 32) break;
+  }
+  if (distinct.size() <= 32) return CodesFromValues(numeric);
+  return DiscretizeEqualFrequency(numeric, DefaultBinCount(numeric.size()));
+}
+
+}  // namespace
+
+Result<FeatureView> FeatureView::FromTable(
+    const Table& table, const std::string& label_column,
+    std::vector<std::string> feature_names) {
+  FeatureView view;
+
+  AF_ASSIGN_OR_RETURN(const Column* label, table.GetColumn(label_column));
+  view.label_numeric_ = label->ToNumeric();
+  view.label_codes_ = CodesFromValues(view.label_numeric_);
+
+  if (feature_names.empty()) {
+    for (const auto& name : table.ColumnNames()) {
+      if (name != label_column) feature_names.push_back(name);
+    }
+  }
+
+  for (const auto& name : feature_names) {
+    if (name == label_column) {
+      return Status::InvalidArgument("label column listed as feature: " + name);
+    }
+    AF_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(name));
+    std::vector<double> numeric = col->ToNumeric();
+    view.index_[name] = view.names_.size();
+    view.names_.push_back(name);
+    view.codes_.push_back(DiscretizeFeature(numeric));
+    view.numeric_.push_back(std::move(numeric));
+  }
+  return view;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,64 @@
+// FeatureView: a table prepared for feature selection.
+//
+// Feature-selection metrics need two representations of each feature: raw
+// numeric values (correlation metrics) and discretised codes (information-
+// theoretic metrics). A FeatureView computes both once per table so repeated
+// metric evaluations are cheap.
+
+#ifndef AUTOFEAT_FS_FEATURE_VIEW_H_
+#define AUTOFEAT_FS_FEATURE_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief Numeric + discretised representations of a table's features and
+/// its label column.
+class FeatureView {
+ public:
+  /// Builds a view over `feature_names` (all columns except `label_column`
+  /// if empty). String features are ordinally encoded; continuous numeric
+  /// features are equal-frequency discretised with DefaultBinCount; discrete
+  /// numerics keep their value identity.
+  static Result<FeatureView> FromTable(
+      const Table& table, const std::string& label_column,
+      std::vector<std::string> feature_names = {});
+
+  size_t num_features() const { return names_.size(); }
+  size_t num_rows() const { return label_codes_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(size_t f) const { return names_[f]; }
+
+  /// Raw numeric values of feature f (NaN = missing).
+  const std::vector<double>& numeric(size_t f) const { return numeric_[f]; }
+  /// Discretised codes of feature f (kMissingBin = missing).
+  const std::vector<int>& codes(size_t f) const { return codes_[f]; }
+
+  const std::vector<int>& label_codes() const { return label_codes_; }
+  const std::vector<double>& label_numeric() const { return label_numeric_; }
+
+  /// Index of a feature by name, if present in the view.
+  std::optional<size_t> FeatureIndex(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<double>> numeric_;
+  std::vector<std::vector<int>> codes_;
+  std::vector<int> label_codes_;
+  std::vector<double> label_numeric_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_FS_FEATURE_VIEW_H_

@@ -1,0 +1,107 @@
+#include "fs/redundancy.h"
+
+#include <algorithm>
+
+#include "stats/information.h"
+
+namespace autofeat {
+
+const char* RedundancyKindName(RedundancyKind kind) {
+  switch (kind) {
+    case RedundancyKind::kMifs: return "MIFS";
+    case RedundancyKind::kMrmr: return "MRMR";
+    case RedundancyKind::kCife: return "CIFE";
+    case RedundancyKind::kJmi: return "JMI";
+    case RedundancyKind::kCmim: return "CMIM";
+  }
+  return "invalid";
+}
+
+bool SelectedFeatureSet::Contains(const std::string& name) const {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void SelectedFeatureSet::Add(std::string name,
+                             std::vector<int> feature_codes) {
+  names.push_back(std::move(name));
+  codes.push_back(std::move(feature_codes));
+}
+
+double RedundancyScore(const std::vector<int>& candidate_codes,
+                       const std::vector<int>& label_codes,
+                       const std::vector<std::vector<int>>& selected_codes,
+                       const RedundancyOptions& options) {
+  double relevance =
+      MutualInformationCorrected(candidate_codes, label_codes);
+  if (selected_codes.empty()) return relevance;
+  // Early exit: for the criteria without a positive conditional term
+  // (MIFS/MRMR: lambda = 0; CMIM subtracts a clamped-nonnegative maximum),
+  // J <= relevance, so a candidate with no label information can never be
+  // accepted — skip the per-selected-feature scan.
+  if (relevance <= 0.0 && options.kind != RedundancyKind::kCife &&
+      options.kind != RedundancyKind::kJmi) {
+    return relevance;
+  }
+
+  double s = static_cast<double>(selected_codes.size());
+  double beta = 0.0;
+  double lambda = 0.0;
+  switch (options.kind) {
+    case RedundancyKind::kMifs:
+      beta = options.mifs_beta;
+      break;
+    case RedundancyKind::kMrmr:
+      beta = 1.0 / s;
+      break;
+    case RedundancyKind::kCife:
+      beta = 1.0;
+      lambda = 1.0;
+      break;
+    case RedundancyKind::kJmi:
+      beta = 1.0 / s;
+      lambda = 1.0 / s;
+      break;
+    case RedundancyKind::kCmim: {
+      // Eq. 2: subtract the *worst* pairwise redundancy surplus.
+      double max_term = 0.0;
+      for (const auto& sel : selected_codes) {
+        double term =
+            MutualInformationCorrected(sel, candidate_codes) -
+            ConditionalMutualInformationCorrected(sel, candidate_codes,
+                                                  label_codes);
+        max_term = std::max(max_term, term);
+      }
+      return relevance - max_term;
+    }
+  }
+
+  double redundancy_sum = 0.0;
+  double conditional_sum = 0.0;
+  for (const auto& sel : selected_codes) {
+    redundancy_sum += MutualInformationCorrected(sel, candidate_codes);
+    if (lambda != 0.0) {
+      conditional_sum += ConditionalMutualInformationCorrected(
+          sel, candidate_codes, label_codes);
+    }
+  }
+  return relevance - beta * redundancy_sum + lambda * conditional_sum;
+}
+
+std::vector<FeatureScore> SelectNonRedundant(
+    const FeatureView& view, const std::vector<size_t>& candidates,
+    SelectedFeatureSet* selected, const RedundancyOptions& options) {
+  std::vector<FeatureScore> accepted;
+  for (size_t f : candidates) {
+    const std::string& name = view.name(f);
+    if (selected->Contains(name)) continue;  // Already in S; adds nothing.
+    double j = RedundancyScore(view.codes(f), view.label_codes(),
+                               selected->codes, options);
+    if (j > 0.0) {
+      accepted.push_back({name, j});
+      selected->Add(name, view.codes(f));
+    }
+  }
+  return accepted;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,70 @@
+// Redundancy analysis (paper §V-D): the unified conditional likelihood
+// maximisation framework (Eq. 1)
+//
+//   J(X_k) = I(X_k;Y) - beta * sum_{X_j in S} I(X_j;X_k)
+//                     + lambda * sum_{X_j in S} I(X_j;X_k | Y)
+//
+// instantiated as MIFS, MRMR, CIFE, JMI, plus the CMIM special case (Eq. 2).
+// Candidates are screened greedily: a candidate is kept iff its J score
+// against the currently selected set S is positive (it adds information that
+// is not already represented).
+
+#ifndef AUTOFEAT_FS_REDUNDANCY_H_
+#define AUTOFEAT_FS_REDUNDANCY_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/feature_view.h"
+#include "fs/relevance.h"
+
+namespace autofeat {
+
+/// The five redundancy criteria compared in §V-D. MRMR is AutoFeat's
+/// recommended default.
+enum class RedundancyKind {
+  kMifs,  // beta = 0.5, lambda = 0
+  kMrmr,  // beta = 1/|S|, lambda = 0
+  kCife,  // beta = 1, lambda = 1
+  kJmi,   // beta = 1/|S|, lambda = 1/|S|
+  kCmim,  // Eq. 2: J = I(Xk;Y) - max_j [ I(Xj;Xk) - I(Xj;Xk|Y) ]
+};
+
+const char* RedundancyKindName(RedundancyKind kind);
+
+struct RedundancyOptions {
+  RedundancyKind kind = RedundancyKind::kMrmr;
+  /// MIFS inter-feature penalty (the paper uses beta = 0.5).
+  double mifs_beta = 0.5;
+};
+
+/// \brief A set of already-selected features represented by their
+/// discretised codes (what S contributes to Eq. 1).
+struct SelectedFeatureSet {
+  std::vector<std::string> names;
+  std::vector<std::vector<int>> codes;
+
+  size_t size() const { return names.size(); }
+  bool Contains(const std::string& name) const;
+  void Add(std::string name, std::vector<int> feature_codes);
+};
+
+/// Greedily screens `candidates` (feature indices into `view`, typically the
+/// relevance-ranked top-kappa, in ranked order) against `selected`.
+/// Candidates with J > 0 are accepted — and immediately join S, so later
+/// candidates are also penalised for redundancy with earlier ones.
+/// Returns accepted features with their J scores; `selected` is updated.
+std::vector<FeatureScore> SelectNonRedundant(
+    const FeatureView& view, const std::vector<size_t>& candidates,
+    SelectedFeatureSet* selected, const RedundancyOptions& options);
+
+/// The raw J score of a single candidate against a fixed selected set
+/// (exposed for tests and the empirical study of §V-D).
+double RedundancyScore(const std::vector<int>& candidate_codes,
+                       const std::vector<int>& label_codes,
+                       const std::vector<std::vector<int>>& selected_codes,
+                       const RedundancyOptions& options);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_FS_REDUNDANCY_H_

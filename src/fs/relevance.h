@@ -1,0 +1,58 @@
+// Relevance analysis (paper §V-C): scores features against the label with a
+// pluggable heuristic, then keeps the top-kappa ("select k best", §VI).
+
+#ifndef AUTOFEAT_FS_RELEVANCE_H_
+#define AUTOFEAT_FS_RELEVANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/feature_view.h"
+#include "util/rng.h"
+
+namespace autofeat {
+
+/// The relevance heuristics evaluated in §V-C. Spearman is AutoFeat's
+/// recommended default.
+enum class RelevanceKind {
+  kInformationGain,
+  kSymmetricalUncertainty,
+  kPearson,
+  kSpearman,
+  kRelief,
+};
+
+const char* RelevanceKindName(RelevanceKind kind);
+
+/// A feature together with a selection score (higher = better).
+struct FeatureScore {
+  std::string name;
+  double score = 0.0;
+};
+
+struct RelevanceOptions {
+  RelevanceKind kind = RelevanceKind::kSpearman;
+  /// Max features retained (the paper's kappa).
+  size_t top_k = 15;
+  /// Features scoring at or below this are considered irrelevant. Correlation
+  /// metrics use |r|, so 0 keeps anything with non-zero association.
+  double min_score = 1e-9;
+  /// Instances sampled by Relief.
+  size_t relief_samples = 64;
+  uint64_t seed = 42;
+};
+
+/// Scores the features of `view` at indices `feature_indices` (all features
+/// if empty) against the view's label. Correlation metrics report |r|.
+std::vector<FeatureScore> ScoreRelevance(
+    const FeatureView& view, const std::vector<size_t>& feature_indices,
+    const RelevanceOptions& options);
+
+/// Sorts scores descending and keeps the top-k strictly above min_score
+/// (the "select kappa best" heuristic of §VI).
+std::vector<FeatureScore> SelectKBest(std::vector<FeatureScore> scores,
+                                      size_t k, double min_score);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_FS_RELEVANCE_H_

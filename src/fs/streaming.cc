@@ -1,0 +1,52 @@
+#include "fs/streaming.h"
+
+namespace autofeat {
+
+void StreamingFeatureSelector::SeedWithBaseFeatures(const FeatureView& view) {
+  for (size_t f = 0; f < view.num_features(); ++f) {
+    if (!selected_.Contains(view.name(f))) {
+      selected_.Add(view.name(f), view.codes(f));
+    }
+  }
+}
+
+StreamingFeatureSelector::BatchResult StreamingFeatureSelector::ProcessBatch(
+    const FeatureView& view, const std::vector<size_t>& new_feature_indices) {
+  BatchResult result;
+
+  // Relevance stage: rank the incoming features, keep the top-kappa.
+  if (options_.use_relevance) {
+    std::vector<FeatureScore> scores =
+        ScoreRelevance(view, new_feature_indices, options_.relevance);
+    result.relevant = SelectKBest(std::move(scores), options_.relevance.top_k,
+                                  options_.relevance.min_score);
+  } else {
+    for (size_t f : new_feature_indices) {
+      result.relevant.push_back({view.name(f), 0.0});
+    }
+  }
+  if (result.relevant.empty()) return result;  // All irrelevant.
+
+  // Redundancy stage: screen the relevant subset against R_sel.
+  std::vector<size_t> candidate_indices;
+  candidate_indices.reserve(result.relevant.size());
+  for (const auto& fs : result.relevant) {
+    auto idx = view.FeatureIndex(fs.name);
+    if (idx.has_value()) candidate_indices.push_back(*idx);
+  }
+  if (options_.use_redundancy) {
+    result.selected = SelectNonRedundant(view, candidate_indices, &selected_,
+                                         options_.redundancy);
+  } else {
+    // Ablation: accept every relevant feature, mirroring its relevance score.
+    for (size_t i = 0; i < candidate_indices.size(); ++i) {
+      const auto& fs = result.relevant[i];
+      if (selected_.Contains(fs.name)) continue;
+      result.selected.push_back(fs);
+      selected_.Add(fs.name, view.codes(candidate_indices[i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace autofeat

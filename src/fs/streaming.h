@@ -1,0 +1,71 @@
+// Streaming feature selection (paper §V-A, §VI).
+//
+// Features arrive in batches — one batch per join along a join path — while
+// the row count stays fixed (left joins preserve the base-table rows, in
+// order). Each batch passes a relevance analysis (top-kappa) and then a
+// redundancy analysis against the set of already-selected features R_sel.
+// Join-column features persist implicitly: paths are never pruned for lack
+// of relevant features, only their features are discarded.
+
+#ifndef AUTOFEAT_FS_STREAMING_H_
+#define AUTOFEAT_FS_STREAMING_H_
+
+#include <string>
+#include <vector>
+
+#include "fs/feature_view.h"
+#include "fs/redundancy.h"
+#include "fs/relevance.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief Incremental relevance+redundancy pipeline maintaining R_sel.
+class StreamingFeatureSelector {
+ public:
+  struct Options {
+    RelevanceOptions relevance;
+    RedundancyOptions redundancy;
+    /// When false the redundancy stage is skipped (ablation: relevance-only).
+    bool use_redundancy = true;
+    /// When false the relevance stage passes all features through
+    /// (ablation: redundancy-only).
+    bool use_relevance = true;
+  };
+
+  /// Outcome of one batch (one join) through the pipeline.
+  struct BatchResult {
+    /// Relevant features (top-kappa) with their relevance scores.
+    std::vector<FeatureScore> relevant;
+    /// Accepted, non-redundant features with their J scores (subset of
+    /// `relevant`); these have been added to R_sel.
+    std::vector<FeatureScore> selected;
+
+    bool AllIrrelevant() const { return relevant.empty(); }
+    bool AllRedundant() const {
+      return !relevant.empty() && selected.empty();
+    }
+  };
+
+  explicit StreamingFeatureSelector(Options options)
+      : options_(std::move(options)) {}
+
+  /// Seeds R_sel with the base table's features without screening them —
+  /// Algorithm 1 initialises R_sel from T_0.
+  void SeedWithBaseFeatures(const FeatureView& view);
+
+  /// Runs the pipeline on the features of `view` at `new_feature_indices`.
+  BatchResult ProcessBatch(const FeatureView& view,
+                           const std::vector<size_t>& new_feature_indices);
+
+  const SelectedFeatureSet& selected() const { return selected_; }
+  SelectedFeatureSet* mutable_selected() { return &selected_; }
+
+ private:
+  Options options_;
+  SelectedFeatureSet selected_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_FS_STREAMING_H_

@@ -1,0 +1,68 @@
+#include "graph/dot_export.h"
+
+#include <cstdio>
+
+namespace autofeat {
+
+namespace {
+
+// Escapes a string for use inside a double-quoted dot identifier.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+bool OnPath(const JoinPath* path, size_t a, size_t b,
+            const std::string& a_col, const std::string& b_col) {
+  if (path == nullptr) return false;
+  for (const auto& step : path->steps) {
+    bool forward = step.from_node == a && step.to_node == b &&
+                   step.from_column == a_col && step.to_column == b_col;
+    bool backward = step.from_node == b && step.to_node == a &&
+                    step.from_column == b_col && step.to_column == a_col;
+    if (forward || backward) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ExportDrgToDot(const DatasetRelationGraph& drg,
+                           const DotOptions& options) {
+  std::string out = "graph drg {\n  node [shape=box, fontsize=10];\n";
+  for (size_t n = 0; n < drg.num_nodes(); ++n) {
+    out += "  \"" + DotEscape(drg.NodeName(n)) + "\"";
+    if (drg.NodeName(n) == options.highlight_node) {
+      out += " [style=filled, fillcolor=lightblue]";
+    }
+    out += ";\n";
+  }
+  // Enumerate each undirected edge once (a < b orientation).
+  for (size_t a = 0; a < drg.num_nodes(); ++a) {
+    for (size_t b = a + 1; b < drg.num_nodes(); ++b) {
+      for (const JoinStep& e : drg.EdgesBetween(a, b)) {
+        char label[160];
+        std::snprintf(label, sizeof(label), "%s = %s (%.2f)",
+                      e.from_column.c_str(), e.to_column.c_str(), e.weight);
+        out += "  \"" + DotEscape(drg.NodeName(a)) + "\" -- \"" +
+               DotEscape(drg.NodeName(b)) + "\" [label=\"" +
+               DotEscape(label) + "\", fontsize=8";
+        if (OnPath(options.highlight_path, a, b, e.from_column,
+                   e.to_column)) {
+          out += ", color=red, penwidth=2";
+        } else if (e.weight < options.solid_weight_threshold) {
+          out += ", style=dashed";
+        }
+        out += "];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,30 @@
+// Graphviz (dot) export of the Dataset Relation Graph, for inspecting
+// discovered joinability (render with `dot -Tsvg drg.dot -o drg.svg`).
+
+#ifndef AUTOFEAT_GRAPH_DOT_EXPORT_H_
+#define AUTOFEAT_GRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+#include "graph/drg.h"
+#include "graph/join_path.h"
+
+namespace autofeat {
+
+struct DotOptions {
+  /// Highlight this node (typically the base table).
+  std::string highlight_node;
+  /// Edges on this path are drawn bold/coloured.
+  const JoinPath* highlight_path = nullptr;
+  /// Edges below this weight are drawn dashed (visual spurious-edge cue).
+  double solid_weight_threshold = 0.9;
+};
+
+/// Renders the DRG as an undirected Graphviz graph. Multi-edges appear as
+/// parallel edges labelled "left_col = right_col (weight)".
+std::string ExportDrgToDot(const DatasetRelationGraph& drg,
+                           const DotOptions& options = {});
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,60 @@
+// Join paths over the Dataset Relation Graph (Def. IV.2 / IV.4).
+
+#ifndef AUTOFEAT_GRAPH_JOIN_PATH_H_
+#define AUTOFEAT_GRAPH_JOIN_PATH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autofeat {
+
+/// \brief One hop of a join path: join `from_node.from_column` with
+/// `to_node.to_column` (an edge instance of the multigraph).
+struct JoinStep {
+  size_t from_node = 0;
+  size_t to_node = 0;
+  std::string from_column;
+  std::string to_column;
+  /// 1.0 for KFK edges; dataset-discovery similarity score otherwise.
+  double weight = 1.0;
+
+  bool operator==(const JoinStep& other) const {
+    return from_node == other.from_node && to_node == other.to_node &&
+           from_column == other.from_column && to_column == other.to_column;
+  }
+};
+
+/// \brief A directed, acyclic (node-distinct) sequence of join steps
+/// starting at the base table.
+struct JoinPath {
+  std::vector<JoinStep> steps;
+
+  size_t length() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+
+  /// True if `node` appears anywhere on the path (including as source).
+  bool ContainsNode(size_t node) const {
+    for (const auto& s : steps) {
+      if (s.from_node == node || s.to_node == node) return true;
+    }
+    return false;
+  }
+
+  /// The terminal node of the path (callers must pass the start node in
+  /// case the path is empty).
+  size_t Terminal(size_t start) const {
+    return steps.empty() ? start : steps.back().to_node;
+  }
+
+  /// Extends the path with one more step.
+  JoinPath Extend(JoinStep step) const {
+    JoinPath out = *this;
+    out.steps.push_back(std::move(step));
+    return out;
+  }
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_GRAPH_JOIN_PATH_H_

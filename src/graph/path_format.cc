@@ -1,0 +1,30 @@
+#include "graph/path_format.h"
+
+namespace autofeat {
+
+std::string FormatJoinStep(const DatasetRelationGraph& drg,
+                           const JoinStep& step) {
+  return drg.NodeName(step.from_node) + "." + step.from_column + " -> " +
+         drg.NodeName(step.to_node) + "." + step.to_column;
+}
+
+std::string FormatJoinPath(const DatasetRelationGraph& drg,
+                           const JoinPath& path) {
+  if (path.empty()) return "<base>";
+  std::string out;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const JoinStep& step = path.steps[i];
+    if (i == 0) {
+      out += drg.NodeName(step.from_node) + "." + step.from_column;
+    } else {
+      out += "." + step.from_column;
+    }
+    out += " -> " + drg.NodeName(step.to_node);
+    if (i + 1 == path.steps.size()) {
+      out += "." + step.to_column;
+    }
+  }
+  return out;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,25 @@
+// Human-readable rendering of join paths (used by examples, benches and
+// logging).
+
+#ifndef AUTOFEAT_GRAPH_PATH_FORMAT_H_
+#define AUTOFEAT_GRAPH_PATH_FORMAT_H_
+
+#include <string>
+
+#include "graph/drg.h"
+#include "graph/join_path.h"
+
+namespace autofeat {
+
+/// Formats one step as "table.column -> table.column".
+std::string FormatJoinStep(const DatasetRelationGraph& drg,
+                           const JoinStep& step);
+
+/// Formats a path as "base.col -> t1.col -> t2.col ..." in the paper's
+/// notation. An empty path renders as "<base>".
+std::string FormatJoinPath(const DatasetRelationGraph& drg,
+                           const JoinPath& path);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_GRAPH_PATH_FORMAT_H_

@@ -1,0 +1,85 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+#include <map>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace autofeat::ml {
+
+Result<std::vector<size_t>> StratifiedFoldAssignment(
+    const Table& table, const std::string& label_column, size_t folds,
+    uint64_t seed) {
+  if (folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  AF_ASSIGN_OR_RETURN(const Column* label, table.GetColumn(label_column));
+  // Group rows per class, shuffle, deal them round-robin into folds.
+  std::map<std::string, std::vector<size_t>> strata;
+  for (size_t i = 0; i < label->size(); ++i) {
+    strata[label->KeyAt(i)].push_back(i);
+  }
+  Rng rng(seed);
+  std::vector<size_t> assignment(table.num_rows(), 0);
+  size_t dealer = 0;
+  for (auto& [value, rows] : strata) {
+    rng.Shuffle(&rows);
+    for (size_t r : rows) {
+      assignment[r] = dealer % folds;
+      ++dealer;
+    }
+  }
+  return assignment;
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const Table& table, const std::string& label_column, ModelKind kind,
+    const CrossValidationOptions& options) {
+  AF_ASSIGN_OR_RETURN(
+      std::vector<size_t> assignment,
+      StratifiedFoldAssignment(table, label_column, options.folds,
+                               options.seed));
+  AF_ASSIGN_OR_RETURN(Dataset full, Dataset::FromTable(table, label_column));
+
+  CrossValidationResult result;
+  result.model_name = ModelKindName(kind);
+  for (size_t fold = 0; fold < options.folds; ++fold) {
+    std::vector<size_t> train_rows, test_rows;
+    for (size_t r = 0; r < assignment.size(); ++r) {
+      (assignment[r] == fold ? test_rows : train_rows).push_back(r);
+    }
+    if (train_rows.empty() || test_rows.empty()) {
+      return Status::InvalidArgument(
+          "fold " + std::to_string(fold) + " is degenerate (" +
+          std::to_string(train_rows.size()) + " train / " +
+          std::to_string(test_rows.size()) + " test rows)");
+    }
+    Dataset train = full.TakeRows(train_rows);
+    Dataset test = full.TakeRows(test_rows);
+    std::unique_ptr<Classifier> model =
+        MakeClassifier(kind, options.seed + fold);
+    if (model == nullptr) {
+      return Status::InvalidArgument("unknown model kind");
+    }
+    AF_RETURN_NOT_OK(model->Fit(train));
+    std::vector<double> probabilities = model->PredictProbaAll(test);
+    result.fold_accuracies.push_back(
+        Accuracy(test.labels(), probabilities));
+    result.fold_aucs.push_back(RocAuc(test.labels(), probabilities));
+  }
+
+  double n = static_cast<double>(options.folds);
+  for (double a : result.fold_accuracies) result.mean_accuracy += a;
+  result.mean_accuracy /= n;
+  for (double a : result.fold_aucs) result.mean_auc += a;
+  result.mean_auc /= n;
+  double var = 0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy = std::sqrt(var / n);
+  return result;
+}
+
+}  // namespace autofeat::ml

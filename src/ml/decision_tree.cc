@@ -1,0 +1,186 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofeat::ml {
+
+namespace {
+
+// Binary gini impurity given positive count and total.
+double Gini(double positives, double total) {
+  if (total <= 0) return 0.0;
+  double p = positives / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Dataset& train) {
+  std::vector<size_t> rows(train.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return FitRows(train, rows);
+}
+
+Status DecisionTree::FitRows(const Dataset& train,
+                             const std::vector<size_t>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  nodes_.clear();
+  depth_ = 0;
+  num_features_ = train.num_features();
+  importances_.assign(num_features_, 0.0);
+  Rng rng(options_.seed);
+  std::vector<size_t> mutable_rows = rows;
+  BuildNode(train, mutable_rows, 0, &rng);
+  // Normalise importances to sum 1 (when any split happened).
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+DecisionTree::SplitDecision DecisionTree::FindBestSplit(
+    const Dataset& data, const std::vector<size_t>& rows, Rng* rng) const {
+  SplitDecision best;
+  size_t n = rows.size();
+  double total_pos = 0;
+  for (size_t r : rows) total_pos += data.label(r);
+  double parent_gini = Gini(total_pos, static_cast<double>(n));
+  if (parent_gini == 0.0) return best;  // Pure node.
+
+  // Feature subsampling.
+  size_t p = data.num_features();
+  if (p == 0) return best;  // Featureless data: majority-vote leaf.
+  std::vector<size_t> features(p);
+  for (size_t f = 0; f < p; ++f) features[f] = f;
+  size_t consider = p;
+  if (options_.max_features == TreeOptions::kSqrt) {
+    consider = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(p))));
+  } else if (options_.max_features > 0) {
+    consider = static_cast<size_t>(options_.max_features);
+  }
+  consider = std::min(consider, p);
+  if (consider < p) rng->Shuffle(&features);
+
+  std::vector<std::pair<double, int>> values;  // (feature value, label)
+  values.reserve(n);
+  for (size_t fi = 0; fi < consider; ++fi) {
+    size_t f = features[fi];
+    const std::vector<double>& col = data.column(f);
+
+    if (options_.random_thresholds) {
+      // ExtraTrees: one uniform threshold in [min, max).
+      double lo = col[rows[0]], hi = col[rows[0]];
+      for (size_t r : rows) {
+        lo = std::min(lo, col[r]);
+        hi = std::max(hi, col[r]);
+      }
+      if (!(lo < hi)) continue;
+      double threshold = rng->Uniform(lo, hi);
+      double left_n = 0, left_pos = 0;
+      for (size_t r : rows) {
+        if (col[r] <= threshold) {
+          ++left_n;
+          left_pos += data.label(r);
+        }
+      }
+      double right_n = static_cast<double>(n) - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      double gain = parent_gini -
+                    (left_n / n) * Gini(left_pos, left_n) -
+                    (right_n / n) * Gini(total_pos - left_pos, right_n);
+      if (gain > best.gain) {
+        best = {true, static_cast<int>(f), threshold, gain};
+      }
+      continue;
+    }
+
+    // Exact CART: sort node values, scan class-boundary split points.
+    values.clear();
+    for (size_t r : rows) values.emplace_back(col[r], data.label(r));
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) continue;
+
+    double left_pos = 0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_pos += values[i].second;
+      if (values[i].first == values[i + 1].first) continue;
+      double left_n = static_cast<double>(i + 1);
+      double right_n = static_cast<double>(n) - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      double gain = parent_gini -
+                    (left_n / n) * Gini(left_pos, left_n) -
+                    (right_n / n) * Gini(total_pos - left_pos, right_n);
+      if (gain > best.gain) {
+        double threshold =
+            values[i].first +
+            (values[i + 1].first - values[i].first) / 2.0;
+        best = {true, static_cast<int>(f), threshold, gain};
+      }
+    }
+  }
+  return best;
+}
+
+int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& rows,
+                            int depth, Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double positives = 0;
+  for (size_t r : rows) positives += data.label(r);
+  nodes_[index].proba = positives / static_cast<double>(rows.size());
+
+  bool can_split = depth < options_.max_depth &&
+                   rows.size() >= options_.min_samples_split;
+  if (!can_split) return index;
+
+  SplitDecision split = FindBestSplit(data, rows, rng);
+  if (!split.found) return index;
+
+  importances_[static_cast<size_t>(split.feature)] +=
+      split.gain * static_cast<double>(rows.size());
+
+  const std::vector<double>& col = data.column(split.feature);
+  auto mid = std::partition(rows.begin(), rows.end(), [&](size_t r) {
+    return col[r] <= split.threshold;
+  });
+  std::vector<size_t> left_rows(rows.begin(), mid);
+  std::vector<size_t> right_rows(mid, rows.end());
+  if (left_rows.empty() || right_rows.empty()) return index;
+
+  nodes_[index].feature = split.feature;
+  nodes_[index].threshold = split.threshold;
+  int left = BuildNode(data, left_rows, depth + 1, rng);
+  nodes_[index].left = left;
+  int right = BuildNode(data, right_rows, depth + 1, rng);
+  nodes_[index].right = right;
+  return index;
+}
+
+double DecisionTree::PredictProba(const Dataset& data, size_t row) const {
+  if (nodes_.empty()) return 0.5;
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    double v = data.at(row, static_cast<size_t>(nodes_[node].feature));
+    node = v <= nodes_[node].threshold ? nodes_[node].left
+                                       : nodes_[node].right;
+  }
+  return nodes_[node].proba;
+}
+
+std::vector<double> DecisionTree::FeatureImportances() const {
+  return importances_;
+}
+
+}  // namespace autofeat::ml

@@ -1,0 +1,79 @@
+// CART-style binary classification tree (gini impurity).
+//
+// Serves standalone and as the weak learner inside RandomForest /
+// ExtraTrees. Supports per-node feature subsampling and (for ExtraTrees)
+// random split thresholds.
+
+#ifndef AUTOFEAT_ML_DECISION_TREE_H_
+#define AUTOFEAT_ML_DECISION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace autofeat::ml {
+
+struct TreeOptions {
+  int max_depth = 10;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all, kSqrt = floor(sqrt(p)).
+  static constexpr int kSqrt = -1;
+  int max_features = 0;
+  /// ExtraTrees mode: draw one uniform threshold per feature instead of
+  /// scanning all boundaries.
+  bool random_thresholds = false;
+  uint64_t seed = 42;
+};
+
+/// \brief A single decision tree classifier.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+
+  /// Fits on a row subset (bagging support). Rows may repeat.
+  Status FitRows(const Dataset& train, const std::vector<size_t>& rows);
+
+  double PredictProba(const Dataset& data, size_t row) const override;
+  std::string name() const override { return "DecisionTree"; }
+  std::vector<double> FeatureImportances() const override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 = leaf
+    double threshold = 0.0;    // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    double proba = 0.5;        // P(y=1) among training rows at the node
+  };
+
+  // Recursive builder over `rows` (indices into the training dataset).
+  int BuildNode(const Dataset& data, std::vector<size_t>& rows, int depth,
+                Rng* rng);
+
+  struct SplitDecision {
+    bool found = false;
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+  SplitDecision FindBestSplit(const Dataset& data,
+                              const std::vector<size_t>& rows, Rng* rng) const;
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  int depth_ = 0;
+  size_t num_features_ = 0;
+};
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_DECISION_TREE_H_

@@ -1,0 +1,57 @@
+#include "ml/forest.h"
+
+namespace autofeat::ml {
+
+Status Forest::Fit(const Dataset& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  Rng rng(options_.seed);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    TreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.max_features = TreeOptions::kSqrt;
+    tree_options.random_thresholds = options_.random_thresholds;
+    tree_options.seed = rng.engine()();
+    DecisionTree tree(tree_options);
+
+    if (options_.bootstrap) {
+      std::vector<size_t> rows(train.num_rows());
+      for (auto& r : rows) r = rng.UniformIndex(train.num_rows());
+      AF_RETURN_NOT_OK(tree.FitRows(train, rows));
+    } else {
+      AF_RETURN_NOT_OK(tree.Fit(train));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double Forest::PredictProba(const Dataset& data, size_t row) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.PredictProba(data, row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> Forest::FeatureImportances() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total = trees_[0].FeatureImportances();
+  for (size_t t = 1; t < trees_.size(); ++t) {
+    std::vector<double> imp = trees_[t].FeatureImportances();
+    for (size_t f = 0; f < total.size() && f < imp.size(); ++f) {
+      total[f] += imp[f];
+    }
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace autofeat::ml

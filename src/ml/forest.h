@@ -1,0 +1,68 @@
+// Tree ensembles: RandomForest (bootstrap + sqrt features) and
+// ExtraTrees (no bootstrap, random thresholds).
+
+#ifndef AUTOFEAT_ML_FOREST_H_
+#define AUTOFEAT_ML_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace autofeat::ml {
+
+struct ForestOptions {
+  size_t num_trees = 50;
+  int max_depth = 10;
+  size_t min_samples_leaf = 1;
+  /// Bootstrap-sample rows per tree (RandomForest) or use all rows
+  /// (ExtraTrees convention).
+  bool bootstrap = true;
+  /// ExtraTrees mode.
+  bool random_thresholds = false;
+  uint64_t seed = 42;
+};
+
+/// \brief Averaged ensemble of decision trees.
+class Forest final : public Classifier {
+ public:
+  /// Standard RandomForest configuration.
+  static Forest RandomForest(size_t num_trees = 50, uint64_t seed = 42) {
+    ForestOptions options;
+    options.num_trees = num_trees;
+    options.bootstrap = true;
+    options.random_thresholds = false;
+    options.seed = seed;
+    return Forest(options, "RandomForest");
+  }
+
+  /// Extremely-randomised trees configuration.
+  static Forest ExtraTrees(size_t num_trees = 50, uint64_t seed = 42) {
+    ForestOptions options;
+    options.num_trees = num_trees;
+    options.bootstrap = false;
+    options.random_thresholds = true;
+    options.seed = seed;
+    return Forest(options, "ExtraTrees");
+  }
+
+  Forest(ForestOptions options, std::string name)
+      : options_(options), name_(std::move(name)) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, size_t row) const override;
+  std::string name() const override { return name_; }
+  std::vector<double> FeatureImportances() const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::string name_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_FOREST_H_

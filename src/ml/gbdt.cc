@@ -1,0 +1,247 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofeat::ml {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Newton gain of a candidate child with gradient sum g and hessian sum h.
+double LeafGain(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+void FeatureBinner::Fit(const Dataset& data, int max_bins) {
+  edges_.assign(data.num_features(), {});
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    std::vector<double> values = data.column(f);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() <= 1) continue;  // Constant: single bin, no edges.
+    size_t bins = std::min<size_t>(static_cast<size_t>(max_bins),
+                                   values.size());
+    std::vector<double>& edges = edges_[f];
+    if (values.size() <= bins) {
+      // One bin per distinct value: edges at midpoints.
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        edges.push_back((values[i] + values[i + 1]) / 2.0);
+      }
+    } else {
+      for (size_t b = 1; b < bins; ++b) {
+        size_t idx = b * values.size() / bins;
+        double edge = (values[idx - 1] + values[idx]) / 2.0;
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+  }
+}
+
+uint8_t FeatureBinner::Bin(size_t feature, double value) const {
+  const std::vector<double>& edges = edges_[feature];
+  // First edge >= value; values above all edges land in the last bin.
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<uint8_t>(it - edges.begin());
+}
+
+std::vector<std::vector<uint8_t>> FeatureBinner::BinAll(
+    const Dataset& data) const {
+  std::vector<std::vector<uint8_t>> out(data.num_features());
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    const std::vector<double>& col = data.column(f);
+    out[f].resize(col.size());
+    for (size_t r = 0; r < col.size(); ++r) out[f][r] = Bin(f, col[r]);
+  }
+  return out;
+}
+
+Status Gbdt::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  num_features_ = train.num_features();
+  importances_.assign(num_features_, 0.0);
+  trees_.clear();
+
+  binner_.Fit(train, options_.max_bins);
+  std::vector<std::vector<uint8_t>> binned = binner_.BinAll(train);
+
+  // Base score: log-odds of the positive rate.
+  double positives = 0;
+  for (size_t r = 0; r < n; ++r) positives += train.label(r);
+  double rate = std::clamp(positives / static_cast<double>(n), 1e-6, 1 - 1e-6);
+  base_score_ = std::log(rate / (1.0 - rate));
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  Rng rng(options_.seed);
+
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    for (size_t r = 0; r < n; ++r) {
+      double p = Sigmoid(score[r]);
+      grad[r] = p - static_cast<double>(train.label(r));
+      hess[r] = std::max(p * (1.0 - p), 1e-12);
+    }
+
+    // Row subsampling.
+    std::vector<size_t> rows;
+    if (options_.subsample < 1.0) {
+      rows.reserve(static_cast<size_t>(options_.subsample * n) + 1);
+      for (size_t r = 0; r < n; ++r) {
+        if (rng.Bernoulli(options_.subsample)) rows.push_back(r);
+      }
+      if (rows.empty()) rows.push_back(rng.UniformIndex(n));
+    } else {
+      rows.resize(n);
+      for (size_t r = 0; r < n; ++r) rows[r] = r;
+    }
+
+    // Feature subsampling.
+    std::vector<size_t> features(num_features_);
+    for (size_t f = 0; f < num_features_; ++f) features[f] = f;
+    if (options_.feature_fraction < 1.0 && num_features_ > 1) {
+      rng.Shuffle(&features);
+      // Ceil like LightGBM: a 0.9 fraction of 2 features keeps 2, not 1.
+      size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(
+                 options_.feature_fraction *
+                 static_cast<double>(num_features_))));
+      features.resize(keep);
+    }
+
+    Tree tree;
+    BuildTree(binned, grad, hess, rows, features, &tree);
+    // Update scores with the new tree's predictions (over *all* rows).
+    for (size_t r = 0; r < n; ++r) {
+      int node = 0;
+      while (tree.nodes[node].feature >= 0) {
+        const Node& nd = tree.nodes[node];
+        node = binned[static_cast<size_t>(nd.feature)][r] <= nd.bin
+                   ? nd.left
+                   : nd.right;
+      }
+      score[r] += tree.nodes[node].value;
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0) {
+    for (double& v : importances_) v /= total;
+  }
+  return Status::OK();
+}
+
+void Gbdt::BuildTree(const std::vector<std::vector<uint8_t>>& binned,
+                     const std::vector<double>& grad,
+                     const std::vector<double>& hess,
+                     const std::vector<size_t>& rows,
+                     const std::vector<size_t>& features, Tree* tree) {
+  std::vector<size_t> mutable_rows = rows;
+  BuildNode(binned, grad, hess, mutable_rows, features, 0, tree);
+}
+
+int Gbdt::BuildNode(const std::vector<std::vector<uint8_t>>& binned,
+                    const std::vector<double>& grad,
+                    const std::vector<double>& hess,
+                    std::vector<size_t>& rows,
+                    const std::vector<size_t>& features, int depth,
+                    Tree* tree) {
+  int index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  double g_total = 0, h_total = 0;
+  for (size_t r : rows) {
+    g_total += grad[r];
+    h_total += hess[r];
+  }
+  // Newton leaf weight, scaled by the learning rate.
+  tree->nodes[index].value =
+      -options_.learning_rate * g_total / (h_total + options_.lambda);
+
+  if (depth >= options_.max_depth || rows.size() < 2) return index;
+
+  // Histogram scan: best (feature, bin) split by Newton gain.
+  double parent_gain = LeafGain(g_total, h_total, options_.lambda);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  uint8_t best_bin = 0;
+
+  std::vector<double> bin_grad, bin_hess;
+  for (size_t f : features) {
+    size_t nbins = binner_.num_bins(f);
+    if (nbins <= 1) continue;
+    bin_grad.assign(nbins, 0.0);
+    bin_hess.assign(nbins, 0.0);
+    const std::vector<uint8_t>& codes = binned[f];
+    for (size_t r : rows) {
+      bin_grad[codes[r]] += grad[r];
+      bin_hess[codes[r]] += hess[r];
+    }
+    double gl = 0, hl = 0;
+    for (size_t b = 0; b + 1 < nbins; ++b) {
+      gl += bin_grad[b];
+      hl += bin_hess[b];
+      double gr = g_total - gl;
+      double hr = h_total - hl;
+      if (hl < options_.min_child_weight || hr < options_.min_child_weight) {
+        continue;
+      }
+      double gain = LeafGain(gl, hl, options_.lambda) +
+                    LeafGain(gr, hr, options_.lambda) - parent_gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_bin = static_cast<uint8_t>(b);
+      }
+    }
+  }
+  if (best_feature < 0) return index;
+
+  importances_[static_cast<size_t>(best_feature)] += best_gain;
+
+  const std::vector<uint8_t>& codes = binned[static_cast<size_t>(best_feature)];
+  auto mid = std::partition(rows.begin(), rows.end(), [&](size_t r) {
+    return codes[r] <= best_bin;
+  });
+  std::vector<size_t> left_rows(rows.begin(), mid);
+  std::vector<size_t> right_rows(mid, rows.end());
+  if (left_rows.empty() || right_rows.empty()) return index;
+
+  tree->nodes[index].feature = best_feature;
+  tree->nodes[index].bin = best_bin;
+  int left =
+      BuildNode(binned, grad, hess, left_rows, features, depth + 1, tree);
+  tree->nodes[index].left = left;
+  int right =
+      BuildNode(binned, grad, hess, right_rows, features, depth + 1, tree);
+  tree->nodes[index].right = right;
+  return index;
+}
+
+double Gbdt::PredictRaw(const Dataset& data, size_t row) const {
+  double score = base_score_;
+  for (const auto& tree : trees_) {
+    int node = 0;
+    while (tree.nodes[node].feature >= 0) {
+      const Node& nd = tree.nodes[node];
+      uint8_t bin = binner_.Bin(static_cast<size_t>(nd.feature),
+                                data.at(row, static_cast<size_t>(nd.feature)));
+      node = bin <= nd.bin ? nd.left : nd.right;
+    }
+    score += tree.nodes[node].value;
+  }
+  return score;
+}
+
+double Gbdt::PredictProba(const Dataset& data, size_t row) const {
+  return Sigmoid(PredictRaw(data, row));
+}
+
+std::vector<double> Gbdt::FeatureImportances() const { return importances_; }
+
+}  // namespace autofeat::ml

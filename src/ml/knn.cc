@@ -1,0 +1,65 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofeat::ml {
+
+Status Knn::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  size_t p = train.num_features();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+
+  means_.assign(p, 0.0);
+  stds_.assign(p, 1.0);
+  for (size_t f = 0; f < p; ++f) {
+    const auto& col = train.column(f);
+    double sum = 0;
+    for (double v : col) sum += v;
+    means_[f] = sum / static_cast<double>(n);
+    double var = 0;
+    for (double v : col) var += (v - means_[f]) * (v - means_[f]);
+    var /= static_cast<double>(n);
+    stds_[f] = var > 0 ? std::sqrt(var) : 1.0;
+  }
+
+  train_rows_.assign(n, std::vector<double>(p));
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t f = 0; f < p; ++f) {
+      train_rows_[r][f] = Normalize(f, train.at(r, f));
+    }
+  }
+  train_labels_ = train.labels();
+  return Status::OK();
+}
+
+double Knn::PredictProba(const Dataset& data, size_t row) const {
+  size_t n = train_rows_.size();
+  if (n == 0) return 0.5;
+  size_t p = means_.size();
+
+  std::vector<double> query(p);
+  for (size_t f = 0; f < p && f < data.num_features(); ++f) {
+    query[f] = Normalize(f, data.at(row, f));
+  }
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dists;  // (distance², label)
+  dists.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    double d = 0;
+    for (size_t f = 0; f < p; ++f) {
+      double diff = query[f] - train_rows_[r][f];
+      d += diff * diff;
+    }
+    dists.emplace_back(d, train_labels_[r]);
+  }
+  size_t k = std::min(options_.k, n);
+  std::nth_element(dists.begin(), dists.begin() + static_cast<ptrdiff_t>(k - 1),
+                   dists.end());
+  double positives = 0;
+  for (size_t i = 0; i < k; ++i) positives += dists[i].second;
+  return positives / static_cast<double>(k);
+}
+
+}  // namespace autofeat::ml

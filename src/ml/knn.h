@@ -1,0 +1,42 @@
+// K-nearest-neighbours classifier (used for the paper's non-tree-model
+// evaluation, Figs. 5 and 7).
+
+#ifndef AUTOFEAT_ML_KNN_H_
+#define AUTOFEAT_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace autofeat::ml {
+
+struct KnnOptions {
+  size_t k = 5;
+};
+
+/// \brief KNN over z-score-normalised features with Euclidean distance.
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnOptions options = {}) : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, size_t row) const override;
+  std::string name() const override { return "KNN"; }
+
+ private:
+  // Normalises a raw value of feature f into z-score space.
+  double Normalize(size_t feature, double value) const {
+    return (value - means_[feature]) / stds_[feature];
+  }
+
+  KnnOptions options_;
+  std::vector<std::vector<double>> train_rows_;  // [row][feature], normalised
+  std::vector<int> train_labels_;
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_KNN_H_

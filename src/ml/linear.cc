@@ -1,0 +1,92 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofeat::ml {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double SoftThreshold(double w, double t) {
+  if (w > t) return w - t;
+  if (w < -t) return w + t;
+  return 0.0;
+}
+}  // namespace
+
+Status LogisticRegressionL1::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  size_t p = train.num_features();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+
+  means_.assign(p, 0.0);
+  stds_.assign(p, 1.0);
+  for (size_t f = 0; f < p; ++f) {
+    const auto& col = train.column(f);
+    double sum = 0;
+    for (double v : col) sum += v;
+    means_[f] = sum / static_cast<double>(n);
+    double var = 0;
+    for (double v : col) var += (v - means_[f]) * (v - means_[f]);
+    var /= static_cast<double>(n);
+    stds_[f] = var > 0 ? std::sqrt(var) : 1.0;
+  }
+
+  // Normalised design matrix, row-major for the inner loop.
+  std::vector<std::vector<double>> x(n, std::vector<double>(p));
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t f = 0; f < p; ++f) {
+      x[r][f] = (train.at(r, f) - means_[f]) / stds_[f];
+    }
+  }
+
+  weights_.assign(p, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(p);
+  double dn = static_cast<double>(n);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double z = bias_;
+      for (size_t f = 0; f < p; ++f) z += weights_[f] * x[r][f];
+      double err = Sigmoid(z) - static_cast<double>(train.label(r));
+      for (size_t f = 0; f < p; ++f) grad[f] += err * x[r][f];
+      grad_bias += err;
+    }
+
+    double max_delta = 0.0;
+    for (size_t f = 0; f < p; ++f) {
+      double updated = weights_[f] - options_.learning_rate * grad[f] / dn;
+      updated =
+          SoftThreshold(updated, options_.learning_rate * options_.l1);
+      max_delta = std::max(max_delta, std::abs(updated - weights_[f]));
+      weights_[f] = updated;
+    }
+    double new_bias = bias_ - options_.learning_rate * grad_bias / dn;
+    max_delta = std::max(max_delta, std::abs(new_bias - bias_));
+    bias_ = new_bias;
+
+    if (max_delta < options_.tolerance) break;
+  }
+  return Status::OK();
+}
+
+double LogisticRegressionL1::PredictProba(const Dataset& data,
+                                          size_t row) const {
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size() && f < data.num_features(); ++f) {
+    z += weights_[f] * (data.at(row, f) - means_[f]) / stds_[f];
+  }
+  return Sigmoid(z);
+}
+
+size_t LogisticRegressionL1::num_zero_weights() const {
+  size_t zeros = 0;
+  for (double w : weights_) zeros += (w == 0.0);
+  return zeros;
+}
+
+}  // namespace autofeat::ml

@@ -1,0 +1,47 @@
+// L1-regularised logistic regression, trained with proximal gradient
+// descent (ISTA). The paper's "Linear Regression with L1 regularisation"
+// baseline model, used for binary classification in Figs. 5 and 7.
+
+#ifndef AUTOFEAT_ML_LINEAR_H_
+#define AUTOFEAT_ML_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace autofeat::ml {
+
+struct LogRegOptions {
+  double l1 = 0.01;
+  double learning_rate = 0.5;
+  size_t max_iterations = 300;
+  double tolerance = 1e-6;
+};
+
+/// \brief Sparse linear classifier over z-score-normalised features.
+class LogisticRegressionL1 final : public Classifier {
+ public:
+  explicit LogisticRegressionL1(LogRegOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const Dataset& data, size_t row) const override;
+  std::string name() const override { return "LogRegL1"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  /// Count of exactly-zero weights (L1 sparsity diagnostic).
+  size_t num_zero_weights() const;
+
+ private:
+  LogRegOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_LINEAR_H_

@@ -1,0 +1,79 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace autofeat::ml {
+
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& probabilities) {
+  assert(labels.size() == probabilities.size());
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int pred = probabilities[i] >= 0.5 ? 1 : 0;
+    correct += (pred == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double LogLoss(const std::vector<int>& labels,
+               const std::vector<double>& probabilities) {
+  assert(labels.size() == probabilities.size());
+  if (labels.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    loss -= labels[i] == 1 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+double BrierScore(const std::vector<int>& labels,
+                  const std::vector<double>& probabilities) {
+  assert(labels.size() == probabilities.size());
+  if (labels.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    double d = probabilities[i] - static_cast<double>(labels[i]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+double RocAuc(const std::vector<int>& labels,
+              const std::vector<double>& probabilities) {
+  assert(labels.size() == probabilities.size());
+  size_t n = labels.size();
+  size_t positives = 0;
+  for (int y : labels) positives += (y == 1);
+  size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney U) formulation with average ranks for ties.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return probabilities[a] < probabilities[b];
+  });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           probabilities[order[j + 1]] == probabilities[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  double u = rank_sum_pos - static_cast<double>(positives) *
+                                (static_cast<double>(positives) + 1) / 2;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace autofeat::ml

@@ -1,0 +1,31 @@
+// Classification evaluation metrics.
+
+#ifndef AUTOFEAT_ML_METRICS_H_
+#define AUTOFEAT_ML_METRICS_H_
+
+#include <vector>
+
+namespace autofeat::ml {
+
+/// Fraction of rows where round(proba >= 0.5) equals the label.
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& probabilities);
+
+/// Area under the ROC curve (rank statistic, ties get half credit).
+/// Returns 0.5 if either class is absent.
+double RocAuc(const std::vector<int>& labels,
+              const std::vector<double>& probabilities);
+
+/// Binary cross-entropy (natural log); probabilities clipped to
+/// [1e-12, 1 - 1e-12]. Lower is better.
+double LogLoss(const std::vector<int>& labels,
+               const std::vector<double>& probabilities);
+
+/// Mean squared error of the probabilities against the 0/1 labels.
+/// Lower is better; 0.25 for a constant 0.5 predictor.
+double BrierScore(const std::vector<int>& labels,
+                  const std::vector<double>& probabilities);
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_METRICS_H_

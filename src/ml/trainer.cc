@@ -1,0 +1,93 @@
+#include "ml/trainer.h"
+
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "relational/sampling.h"
+#include "util/timer.h"
+
+namespace autofeat::ml {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLightGbm: return "LightGBM-like";
+    case ModelKind::kRandomForest: return "RandomForest";
+    case ModelKind::kExtraTrees: return "ExtraTrees";
+    case ModelKind::kXgBoost: return "XGBoost-like";
+    case ModelKind::kKnn: return "KNN";
+    case ModelKind::kLogRegL1: return "LogRegL1";
+  }
+  return "invalid";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ModelKind kind, uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLightGbm:
+      return std::make_unique<Gbdt>(Gbdt::LightGbmLike(seed));
+    case ModelKind::kRandomForest:
+      return std::make_unique<Forest>(Forest::RandomForest(40, seed));
+    case ModelKind::kExtraTrees:
+      return std::make_unique<Forest>(Forest::ExtraTrees(40, seed));
+    case ModelKind::kXgBoost:
+      return std::make_unique<Gbdt>(Gbdt::XgBoostLike(seed));
+    case ModelKind::kKnn:
+      return std::make_unique<Knn>();
+    case ModelKind::kLogRegL1:
+      return std::make_unique<LogisticRegressionL1>();
+  }
+  return nullptr;
+}
+
+std::vector<ModelKind> TreeModelKinds() {
+  return {ModelKind::kLightGbm, ModelKind::kRandomForest,
+          ModelKind::kExtraTrees, ModelKind::kXgBoost};
+}
+
+std::vector<ModelKind> NonTreeModelKinds() {
+  return {ModelKind::kKnn, ModelKind::kLogRegL1};
+}
+
+Result<EvalResult> TrainAndEvaluate(const Table& table,
+                                    const std::string& label_column,
+                                    ModelKind kind,
+                                    const TrainerOptions& options) {
+  Rng rng(options.seed);
+  AF_ASSIGN_OR_RETURN(
+      TrainTestIndices split,
+      TrainTestSplit(table, options.test_fraction, label_column, &rng));
+  AF_ASSIGN_OR_RETURN(Dataset full, Dataset::FromTable(table, label_column));
+  Dataset train = full.TakeRows(split.train);
+  Dataset test = full.TakeRows(split.test);
+
+  std::unique_ptr<Classifier> model = MakeClassifier(kind, options.seed);
+  if (model == nullptr) return Status::InvalidArgument("unknown model kind");
+
+  EvalResult result;
+  result.model_name = ModelKindName(kind);
+  Timer timer;
+  AF_RETURN_NOT_OK(model->Fit(train));
+  result.train_seconds = timer.ElapsedSeconds();
+
+  std::vector<double> probabilities = model->PredictProbaAll(test);
+  result.accuracy = Accuracy(test.labels(), probabilities);
+  result.auc = RocAuc(test.labels(), probabilities);
+  return result;
+}
+
+Result<double> AverageAccuracy(const Table& table,
+                               const std::string& label_column,
+                               const std::vector<ModelKind>& kinds,
+                               const TrainerOptions& options) {
+  if (kinds.empty()) return Status::InvalidArgument("no model kinds given");
+  double sum = 0.0;
+  for (ModelKind kind : kinds) {
+    AF_ASSIGN_OR_RETURN(EvalResult r,
+                        TrainAndEvaluate(table, label_column, kind, options));
+    sum += r.accuracy;
+  }
+  return sum / static_cast<double>(kinds.size());
+}
+
+}  // namespace autofeat::ml

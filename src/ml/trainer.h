@@ -1,0 +1,69 @@
+// Trainer: the AutoGluon-substitute facade (paper §V-B, §VII-A).
+//
+// Handles everything between a relational Table and a trained model:
+// imputation, encoding, stratified 80/20 train/test split, model
+// construction, fitting and evaluation.
+
+#ifndef AUTOFEAT_ML_TRAINER_H_
+#define AUTOFEAT_ML_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat::ml {
+
+/// The models of the paper's evaluation: four tree-based (§VII-A) and two
+/// non-tree (Figs. 5/7).
+enum class ModelKind {
+  kLightGbm,
+  kRandomForest,
+  kExtraTrees,
+  kXgBoost,
+  kKnn,
+  kLogRegL1,
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Instantiates a classifier of the given kind.
+std::unique_ptr<Classifier> MakeClassifier(ModelKind kind, uint64_t seed);
+
+/// The tree-based models averaged in Figs. 4 and 6.
+std::vector<ModelKind> TreeModelKinds();
+/// The non-tree models of Figs. 5 and 7.
+std::vector<ModelKind> NonTreeModelKinds();
+
+struct EvalResult {
+  std::string model_name;
+  double accuracy = 0.0;
+  double auc = 0.0;
+  double train_seconds = 0.0;
+};
+
+struct TrainerOptions {
+  double test_fraction = 0.2;
+  uint64_t seed = 42;
+};
+
+/// Imputes/encodes `table`, splits stratified on `label_column`, trains a
+/// `kind` model and evaluates on the held-out split.
+Result<EvalResult> TrainAndEvaluate(const Table& table,
+                                    const std::string& label_column,
+                                    ModelKind kind,
+                                    const TrainerOptions& options = {});
+
+/// Mean test accuracy of `kinds` on the same split (the per-dataset bars of
+/// Figs. 4-7 average over models).
+Result<double> AverageAccuracy(const Table& table,
+                               const std::string& label_column,
+                               const std::vector<ModelKind>& kinds,
+                               const TrainerOptions& options = {});
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_ML_TRAINER_H_

@@ -1,0 +1,88 @@
+#include "relational/describe.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace autofeat {
+
+ColumnProfile ProfileColumn(const std::string& name, const Column& column,
+                            size_t distinct_cap) {
+  ColumnProfile profile;
+  profile.name = name;
+  profile.type = column.type();
+  profile.rows = column.size();
+  profile.nulls = column.null_count();
+
+  std::unordered_set<std::string> distinct;
+  bool numeric = IsNumeric(column.type());
+  bool first = true;
+  double sum = 0.0;
+  size_t non_null = 0;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
+    ++non_null;
+    if (distinct.size() < distinct_cap) {
+      distinct.insert(column.KeyAt(i));
+    } else {
+      profile.distinct_capped = true;
+    }
+    if (numeric) {
+      double v = column.NumericAt(i);
+      sum += v;
+      if (first) {
+        profile.min = profile.max = v;
+        first = false;
+      } else {
+        profile.min = std::min(profile.min, v);
+        profile.max = std::max(profile.max, v);
+      }
+    }
+  }
+  profile.distinct = distinct.size();
+  if (numeric && non_null > 0) {
+    profile.mean = sum / static_cast<double>(non_null);
+  }
+  return profile;
+}
+
+std::vector<ColumnProfile> DescribeTable(const Table& table,
+                                         size_t distinct_cap) {
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    profiles.push_back(ProfileColumn(table.schema().field(c).name,
+                                     table.column(c), distinct_cap));
+  }
+  return profiles;
+}
+
+std::string FormatTableDescription(const Table& table) {
+  std::string out = table.name() + ": " + std::to_string(table.num_rows()) +
+                    " rows x " + std::to_string(table.num_columns()) +
+                    " columns\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-7s %8s %9s %11s %11s %11s\n",
+                "column", "type", "null%", "distinct", "min", "mean", "max");
+  out += line;
+  for (const auto& p : DescribeTable(table)) {
+    if (IsNumeric(p.type)) {
+      std::snprintf(line, sizeof(line),
+                    "%-24s %-7s %7.1f%% %8zu%s %11.4g %11.4g %11.4g%s\n",
+                    p.name.c_str(), DataTypeName(p.type),
+                    100.0 * p.null_ratio(), p.distinct,
+                    p.distinct_capped ? "+" : "", p.min, p.mean, p.max,
+                    p.LooksLikeKey() ? "  [key?]" : "");
+    } else {
+      std::snprintf(line, sizeof(line), "%-24s %-7s %7.1f%% %8zu%s%s\n",
+                    p.name.c_str(), DataTypeName(p.type),
+                    100.0 * p.null_ratio(), p.distinct,
+                    p.distinct_capped ? "+" : "",
+                    p.LooksLikeKey() ? "  [key?]" : "");
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace autofeat

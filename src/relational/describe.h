@@ -1,0 +1,52 @@
+// Per-column profiling of a table: the summary a data engineer checks
+// before augmenting (types, null ratios, distinct counts, numeric ranges).
+
+#ifndef AUTOFEAT_RELATIONAL_DESCRIBE_H_
+#define AUTOFEAT_RELATIONAL_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autofeat {
+
+struct ColumnProfile {
+  std::string name;
+  DataType type = DataType::kDouble;
+  size_t rows = 0;
+  size_t nulls = 0;
+  /// Distinct non-null values, counted up to `distinct_cap` (then capped).
+  size_t distinct = 0;
+  bool distinct_capped = false;
+  /// Numeric summary (numeric columns only; 0 when not applicable).
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  double null_ratio() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(nulls) / static_cast<double>(rows);
+  }
+  /// Heuristic: a unique (or near-unique) non-continuous column is
+  /// key-like and a join-column candidate.
+  bool LooksLikeKey() const {
+    return type != DataType::kDouble && rows > 0 && nulls == 0 &&
+           (distinct_capped || distinct == rows);
+  }
+};
+
+/// Profiles one column (distinct counting capped at `distinct_cap`).
+ColumnProfile ProfileColumn(const std::string& name, const Column& column,
+                            size_t distinct_cap = 100000);
+
+/// Profiles every column of a table.
+std::vector<ColumnProfile> DescribeTable(const Table& table,
+                                         size_t distinct_cap = 100000);
+
+/// Renders the profile as an aligned text table (for CLI/debugging).
+std::string FormatTableDescription(const Table& table);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_RELATIONAL_DESCRIBE_H_

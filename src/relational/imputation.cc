@@ -1,0 +1,57 @@
+#include "relational/imputation.h"
+
+#include <unordered_map>
+
+namespace autofeat {
+
+Column ImputeMostFrequent(const Column& column) {
+  if (column.null_count() == 0) return column;
+
+  // Find the mode of the non-null values (first-seen wins ties).
+  std::unordered_map<std::string, size_t> counts;
+  std::string mode_key;
+  size_t mode_count = 0;
+  size_t mode_row = 0;
+  bool found = false;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
+    std::string k = column.KeyAt(i);
+    size_t c = ++counts[k];
+    if (c > mode_count) {
+      mode_count = c;
+      mode_key = k;
+      mode_row = i;
+      found = true;
+    }
+  }
+
+  Column out(column.type());
+  out.Reserve(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (!column.IsNull(i)) {
+      out.AppendFrom(column, i);
+    } else if (found) {
+      out.AppendFrom(column, mode_row);
+    } else {
+      // All-null column: fill with a type default.
+      switch (column.type()) {
+        case DataType::kDouble: out.AppendDouble(0.0); break;
+        case DataType::kInt64: out.AppendInt64(0); break;
+        case DataType::kString: out.AppendString(""); break;
+      }
+    }
+  }
+  return out;
+}
+
+Table ImputeTableMostFrequent(const Table& table) {
+  Table out(table.name());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    out.AddColumn(table.schema().field(c).name,
+                  ImputeMostFrequent(table.column(c)))
+        .Abort();
+  }
+  return out;
+}
+
+}  // namespace autofeat

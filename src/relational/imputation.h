@@ -1,0 +1,23 @@
+// Missing-value handling. The paper's methodology (§V-B): "Missing values
+// are handled by imputation with the most common value corresponding to the
+// feature."
+
+#ifndef AUTOFEAT_RELATIONAL_IMPUTATION_H_
+#define AUTOFEAT_RELATIONAL_IMPUTATION_H_
+
+#include "table/column.h"
+#include "table/table.h"
+
+namespace autofeat {
+
+/// A copy of `column` with nulls replaced by the most frequent non-null
+/// value (ties broken by first occurrence). An all-null column is filled
+/// with a type-appropriate default (0 / "").
+Column ImputeMostFrequent(const Column& column);
+
+/// Applies ImputeMostFrequent to every column of `table`.
+Table ImputeTableMostFrequent(const Table& table);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_RELATIONAL_IMPUTATION_H_

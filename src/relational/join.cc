@@ -1,0 +1,130 @@
+#include "relational/join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace autofeat {
+
+Result<Table> NormalizeJoinCardinality(const Table& right,
+                                       const std::string& key_column,
+                                       Rng* rng) {
+  AF_ASSIGN_OR_RETURN(const Column* key, right.GetColumn(key_column));
+  // Group row indices by key value, in first-seen order for determinism.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  std::vector<std::string> order;
+  for (size_t i = 0; i < key->size(); ++i) {
+    if (key->IsNull(i)) continue;  // Null keys never match in a join.
+    std::string k = key->KeyAt(i);
+    auto it = groups.find(k);
+    if (it == groups.end()) {
+      order.push_back(k);
+      groups.emplace(std::move(k), std::vector<size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  std::vector<size_t> keep;
+  keep.reserve(order.size());
+  for (const auto& k : order) {
+    const auto& rows = groups[k];
+    keep.push_back(rows.size() == 1 ? rows[0]
+                                    : rows[rng->UniformIndex(rows.size())]);
+  }
+  return right.TakeRows(keep);
+}
+
+Result<JoinResult> Join(const Table& left, const std::string& left_key,
+                        const Table& right, const std::string& right_key,
+                        Rng* rng, const JoinOptions& options) {
+  AF_ASSIGN_OR_RETURN(const Column* lkey, left.GetColumn(left_key));
+
+  const Table* probe_side = &right;
+  Table normalized;
+  if (options.normalize_cardinality) {
+    AF_ASSIGN_OR_RETURN(normalized,
+                        NormalizeJoinCardinality(right, right_key, rng));
+    probe_side = &normalized;
+  }
+  AF_ASSIGN_OR_RETURN(const Column* rkey, probe_side->GetColumn(right_key));
+
+  // Hash the right keys (one row per key when normalised, lists otherwise).
+  std::unordered_map<std::string, std::vector<size_t>> right_index;
+  right_index.reserve(rkey->size());
+  for (size_t i = 0; i < rkey->size(); ++i) {
+    if (rkey->IsNull(i)) continue;
+    right_index[rkey->KeyAt(i)].push_back(i);
+  }
+
+  JoinResult result;
+  result.stats.right_distinct_keys = right_index.size();
+
+  // Probe: produce (left row, right row) output pairs.
+  constexpr size_t kNoMatch = static_cast<size_t>(-1);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(left.num_rows());
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    const std::vector<size_t>* matches = nullptr;
+    if (!lkey->IsNull(i)) {
+      auto it = right_index.find(lkey->KeyAt(i));
+      if (it != right_index.end()) matches = &it->second;
+    }
+    if (matches != nullptr) {
+      ++result.stats.matched_rows;
+      for (size_t r : *matches) pairs.emplace_back(i, r);
+    } else if (options.type == JoinType::kLeft) {
+      pairs.emplace_back(i, kNoMatch);
+    }
+  }
+  result.stats.total_rows = pairs.size();
+
+  // Materialise: left columns gathered by left index, right columns by
+  // right index (null where unmatched).
+  std::vector<size_t> left_rows;
+  left_rows.reserve(pairs.size());
+  for (const auto& [l, r] : pairs) left_rows.push_back(l);
+
+  Table out(left.name());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    AF_RETURN_NOT_OK(out.AddColumn(left.schema().field(c).name,
+                                   left.column(c).Take(left_rows)));
+  }
+  for (size_t c = 0; c < probe_side->num_columns(); ++c) {
+    const Column& src = probe_side->column(c);
+    Column gathered(src.type());
+    gathered.Reserve(pairs.size());
+    for (const auto& [l, r] : pairs) {
+      if (r == kNoMatch) {
+        gathered.AppendNull();
+      } else {
+        gathered.AppendFrom(src, r);
+      }
+    }
+    std::string name = probe_side->schema().field(c).name;
+    // Disambiguate collisions (e.g. the same table joined twice on a path).
+    if (out.HasColumn(name)) {
+      int suffix = 2;
+      while (out.HasColumn(name + "#" + std::to_string(suffix))) ++suffix;
+      name += "#" + std::to_string(suffix);
+    }
+    AF_RETURN_NOT_OK(out.AddColumn(name, std::move(gathered)));
+  }
+  result.table = std::move(out);
+  return result;
+}
+
+double JoinCompleteness(const Table& joined,
+                        const std::vector<std::string>& appended_columns) {
+  if (appended_columns.empty() || joined.num_rows() == 0) return 1.0;
+  size_t nulls = 0;
+  size_t total = 0;
+  for (const auto& name : appended_columns) {
+    auto col = joined.GetColumn(name);
+    if (!col.ok()) continue;
+    nulls += (*col)->null_count();
+    total += (*col)->size();
+  }
+  if (total == 0) return 1.0;
+  return 1.0 - static_cast<double>(nulls) / static_cast<double>(total);
+}
+
+}  // namespace autofeat

@@ -1,0 +1,87 @@
+#include "relational/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace autofeat {
+
+Table SampleRows(const Table& table, size_t n, Rng* rng) {
+  size_t total = table.num_rows();
+  if (n >= total) return table;
+  std::vector<size_t> perm = rng->Permutation(total);
+  perm.resize(n);
+  std::sort(perm.begin(), perm.end());  // Preserve original row order.
+  return table.TakeRows(perm);
+}
+
+namespace {
+
+// Groups row indices by the key representation of `column`.
+std::map<std::string, std::vector<size_t>> GroupByValue(const Column& column) {
+  std::map<std::string, std::vector<size_t>> strata;
+  for (size_t i = 0; i < column.size(); ++i) {
+    strata[column.KeyAt(i)].push_back(i);
+  }
+  return strata;
+}
+
+}  // namespace
+
+Result<Table> StratifiedSample(const Table& table,
+                               const std::string& label_column, size_t n,
+                               Rng* rng) {
+  AF_ASSIGN_OR_RETURN(const Column* label, table.GetColumn(label_column));
+  size_t total = table.num_rows();
+  if (n >= total) return table;
+
+  auto strata = GroupByValue(*label);
+  std::vector<size_t> keep;
+  keep.reserve(n);
+  double fraction = static_cast<double>(n) / static_cast<double>(total);
+  for (auto& [value, rows] : strata) {
+    size_t take = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(fraction * rows.size())));
+    take = std::min(take, rows.size());
+    rng->Shuffle(&rows);
+    for (size_t i = 0; i < take; ++i) keep.push_back(rows[i]);
+  }
+  std::sort(keep.begin(), keep.end());
+  return table.TakeRows(keep);
+}
+
+Result<TrainTestIndices> TrainTestSplit(const Table& table,
+                                        double test_fraction,
+                                        const std::string& stratify_column,
+                                        Rng* rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  size_t total = table.num_rows();
+  TrainTestIndices out;
+  if (stratify_column.empty()) {
+    std::vector<size_t> perm = rng->Permutation(total);
+    size_t test_n = static_cast<size_t>(std::llround(test_fraction * total));
+    test_n = std::min(std::max<size_t>(test_n, 1), total - 1);
+    out.test.assign(perm.begin(), perm.begin() + test_n);
+    out.train.assign(perm.begin() + test_n, perm.end());
+  } else {
+    AF_ASSIGN_OR_RETURN(const Column* label, table.GetColumn(stratify_column));
+    auto strata = GroupByValue(*label);
+    for (auto& [value, rows] : strata) {
+      rng->Shuffle(&rows);
+      size_t test_n =
+          static_cast<size_t>(std::llround(test_fraction * rows.size()));
+      if (rows.size() > 1) test_n = std::max<size_t>(test_n, 1);
+      test_n = std::min(test_n, rows.size() > 1 ? rows.size() - 1 : size_t{0});
+      for (size_t i = 0; i < rows.size(); ++i) {
+        (i < test_n ? out.test : out.train).push_back(rows[i]);
+      }
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+}  // namespace autofeat

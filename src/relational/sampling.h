@@ -1,0 +1,38 @@
+// Row sampling: uniform and stratified (paper §VI uses stratified sampling of
+// the base table to speed up feature selection without biasing the label).
+
+#ifndef AUTOFEAT_RELATIONAL_SAMPLING_H_
+#define AUTOFEAT_RELATIONAL_SAMPLING_H_
+
+#include <string>
+
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// Uniform sample of `n` rows without replacement (all rows if n >= size).
+Table SampleRows(const Table& table, size_t n, Rng* rng);
+
+/// Stratified sample of ~`n` rows preserving the per-class proportions of
+/// `label_column`. Every class present keeps at least one row. Null labels
+/// form their own stratum.
+Result<Table> StratifiedSample(const Table& table,
+                               const std::string& label_column, size_t n,
+                               Rng* rng);
+
+/// Splits rows into train/test index sets. If `stratify_column` is non-empty,
+/// the split preserves class proportions in both parts.
+struct TrainTestIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+Result<TrainTestIndices> TrainTestSplit(const Table& table,
+                                        double test_fraction,
+                                        const std::string& stratify_column,
+                                        Rng* rng);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_RELATIONAL_SAMPLING_H_

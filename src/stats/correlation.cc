@@ -1,0 +1,76 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace autofeat {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  double sx = 0, sy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    sx += x[i];
+    sy += y[i];
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double mx = sx / static_cast<double>(n);
+  double my = sy / static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  double r = sxy / std::sqrt(sxx * syy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  std::vector<size_t> idx;
+  idx.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isnan(values[i])) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+
+  std::vector<double> ranks(values.size(),
+                            std::numeric_limits<double>::quiet_NaN());
+  size_t i = 0;
+  while (i < idx.size()) {
+    size_t j = i;
+    while (j + 1 < idx.size() && values[idx[j + 1]] == values[idx[i]]) ++j;
+    // Average rank for the tie group [i, j] (1-based ranks).
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  // Mask pairwise: rank only the complete pairs so ranks stay comparable.
+  std::vector<double> xm(x.size(), std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> ym(y.size(), std::numeric_limits<double>::quiet_NaN());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!std::isnan(x[i]) && !std::isnan(y[i])) {
+      xm[i] = x[i];
+      ym[i] = y[i];
+    }
+  }
+  return PearsonCorrelation(FractionalRanks(xm), FractionalRanks(ym));
+}
+
+}  // namespace autofeat

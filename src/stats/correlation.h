@@ -1,0 +1,30 @@
+// Correlation coefficients used as relevance heuristics (paper §V-C).
+//
+// Pearson measures linear association; Spearman (rank correlation with
+// average ranks for ties) measures monotonic association and is AutoFeat's
+// recommended relevance metric. Rows where either value is NaN are skipped
+// pairwise.
+
+#ifndef AUTOFEAT_STATS_CORRELATION_H_
+#define AUTOFEAT_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace autofeat {
+
+/// Pearson correlation coefficient in [-1, 1]; 0 if either side is constant
+/// or fewer than 2 complete pairs exist.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Fractional (average) ranks in [1, n] of the non-NaN entries of `values`;
+/// NaN entries keep NaN ranks. Ties receive the mean of their rank range.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Spearman rank correlation: Pearson over fractional ranks.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_STATS_CORRELATION_H_

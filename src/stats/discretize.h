@@ -1,0 +1,40 @@
+// Discretisation of continuous features for information-theoretic metrics.
+//
+// Entropy/MI-based metrics operate on discrete codes; continuous features are
+// binned first. Default policy (DESIGN.md §4.7): equal-frequency bins,
+// min(10, ceil(sqrt(n))) of them.
+
+#ifndef AUTOFEAT_STATS_DISCRETIZE_H_
+#define AUTOFEAT_STATS_DISCRETIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autofeat {
+
+/// Code used for missing (NaN) values in discretised output. Missing values
+/// form their own category so they carry (rather than destroy) information.
+inline constexpr int kMissingBin = -1;
+
+/// Default bin count for n samples: min(10, ceil(sqrt(n))), at least 2.
+int DefaultBinCount(size_t n);
+
+/// Equal-width binning of `values` into `bins` buckets over [min, max].
+/// NaN maps to kMissingBin. A constant column maps to bin 0.
+std::vector<int> DiscretizeEqualWidth(const std::vector<double>& values,
+                                      int bins);
+
+/// Equal-frequency (quantile) binning. Ties share a bin; NaN -> kMissingBin.
+std::vector<int> DiscretizeEqualFrequency(const std::vector<double>& values,
+                                          int bins);
+
+/// Treats values as categorical: each distinct value gets a code by first
+/// occurrence; NaN -> kMissingBin. Suitable for already-discrete data.
+std::vector<int> CodesFromValues(const std::vector<double>& values);
+
+/// Number of distinct non-missing codes in `codes`.
+size_t DistinctCodeCount(const std::vector<int>& codes);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_STATS_DISCRETIZE_H_

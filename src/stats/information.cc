@@ -1,0 +1,257 @@
+#include "stats/information.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "stats/discretize.h"
+
+namespace autofeat {
+
+namespace {
+
+// Missing-coded rows are excluded from all estimates (pairwise-complete):
+// joins null out entire row ranges at once, so "missing" as a category
+// would dominate any inter-feature dependence measure.
+bool Present(int a) { return a != kMissingBin; }
+
+// Codes produced by the discretisers are small (<= ~33); the dense path
+// covers them. Larger/negative codes fall back to hashing.
+constexpr int kDenseLimit = 64;
+
+double EntropyOfDense(const std::vector<size_t>& counts, size_t n) {
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  double dn = static_cast<double>(n);
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / dn;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+size_t OccupiedCells(const std::vector<size_t>& counts) {
+  size_t k = 0;
+  for (size_t c : counts) k += (c != 0);
+  return k;
+}
+
+// Miller-Madow correction term for a dense count vector.
+double MmTerm(const std::vector<size_t>& counts, size_t n) {
+  if (n == 0) return 0.0;
+  return (static_cast<double>(OccupiedCells(counts)) - 1.0) /
+         (2.0 * static_cast<double>(n));
+}
+
+// Remaps arbitrary int codes (missing rows of either input dropped) into
+// dense 0..k-1 codes. Returns false if the dense limit is exceeded.
+struct DensePair {
+  std::vector<int> x, y;  // parallel, remapped, complete rows only
+  int kx = 0, ky = 0;
+};
+
+bool BuildDensePair(const std::vector<int>& x, const std::vector<int>& y,
+                    DensePair* out) {
+  assert(x.size() == y.size());
+  int min_x = 0, max_x = -1, min_y = 0, max_y = -1;
+  bool first = true;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!Present(x[i]) || !Present(y[i])) continue;
+    if (first) {
+      min_x = max_x = x[i];
+      min_y = max_y = y[i];
+      first = false;
+    } else {
+      min_x = std::min(min_x, x[i]);
+      max_x = std::max(max_x, x[i]);
+      min_y = std::min(min_y, y[i]);
+      max_y = std::max(max_y, y[i]);
+    }
+  }
+  if (first) {
+    out->kx = out->ky = 0;
+    return true;
+  }
+  if (max_x - min_x >= kDenseLimit || max_y - min_y >= kDenseLimit) {
+    return false;
+  }
+  out->kx = max_x - min_x + 1;
+  out->ky = max_y - min_y + 1;
+  out->x.clear();
+  out->y.clear();
+  out->x.reserve(x.size());
+  out->y.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!Present(x[i]) || !Present(y[i])) continue;
+    out->x.push_back(x[i] - min_x);
+    out->y.push_back(y[i] - min_y);
+  }
+  return true;
+}
+
+struct PairEntropies {
+  double hx = 0, hy = 0, hxy = 0;
+  double hx_mm = 0, hy_mm = 0, hxy_mm = 0;
+};
+
+// Dense two-way contingency entropies (plug-in and Miller-Madow).
+PairEntropies DensePairEntropies(const DensePair& p) {
+  PairEntropies out;
+  size_t n = p.x.size();
+  if (n == 0 || p.kx == 0 || p.ky == 0) return out;
+  std::vector<size_t> cx(static_cast<size_t>(p.kx), 0);
+  std::vector<size_t> cy(static_cast<size_t>(p.ky), 0);
+  std::vector<size_t> cxy(static_cast<size_t>(p.kx) * p.ky, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++cx[static_cast<size_t>(p.x[i])];
+    ++cy[static_cast<size_t>(p.y[i])];
+    ++cxy[static_cast<size_t>(p.x[i]) * p.ky + p.y[i]];
+  }
+  out.hx = EntropyOfDense(cx, n);
+  out.hy = EntropyOfDense(cy, n);
+  out.hxy = EntropyOfDense(cxy, n);
+  out.hx_mm = out.hx + MmTerm(cx, n);
+  out.hy_mm = out.hy + MmTerm(cy, n);
+  out.hxy_mm = out.hxy + MmTerm(cxy, n);
+  return out;
+}
+
+// ---- Hash fallback (arbitrary code ranges) --------------------------------
+
+double EntropyOfCounts(const std::unordered_map<uint64_t, size_t>& counts,
+                       size_t n) {
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  double dn = static_cast<double>(n);
+  for (const auto& [key, c] : counts) {
+    double p = static_cast<double>(c) / dn;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double EntropyMM(const std::unordered_map<uint64_t, size_t>& counts,
+                 size_t n) {
+  if (n == 0) return 0.0;
+  return EntropyOfCounts(counts, n) +
+         (static_cast<double>(counts.size()) - 1.0) /
+             (2.0 * static_cast<double>(n));
+}
+
+// Packs small signed codes into tuple keys (bias keeps them non-negative).
+uint64_t Pack1(int a) { return static_cast<uint64_t>(a + (1 << 20)); }
+uint64_t Pack2(int a, int b) { return (Pack1(a) << 21) | Pack1(b); }
+uint64_t Pack3(int a, int b, int c) { return (Pack2(a, b) << 21) | Pack1(c); }
+
+PairEntropies HashPairEntropies(const std::vector<int>& x,
+                                const std::vector<int>& y) {
+  PairEntropies out;
+  std::unordered_map<uint64_t, size_t> cx, cy, cxy;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!Present(x[i]) || !Present(y[i])) continue;
+    ++cx[Pack1(x[i])];
+    ++cy[Pack1(y[i])];
+    ++cxy[Pack2(x[i], y[i])];
+    ++n;
+  }
+  out.hx = EntropyOfCounts(cx, n);
+  out.hy = EntropyOfCounts(cy, n);
+  out.hxy = EntropyOfCounts(cxy, n);
+  out.hx_mm = EntropyMM(cx, n);
+  out.hy_mm = EntropyMM(cy, n);
+  out.hxy_mm = EntropyMM(cxy, n);
+  return out;
+}
+
+PairEntropies ComputePairEntropies(const std::vector<int>& x,
+                                   const std::vector<int>& y) {
+  DensePair dense;
+  if (BuildDensePair(x, y, &dense)) return DensePairEntropies(dense);
+  return HashPairEntropies(x, y);
+}
+
+}  // namespace
+
+double Entropy(const std::vector<int>& x) {
+  // Reuse the pair machinery with y == x; H(X,X) == H(X).
+  return ComputePairEntropies(x, x).hx;
+}
+
+double JointEntropy(const std::vector<int>& x, const std::vector<int>& y) {
+  return ComputePairEntropies(x, y).hxy;
+}
+
+double MutualInformation(const std::vector<int>& x,
+                         const std::vector<int>& y) {
+  PairEntropies e = ComputePairEntropies(x, y);
+  return std::max(0.0, e.hx + e.hy - e.hxy);
+}
+
+double MutualInformationCorrected(const std::vector<int>& x,
+                                  const std::vector<int>& y) {
+  PairEntropies e = ComputePairEntropies(x, y);
+  return std::max(0.0, e.hx_mm + e.hy_mm - e.hxy_mm);
+}
+
+double SymmetricalUncertainty(const std::vector<int>& x,
+                              const std::vector<int>& y) {
+  PairEntropies e = ComputePairEntropies(x, y);
+  if (e.hx + e.hy <= 0.0) return 0.0;
+  double mi = std::max(0.0, e.hx + e.hy - e.hxy);
+  return 2.0 * mi / (e.hx + e.hy);
+}
+
+namespace {
+
+struct TripleEntropies {
+  double hxz = 0, hyz = 0, hxyz = 0, hz = 0;
+  double hxz_mm = 0, hyz_mm = 0, hxyz_mm = 0, hz_mm = 0;
+};
+
+TripleEntropies ComputeTripleEntropies(const std::vector<int>& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<int>& z) {
+  assert(x.size() == y.size() && y.size() == z.size());
+  TripleEntropies out;
+  std::unordered_map<uint64_t, size_t> xz, yz, xyz, zz;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!Present(x[i]) || !Present(y[i]) || !Present(z[i])) continue;
+    ++xz[Pack2(x[i], z[i])];
+    ++yz[Pack2(y[i], z[i])];
+    ++xyz[Pack3(x[i], y[i], z[i])];
+    ++zz[Pack1(z[i])];
+    ++n;
+  }
+  out.hxz = EntropyOfCounts(xz, n);
+  out.hyz = EntropyOfCounts(yz, n);
+  out.hxyz = EntropyOfCounts(xyz, n);
+  out.hz = EntropyOfCounts(zz, n);
+  out.hxz_mm = EntropyMM(xz, n);
+  out.hyz_mm = EntropyMM(yz, n);
+  out.hxyz_mm = EntropyMM(xyz, n);
+  out.hz_mm = EntropyMM(zz, n);
+  return out;
+}
+
+}  // namespace
+
+double ConditionalMutualInformation(const std::vector<int>& x,
+                                    const std::vector<int>& y,
+                                    const std::vector<int>& z) {
+  TripleEntropies e = ComputeTripleEntropies(x, y, z);
+  return std::max(0.0, e.hxz + e.hyz - e.hxyz - e.hz);
+}
+
+double ConditionalMutualInformationCorrected(const std::vector<int>& x,
+                                             const std::vector<int>& y,
+                                             const std::vector<int>& z) {
+  TripleEntropies e = ComputeTripleEntropies(x, y, z);
+  return std::max(0.0, e.hxz_mm + e.hyz_mm - e.hxyz_mm - e.hz_mm);
+}
+
+}  // namespace autofeat

@@ -1,0 +1,57 @@
+// Shannon information measures over discretised features (paper §V).
+//
+// All quantities use natural logarithms; all inputs are discrete codes as
+// produced by stats/discretize.h. kMissingBin codes are treated as a regular
+// category (missingness itself can be informative).
+
+#ifndef AUTOFEAT_STATS_INFORMATION_H_
+#define AUTOFEAT_STATS_INFORMATION_H_
+
+#include <vector>
+
+namespace autofeat {
+
+/// Shannon entropy H(X) in nats.
+double Entropy(const std::vector<int>& x);
+
+/// Joint entropy H(X, Y); x and y must be equal length.
+double JointEntropy(const std::vector<int>& x, const std::vector<int>& y);
+
+/// Mutual information I(X; Y) = H(X) + H(Y) - H(X, Y). Symmetric, >= 0
+/// (up to floating-point noise, clamped at 0).
+double MutualInformation(const std::vector<int>& x, const std::vector<int>& y);
+
+/// Conditional mutual information I(X; Y | Z)
+/// = H(X,Z) + H(Y,Z) - H(X,Y,Z) - H(Z). Clamped at 0.
+double ConditionalMutualInformation(const std::vector<int>& x,
+                                    const std::vector<int>& y,
+                                    const std::vector<int>& z);
+
+/// Information gain of feature X w.r.t. label Y; alias of I(X; Y) (§V-C).
+inline double InformationGain(const std::vector<int>& x,
+                              const std::vector<int>& y) {
+  return MutualInformation(x, y);
+}
+
+/// Symmetrical uncertainty SU(X, Y) = 2*I(X;Y) / (H(X) + H(Y)), in [0, 1].
+/// Returns 0 when both entropies are 0 (constant features share nothing).
+double SymmetricalUncertainty(const std::vector<int>& x,
+                              const std::vector<int>& y);
+
+/// Miller-Madow bias-corrected mutual information. Plug-in MI estimates are
+/// biased upward by ~(Kx-1)(Ky-1)/(2n), which at modest sample sizes swamps
+/// the true dependence of weak features; the correction adds (K-1)/(2n) to
+/// each plug-in entropy (K = occupied cells), cancelling the bias so that
+/// independent features score ~0. Used by the redundancy criteria, whose
+/// J > 0 acceptance test needs an (approximately) unbiased estimate.
+double MutualInformationCorrected(const std::vector<int>& x,
+                                  const std::vector<int>& y);
+
+/// Miller-Madow bias-corrected conditional mutual information.
+double ConditionalMutualInformationCorrected(const std::vector<int>& x,
+                                             const std::vector<int>& y,
+                                             const std::vector<int>& z);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_STATS_INFORMATION_H_

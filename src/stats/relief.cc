@@ -1,0 +1,95 @@
+#include "stats/relief.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace autofeat {
+
+namespace {
+
+// Per-feature min/max used to normalise value differences into [0, 1].
+struct FeatureRange {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double Span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+double NormalizedDiff(double a, double b, const FeatureRange& range) {
+  // NaN = unknown: neutral difference of 0.5 (standard Relief convention).
+  if (std::isnan(a) || std::isnan(b)) return 0.5;
+  return std::abs(a - b) / range.Span();
+}
+
+}  // namespace
+
+std::vector<double> ReliefScores(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, size_t num_samples, Rng* rng) {
+  size_t nf = features.size();
+  std::vector<double> weights(nf, 0.0);
+  if (nf == 0) return weights;
+  size_t n = labels.size();
+  if (n < 2) return weights;
+
+  std::vector<FeatureRange> ranges(nf);
+  for (size_t f = 0; f < nf; ++f) {
+    assert(features[f].size() == n);
+    for (double v : features[f]) {
+      if (std::isnan(v)) continue;
+      ranges[f].lo = std::min(ranges[f].lo, v);
+      ranges[f].hi = std::max(ranges[f].hi, v);
+    }
+  }
+
+  auto distance = [&](size_t a, size_t b) {
+    double d = 0.0;
+    for (size_t f = 0; f < nf; ++f) {
+      d += NormalizedDiff(features[f][a], features[f][b], ranges[f]);
+    }
+    return d;
+  };
+
+  std::vector<size_t> samples;
+  if (num_samples >= n) {
+    samples.resize(n);
+    for (size_t i = 0; i < n; ++i) samples[i] = i;
+  } else {
+    samples = rng->Permutation(n);
+    samples.resize(num_samples);
+  }
+
+  size_t used = 0;
+  for (size_t s : samples) {
+    // Nearest hit (same class) and nearest miss (different class).
+    double best_hit = std::numeric_limits<double>::infinity();
+    double best_miss = std::numeric_limits<double>::infinity();
+    size_t hit = n, miss = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == s) continue;
+      double d = distance(s, j);
+      if (labels[j] == labels[s]) {
+        if (d < best_hit) {
+          best_hit = d;
+          hit = j;
+        }
+      } else if (d < best_miss) {
+        best_miss = d;
+        miss = j;
+      }
+    }
+    if (hit == n || miss == n) continue;  // Single-class neighbourhood.
+    ++used;
+    for (size_t f = 0; f < nf; ++f) {
+      weights[f] += NormalizedDiff(features[f][s], features[f][miss], ranges[f]) -
+                    NormalizedDiff(features[f][s], features[f][hit], ranges[f]);
+    }
+  }
+  if (used > 0) {
+    for (double& w : weights) w /= static_cast<double>(used);
+  }
+  return weights;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,27 @@
+// Relief feature scoring (paper §V-C): weights features by how well their
+// values separate nearest-neighbour instances of different classes.
+
+#ifndef AUTOFEAT_STATS_RELIEF_H_
+#define AUTOFEAT_STATS_RELIEF_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autofeat {
+
+/// \brief Relief weights for a feature matrix.
+///
+/// `features` is column-major: features[f][row]. NaNs are treated as the
+/// feature midpoint (neutral difference 0.5). `labels` holds class codes.
+/// `num_samples` instances are sampled (all, if >= n). For each sampled
+/// instance the nearest hit (same class) and nearest miss (other class) are
+/// found by normalised Manhattan distance; weights accumulate
+/// diff(miss) - diff(hit). Result is per-feature, higher = more relevant.
+std::vector<double> ReliefScores(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, size_t num_samples, Rng* rng);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_STATS_RELIEF_H_

@@ -1,0 +1,109 @@
+// A nullable, typed, value-semantic column of data.
+//
+// Columns are the unit of feature manipulation throughout the library: joins
+// gather them, statistics consume them, feature selection ranks them. The
+// representation is a tagged union of typed vectors plus a validity bitmap,
+// similar in spirit to (a simplified) Arrow array.
+
+#ifndef AUTOFEAT_TABLE_COLUMN_H_
+#define AUTOFEAT_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/data_type.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief A typed column with per-row validity (null) information.
+///
+/// Invariants: exactly the vector matching type() has size() entries;
+/// valid_ is either empty (all rows valid) or has size() entries.
+class Column {
+ public:
+  /// An empty column of the given type.
+  explicit Column(DataType type = DataType::kDouble) : type_(type) {}
+
+  // -- Factories ------------------------------------------------------------
+
+  static Column Doubles(std::vector<double> values,
+                        std::vector<uint8_t> valid = {});
+  static Column Int64s(std::vector<int64_t> values,
+                       std::vector<uint8_t> valid = {});
+  static Column Strings(std::vector<std::string> values,
+                        std::vector<uint8_t> valid = {});
+  /// A column of `n` nulls with the given type.
+  static Column Nulls(DataType type, size_t n);
+
+  // -- Basic accessors --------------------------------------------------------
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  bool IsNull(size_t i) const {
+    return !valid_.empty() && valid_[i] == 0;
+  }
+  size_t null_count() const;
+  /// Fraction of null entries, 0 for an empty column.
+  double null_ratio() const;
+
+  /// Typed element access; row must be valid and of matching type
+  /// (checked only by assertions in debug builds — hot path).
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  int64_t GetInt64(size_t i) const { return int64s_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+
+  /// Numeric value of row i: the double/int64 value as double.
+  /// Must not be called on string columns or null rows.
+  double NumericAt(size_t i) const {
+    return type_ == DataType::kDouble ? doubles_[i]
+                                      : static_cast<double>(int64s_[i]);
+  }
+
+  // -- Appending (builder-style) ----------------------------------------------
+
+  void AppendDouble(double v);
+  void AppendInt64(int64_t v);
+  void AppendString(std::string v);
+  void AppendNull();
+  /// Appends row `i` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, size_t i);
+  void Reserve(size_t n);
+
+  // -- Transformations ----------------------------------------------------------
+
+  /// Gathers rows at `indices` into a new column (duplicate indices allowed).
+  Column Take(const std::vector<size_t>& indices) const;
+
+  /// All values as doubles (int64 widened). Strings are ordinally encoded
+  /// by first occurrence. Null rows map to NaN.
+  std::vector<double> ToNumeric() const;
+
+  /// Human-readable value for CSV output and debugging ("" for null).
+  std::string ValueToString(size_t i) const;
+
+  /// Join-key representation of row i. Nulls get a sentinel that never
+  /// matches data. Numeric values are canonicalised so that int64 7 and
+  /// double 7.0 produce the same key.
+  std::string KeyAt(size_t i) const;
+
+  /// Structural equality (type, validity and values).
+  bool Equals(const Column& other) const;
+
+ private:
+  void EnsureValidMask();
+
+  DataType type_;
+  std::vector<double> doubles_;
+  std::vector<int64_t> int64s_;
+  std::vector<std::string> strings_;
+  // Empty means "all valid"; otherwise 1 = valid, 0 = null.
+  std::vector<uint8_t> valid_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_COLUMN_H_

@@ -1,0 +1,189 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace autofeat {
+
+namespace {
+
+// Splits one CSV record, honouring double-quote escaping.
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool IsNullToken(const std::string& s, const CsvOptions& options) {
+  if (options.treat_empty_as_null && s.empty()) return true;
+  return s == "NA" || s == "N/A" || s == "null" || s == "NULL" || s == "nan" ||
+         s == "NaN";
+}
+
+std::string NeedsQuoting(const std::string& s, char delim) {
+  if (s.find(delim) == std::string::npos &&
+      s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+    return s;
+  }
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';  // Escape quotes by doubling.
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& csv, const std::string& name,
+                            const CsvOptions& options) {
+  std::istringstream stream(csv);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::IOError("empty CSV input for table " + name);
+  }
+  std::vector<std::string> header = SplitRecord(line, options.delimiter);
+  for (auto& h : header) h = Trim(h);
+  size_t ncols = header.size();
+
+  // Collect raw cells column-wise; infer types afterwards.
+  std::vector<std::vector<std::string>> cells(ncols);
+  size_t nrows = 0;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> record = SplitRecord(line, options.delimiter);
+    if (record.size() != ncols) {
+      return Status::IOError("row " + std::to_string(nrows + 1) + " has " +
+                             std::to_string(record.size()) +
+                             " fields, expected " + std::to_string(ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) cells[c].push_back(std::move(record[c]));
+    ++nrows;
+  }
+
+  Table table(name);
+  for (size_t c = 0; c < ncols; ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    for (const auto& cell : cells[c]) {
+      if (IsNullToken(cell, options)) continue;
+      int64_t iv;
+      double dv;
+      if (!ParseInt64(cell, &iv)) all_int = false;
+      if (!ParseDouble(cell, &dv)) all_double = false;
+      if (!all_int && !all_double) break;
+    }
+    Column col(all_int       ? DataType::kInt64
+               : all_double  ? DataType::kDouble
+                             : DataType::kString);
+    col.Reserve(nrows);
+    for (const auto& cell : cells[c]) {
+      if (IsNullToken(cell, options)) {
+        col.AppendNull();
+      } else if (all_int) {
+        int64_t iv = 0;
+        ParseInt64(cell, &iv);
+        col.AppendInt64(iv);
+      } else if (all_double) {
+        double dv = 0;
+        ParseDouble(cell, &dv);
+        col.AppendDouble(dv);
+      } else {
+        col.AppendString(cell);
+      }
+    }
+    AF_RETURN_NOT_OK(table.AddColumn(header[c], std::move(col)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Table name = file stem.
+  size_t slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  return ReadCsvString(buffer.str(), stem, options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const auto names = table.ColumnNames();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (c > 0) out += options.delimiter;
+    out += NeedsQuoting(names[c], options.delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += NeedsQuoting(table.column(c).ValueToString(r), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace autofeat

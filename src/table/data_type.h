@@ -1,0 +1,38 @@
+// Logical column types of the columnar table substrate.
+
+#ifndef AUTOFEAT_TABLE_DATA_TYPE_H_
+#define AUTOFEAT_TABLE_DATA_TYPE_H_
+
+#include <string>
+
+namespace autofeat {
+
+/// \brief Physical/logical type of a Column.
+///
+/// kDouble  — continuous numeric features.
+/// kInt64   — integer features and surrogate keys.
+/// kString  — categorical / nominal features and textual join keys.
+enum class DataType {
+  kDouble = 0,
+  kInt64 = 1,
+  kString = 2,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kDouble: return "double";
+    case DataType::kInt64: return "int64";
+    case DataType::kString: return "string";
+  }
+  return "invalid";
+}
+
+/// True for types on which arithmetic statistics (mean, correlation) are
+/// directly defined.
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kDouble || t == DataType::kInt64;
+}
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_DATA_TYPE_H_

@@ -1,0 +1,72 @@
+// Schema: ordered, uniquely named, typed fields of a Table.
+
+#ifndef AUTOFEAT_TABLE_SCHEMA_H_
+#define AUTOFEAT_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/data_type.h"
+
+namespace autofeat {
+
+/// \brief A named, typed column slot.
+struct Field {
+  std::string name;
+  DataType type = DataType::kDouble;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of uniquely named fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) {
+    for (auto& f : fields) AddField(std::move(f));
+  }
+
+  /// Appends a field; returns false (and ignores it) if the name exists.
+  bool AddField(Field field) {
+    if (index_.count(field.name) > 0) return false;
+    index_[field.name] = fields_.size();
+    fields_.push_back(std::move(field));
+    return true;
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, if present.
+  std::optional<size_t> FieldIndex(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  std::vector<std::string> FieldNames() const {
+    std::vector<std::string> names;
+    names.reserve(fields_.size());
+    for (const auto& f : fields_) names.push_back(f.name);
+    return names;
+  }
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_SCHEMA_H_

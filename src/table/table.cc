@@ -1,0 +1,132 @@
+#include "table/table.h"
+
+#include "util/string_utils.h"
+
+namespace autofeat {
+
+Status Table::AddColumn(const std::string& name, Column column) {
+  if (schema_.HasField(name)) {
+    return Status::InvalidArgument("duplicate column name: " + name);
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(column.size()) +
+        " rows, table has " + std::to_string(num_rows()));
+  }
+  schema_.AddField(Field{name, column.type()});
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::SetColumn(const std::string& name, Column column) {
+  auto idx = schema_.FieldIndex(name);
+  if (!idx.has_value()) {
+    return Status::KeyError("no such column: " + name);
+  }
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument("replacement column length mismatch");
+  }
+  // Rebuild schema in place to reflect a possible type change.
+  Schema schema;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    Field f = schema_.field(i);
+    if (i == *idx) f.type = column.type();
+    schema.AddField(std::move(f));
+  }
+  schema_ = std::move(schema);
+  columns_[*idx] = std::move(column);
+  return Status::OK();
+}
+
+Status Table::DropColumn(const std::string& name) {
+  auto idx = schema_.FieldIndex(name);
+  if (!idx.has_value()) {
+    return Status::KeyError("no such column: " + name);
+  }
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(*idx));
+  Schema schema;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i != *idx) schema.AddField(schema_.field(i));
+  }
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  auto idx = schema_.FieldIndex(name);
+  if (!idx.has_value()) {
+    return Status::KeyError("no such column: " + name + " in table " + name_);
+  }
+  return &columns_[*idx];
+}
+
+Result<Table> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  Table out(name_);
+  for (const auto& name : names) {
+    AF_ASSIGN_OR_RETURN(const Column* col, GetColumn(name));
+    AF_RETURN_NOT_OK(out.AddColumn(name, *col));
+  }
+  return out;
+}
+
+Table Table::TakeRows(const std::vector<size_t>& indices) const {
+  Table out(name_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out.AddColumn(schema_.field(i).name, columns_[i].Take(indices)).Abort();
+  }
+  return out;
+}
+
+Status Table::RenameColumn(const std::string& old_name,
+                           const std::string& new_name) {
+  auto idx = schema_.FieldIndex(old_name);
+  if (!idx.has_value()) {
+    return Status::KeyError("no such column: " + old_name);
+  }
+  if (old_name == new_name) return Status::OK();
+  if (schema_.HasField(new_name)) {
+    return Status::InvalidArgument("column name already in use: " + new_name);
+  }
+  Schema schema;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    Field f = schema_.field(i);
+    if (i == *idx) f.name = new_name;
+    schema.AddField(std::move(f));
+  }
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+Table Table::WithQualifiedNames(const std::string& prefix) const {
+  Table out(name_);
+  std::string qualifier = prefix + ".";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& name = schema_.field(i).name;
+    std::string qualified =
+        StartsWith(name, qualifier) ? name : qualifier + name;
+    out.AddColumn(qualified, columns_[i]).Abort();
+  }
+  return out;
+}
+
+double Table::OverallNullRatio() const {
+  if (columns_.empty() || num_rows() == 0) return 0.0;
+  size_t nulls = 0;
+  size_t total = 0;
+  for (const auto& col : columns_) {
+    nulls += col.null_count();
+    total += col.size();
+  }
+  return static_cast<double>(nulls) / static_cast<double>(total);
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!schema_.Equals(other.schema_)) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,79 @@
+// Table: a named collection of equally long Columns with a Schema.
+//
+// This is the dataframe-equivalent the rest of the library operates on:
+// datasets in the lake, intermediate join results, and augmented outputs are
+// all Tables.
+
+#ifndef AUTOFEAT_TABLE_TABLE_H_
+#define AUTOFEAT_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+#include "table/schema.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief In-memory columnar table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a column. Fails if the name is taken or the length mismatches.
+  Status AddColumn(const std::string& name, Column column);
+
+  /// Replaces an existing column (same length required).
+  Status SetColumn(const std::string& name, Column column);
+
+  /// Drops a column by name.
+  Status DropColumn(const std::string& name);
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column lookup by name.
+  Result<const Column*> GetColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return schema_.HasField(name);
+  }
+  std::vector<std::string> ColumnNames() const { return schema_.FieldNames(); }
+
+  /// A new table with only the given columns, in the given order.
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// A new table with the given rows (duplicates allowed), all columns.
+  Table TakeRows(const std::vector<size_t>& indices) const;
+
+  /// Renames a column.
+  Status RenameColumn(const std::string& old_name, const std::string& new_name);
+
+  /// A copy whose column names are prefixed with "<prefix>." unless already
+  /// qualified with it. Used when joining to keep names unique per dataset.
+  Table WithQualifiedNames(const std::string& prefix) const;
+
+  /// Average null ratio over all columns (the data-quality signal of §IV-C).
+  double OverallNullRatio() const;
+
+  bool Equals(const Table& other) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_TABLE_H_

@@ -1,0 +1,174 @@
+// Arrow-style Status / Result<T> error handling.
+//
+// Library code returns Status (or Result<T>) instead of throwing across the
+// public API. The AF_RETURN_NOT_OK / AF_ASSIGN_OR_RETURN macros propagate
+// failures with minimal boilerplate, mirroring Apache Arrow's idiom.
+
+#ifndef AUTOFEAT_UTIL_STATUS_H_
+#define AUTOFEAT_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace autofeat {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kKeyError,
+  kIndexError,
+  kTypeError,
+  kIOError,
+  kNotImplemented,
+  kUnknownError,
+};
+
+/// \brief Outcome of an operation: success or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status UnknownError(std::string msg) {
+    return Status(StatusCode::kUnknownError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  /// Aborts the process with the error message if the status is not OK.
+  /// For use in examples/benches where an error is unrecoverable.
+  void Abort(const char* context = nullptr) const {
+    if (ok()) return;
+    std::cerr << "fatal";
+    if (context != nullptr) std::cerr << " (" << context << ")";
+    std::cerr << ": " << ToString() << std::endl;
+    std::abort();
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kKeyError: return "KeyError";
+      case StatusCode::kIndexError: return "IndexError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kUnknownError: return "UnknownError";
+    }
+    return "Invalid";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::UnknownError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; must only be called when ok().
+  T&& MoveValue() {
+    if (!ok()) status_.Abort("Result::MoveValue");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define AF_CONCAT_IMPL(x, y) x##y
+#define AF_CONCAT(x, y) AF_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status from the enclosing function.
+#define AF_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::autofeat::Status _af_st = (expr);           \
+    if (!_af_st.ok()) return _af_st;              \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>); on success assigns the value to `lhs`,
+/// on failure returns the Status from the enclosing function.
+#define AF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.MoveValue()
+
+#define AF_ASSIGN_OR_RETURN(lhs, rexpr) \
+  AF_ASSIGN_OR_RETURN_IMPL(AF_CONCAT(_af_result_, __LINE__), lhs, rexpr)
+
+/// Aborts if `expr` yields a non-OK status. For tests/examples.
+#define AF_CHECK_OK(expr)                         \
+  do {                                            \
+    ::autofeat::Status _af_st = (expr);           \
+    _af_st.Abort(#expr);                          \
+  } while (false)
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_UTIL_STATUS_H_

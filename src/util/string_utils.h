@@ -1,0 +1,48 @@
+// Small string helpers shared across modules (CSV parsing, schema matching).
+
+#ifndef AUTOFEAT_UTIL_STRING_UTILS_H_
+#define AUTOFEAT_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autofeat {
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Levenshtein edit distance (dynamic programming, O(|a|*|b|)).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalised Levenshtein similarity in [0, 1]: 1 - dist / max_len.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// The multiset of character q-grams of `s` (padded with '#'), sorted.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Jaccard similarity of the q-gram sets of `a` and `b`.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+/// Formats a double with fixed precision (for table printers).
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_UTIL_STRING_UTILS_H_

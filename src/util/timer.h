@@ -1,0 +1,31 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef AUTOFEAT_UTIL_TIMER_H_
+#define AUTOFEAT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace autofeat {
+
+/// \brief Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_UTIL_TIMER_H_

@@ -1,0 +1,225 @@
+// Integration tests of the core AutoFeat engine (Algorithm 1 + 2) against
+// lakes with known ground truth.
+
+#include "core/autofeat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ranking.h"
+#include "datagen/lake_builder.h"
+
+namespace autofeat {
+namespace {
+
+datagen::BuiltLake MakeLake(bool star = false, uint64_t seed = 7) {
+  datagen::LakeSpec spec;
+  spec.name = "lk";
+  spec.rows = 900;
+  spec.joinable_tables = 6;
+  spec.total_features = 24;
+  spec.star_schema = star;
+  spec.seed = seed;
+  return datagen::BuildLake(spec);
+}
+
+AutoFeatConfig FastConfig() {
+  AutoFeatConfig config;
+  config.sample_rows = 600;
+  config.top_k_paths = 3;
+  return config;
+}
+
+TEST(RankingScoreTest, Formula) {
+  std::vector<FeatureScore> rel{{"a", 0.4}, {"b", 0.2}};
+  std::vector<FeatureScore> red{{"a", 0.1}};
+  // (mean_rel + mean_red) / 2 = (0.3 + 0.1) / 2.
+  EXPECT_NEAR(ComputeRankingScore(rel, red), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(ComputeRankingScore({}, {}), 0.0);
+  EXPECT_NEAR(ComputeRankingScore(rel, {}), 0.15, 1e-12);
+}
+
+TEST(AutoFeatTest, DiscoverFindsRankedPaths) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  ASSERT_TRUE(drg.ok());
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->ranked.empty());
+  EXPECT_GT(result->paths_explored, 0u);
+  EXPECT_GT(result->feature_selection_seconds, 0.0);
+  EXPECT_LE(result->feature_selection_seconds, result->total_seconds);
+  // Scores sorted descending.
+  for (size_t i = 1; i < result->ranked.size(); ++i) {
+    EXPECT_GE(result->ranked[i - 1].score, result->ranked[i].score);
+  }
+}
+
+TEST(AutoFeatTest, BestPathReachesDeepSignal) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->ranked.empty());
+  // The top-ranked path must reach a table at the deepest relevant level
+  // (the synthetic lake plants the strongest features there).
+  const RankedPath& best = result->ranked.front();
+  EXPECT_GE(best.path.length(), built.DeepestRelevantDepth());
+  EXPECT_FALSE(best.selected_features.empty());
+}
+
+TEST(AutoFeatTest, MissingBaseTableOrLabelFails) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  EXPECT_FALSE(engine.DiscoverFeatures("ghost", "label").ok());
+  EXPECT_FALSE(engine.DiscoverFeatures(built.base_table, "ghost").ok());
+}
+
+TEST(AutoFeatTest, TauOnePrunesImperfectJoins) {
+  auto built = MakeLake();  // key_coverage 0.9 -> no perfect joins.
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeatConfig config = FastConfig();
+  config.tau = 1.0;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ranked.empty());
+  EXPECT_GT(result->paths_pruned_quality, 0u);
+}
+
+TEST(AutoFeatTest, MaxHopsLimitsPathLength) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeatConfig config = FastConfig();
+  config.max_hops = 1;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  for (const auto& rp : result->ranked) {
+    EXPECT_EQ(rp.path.length(), 1u);
+  }
+}
+
+TEST(AutoFeatTest, KappaOneSelectsAtMostOneFeaturePerBatch) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeatConfig config = FastConfig();
+  config.kappa = 1;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  for (const auto& rp : result->ranked) {
+    EXPECT_LE(rp.selected_features.size(), rp.path.length());
+  }
+}
+
+TEST(AutoFeatTest, MaterializePreservesRowsAndAddsFeatures) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->ranked.empty());
+  auto base = built.lake.GetTable(built.base_table);
+  auto table = engine.MaterializeAugmentedTable(
+      built.base_table, result->ranked.front(), built.label_column);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), (*base)->num_rows());
+  EXPECT_GT(table->num_columns(), (*base)->num_columns());
+  EXPECT_TRUE(table->HasColumn(built.label_column));
+  // All base columns retained.
+  for (const auto& name : (*base)->ColumnNames()) {
+    EXPECT_TRUE(table->HasColumn(name)) << name;
+  }
+}
+
+TEST(AutoFeatTest, AugmentImprovesOverBase) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  auto base = built.lake.GetTable(built.base_table);
+  auto base_eval = ml::TrainAndEvaluate(**base, built.label_column,
+                                        ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(base_eval.ok());
+  auto augmented = engine.Augment(built.base_table, built.label_column,
+                                  ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(augmented.ok()) << augmented.status().ToString();
+  EXPECT_GT(augmented->accuracy, base_eval->accuracy + 0.05);
+  EXPECT_GE(augmented->total_seconds,
+            augmented->discovery.total_seconds);
+}
+
+TEST(AutoFeatTest, AugmentFallsBackToBaseWhenNothingRanks) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeatConfig config = FastConfig();
+  config.tau = 1.0;  // Prunes everything.
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto augmented = engine.Augment(built.base_table, built.label_column,
+                                  ml::ModelKind::kKnn);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented->best_path.path.length(), 0u);
+  auto base = built.lake.GetTable(built.base_table);
+  EXPECT_EQ(augmented->augmented.num_columns(), (*base)->num_columns());
+}
+
+TEST(AutoFeatTest, StarSchemaStillWorks) {
+  auto built = MakeLake(/*star=*/true);
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat engine(&built.lake, &*drg, FastConfig());
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ranked.empty());
+  for (const auto& rp : result->ranked) {
+    EXPECT_EQ(rp.path.length(), 1u);  // Star schema has no deeper paths.
+  }
+}
+
+TEST(AutoFeatTest, DeterministicGivenSeed) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeat a(&built.lake, &*drg, FastConfig());
+  AutoFeat b(&built.lake, &*drg, FastConfig());
+  auto ra = a.DiscoverFeatures(built.base_table, built.label_column);
+  auto rb = b.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->ranked.size(), rb->ranked.size());
+  for (size_t i = 0; i < ra->ranked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra->ranked[i].score, rb->ranked[i].score);
+    EXPECT_TRUE(ra->ranked[i].path.steps == rb->ranked[i].path.steps);
+  }
+}
+
+TEST(AutoFeatTest, MaxPathsCapRespected) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  AutoFeatConfig config = FastConfig();
+  config.max_paths = 3;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->paths_explored, 3u);
+}
+
+TEST(AutoFeatTest, AblationConfigsRun) {
+  auto built = MakeLake();
+  auto drg = BuildDrgFromKfk(built.lake);
+  for (bool use_rel : {true, false}) {
+    for (bool use_red : {true, false}) {
+      AutoFeatConfig config = FastConfig();
+      config.use_relevance = use_rel;
+      config.use_redundancy = use_red;
+      AutoFeat engine(&built.lake, &*drg, config);
+      auto result =
+          engine.DiscoverFeatures(built.base_table, built.label_column);
+      ASSERT_TRUE(result.ok()) << use_rel << use_red;
+      EXPECT_FALSE(result->ranked.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autofeat

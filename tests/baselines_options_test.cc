@@ -1,0 +1,118 @@
+// Option-surface coverage of the baseline methods.
+
+#include <gtest/gtest.h>
+
+#include "baselines/arda.h"
+#include "baselines/join_all.h"
+#include "baselines/mab.h"
+#include "datagen/lake_builder.h"
+
+namespace autofeat::baselines {
+namespace {
+
+struct Fixture {
+  datagen::BuiltLake built;
+  DatasetRelationGraph drg;
+
+  Fixture() {
+    datagen::LakeSpec spec;
+    spec.name = "opt";
+    spec.rows = 500;
+    spec.joinable_tables = 5;
+    spec.total_features = 20;
+    spec.star_schema = true;  // All tables direct: every method applies.
+    spec.seed = 29;
+    built = datagen::BuildLake(spec);
+    drg = BuildDrgFromKfk(built.lake).MoveValue();
+  }
+};
+
+TEST(JoinAllOptionsTest, MaxTablesCapsJoins) {
+  Fixture fix;
+  JoinAllOptions options;
+  options.max_tables = 3;  // Includes the base in the count.
+  JoinAll method(options);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tables_joined, 3u);
+}
+
+TEST(JoinAllOptionsTest, FilterKeepBudgetOfOne) {
+  Fixture fix;
+  JoinAllOptions options;
+  options.filter = true;
+  options.keep_features = 1;
+  JoinAll method(options);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->augmented.num_columns(), 2u);  // 1 feature + label.
+}
+
+TEST(ArdaOptionsTest, MoreTrialsCostMoreTime) {
+  Fixture fix;
+  ArdaOptions cheap;
+  cheap.num_trials = 1;
+  cheap.wrapper_fractions = {1.0};
+  ArdaOptions expensive;
+  expensive.num_trials = 6;
+  expensive.wrapper_fractions = {0.25, 0.5, 0.75, 1.0};
+  Arda a(cheap), b(expensive);
+  auto ra = a.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                      fix.built.label_column);
+  auto rb = b.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                      fix.built.label_column);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LT(ra->feature_selection_seconds, rb->feature_selection_seconds);
+}
+
+TEST(ArdaOptionsTest, SurvivorsNeverEmpty) {
+  // Even with an absurd beat requirement the method degrades to keeping
+  // all features rather than returning an empty table.
+  Fixture fix;
+  ArdaOptions harsh;
+  harsh.beat_fraction = 1.1;  // Impossible to satisfy.
+  harsh.num_trials = 2;
+  Arda method(harsh);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->augmented.num_columns(), 1u);
+  EXPECT_TRUE(result->augmented.HasColumn(fix.built.label_column));
+}
+
+TEST(MabOptionsTest, ZeroEpisodesJoinsNothing) {
+  Fixture fix;
+  MabOptions options;
+  options.episodes = 0;
+  Mab method(options);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tables_joined, 0u);
+  auto base = fix.built.lake.GetTable(fix.built.base_table);
+  EXPECT_EQ(result->augmented.num_columns(), (*base)->num_columns());
+}
+
+TEST(MabOptionsTest, MoreEpisodesNeverJoinFewer) {
+  Fixture fix;
+  MabOptions few;
+  few.episodes = 2;
+  few.seed = 5;
+  MabOptions many;
+  many.episodes = 16;
+  many.seed = 5;
+  Mab a(few), b(many);
+  auto ra = a.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                      fix.built.label_column);
+  auto rb = b.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                      fix.built.label_column);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LE(ra->tables_joined, rb->tables_joined);
+}
+
+}  // namespace
+}  // namespace autofeat::baselines

@@ -1,0 +1,242 @@
+// Tests of the comparison methods (BASE, JoinAll, JoinAll+F, ARDA, MAB)
+// and their documented structural limitations.
+
+#include <gtest/gtest.h>
+
+#include "baselines/arda.h"
+#include "baselines/augmenter.h"
+#include "baselines/autofeat_method.h"
+#include "baselines/join_all.h"
+#include "baselines/mab.h"
+#include "datagen/lake_builder.h"
+#include "ml/trainer.h"
+#include "util/string_utils.h"
+
+namespace autofeat::baselines {
+namespace {
+
+struct LakeFixture {
+  datagen::BuiltLake built;
+  DatasetRelationGraph drg;
+
+  explicit LakeFixture(bool star = false) {
+    datagen::LakeSpec spec;
+    spec.name = "lk";
+    spec.rows = 700;
+    spec.joinable_tables = 6;
+    spec.total_features = 24;
+    spec.star_schema = star;
+    spec.seed = 11;
+    built = datagen::BuildLake(spec);
+    drg = BuildDrgFromKfk(built.lake).MoveValue();
+  }
+};
+
+TEST(BaseMethodTest, ReturnsBaseTableVerbatim) {
+  LakeFixture fix;
+  BaseMethod method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  auto base = fix.built.lake.GetTable(fix.built.base_table);
+  EXPECT_TRUE(result->augmented.Equals(**base));
+  EXPECT_EQ(result->tables_joined, 0u);
+  EXPECT_EQ(method.name(), "BASE");
+}
+
+TEST(BaseMethodTest, MissingLabelFails) {
+  LakeFixture fix;
+  BaseMethod method;
+  EXPECT_FALSE(method
+                   .Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                            "ghost")
+                   .ok());
+}
+
+TEST(JoinAllTest, JoinsEveryReachableTable) {
+  LakeFixture fix;
+  JoinAll method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tables_joined, 6u);
+  auto base = fix.built.lake.GetTable(fix.built.base_table);
+  EXPECT_EQ(result->augmented.num_rows(), (*base)->num_rows());
+  EXPECT_EQ(method.name(), "JoinAll");
+}
+
+TEST(JoinAllTest, WideTableContainsDeepFeatures) {
+  LakeFixture fix;
+  JoinAll method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  // Features of the deepest tables must be present in the wide table.
+  bool found_deep = false;
+  for (const auto& truth : fix.built.truth) {
+    if (truth.depth < 2) continue;
+    for (const auto& col : result->augmented.ColumnNames()) {
+      if (StartsWith(col, truth.name + "_f")) found_deep = true;
+    }
+  }
+  EXPECT_TRUE(found_deep);
+}
+
+TEST(JoinAllFilterTest, KeepsAtMostKFeatures) {
+  LakeFixture fix;
+  JoinAllOptions options;
+  options.filter = true;
+  options.keep_features = 5;
+  JoinAll method(options);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->augmented.num_columns(), 6u);  // 5 features + label.
+  EXPECT_TRUE(result->augmented.HasColumn(fix.built.label_column));
+  EXPECT_GT(result->feature_selection_seconds, 0.0);
+  EXPECT_EQ(method.name(), "JoinAll+F");
+}
+
+TEST(ArdaTest, OnlyJoinsDirectNeighbors) {
+  LakeFixture fix;  // Snowflake: deep tables are NOT direct neighbours.
+  Arda method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Star join: at most the number of direct neighbours.
+  size_t direct =
+      fix.drg.Neighbors(*fix.drg.NodeId(fix.built.base_table)).size();
+  EXPECT_LE(result->tables_joined, direct);
+  EXPECT_GT(result->tables_joined, 0u);
+  // ARDA's augmented table must NOT contain features from depth >= 2
+  // tables (its star-schema limitation, Table I).
+  for (const auto& truth : fix.built.truth) {
+    if (truth.depth < 2) continue;
+    for (const auto& col : result->augmented.ColumnNames()) {
+      EXPECT_FALSE(StartsWith(col, truth.name + "_f"))
+          << "ARDA reached a transitive table: " << col;
+    }
+  }
+}
+
+TEST(ArdaTest, SelectsSubsetWithLabel) {
+  LakeFixture fix(true);
+  Arda method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->augmented.HasColumn(fix.built.label_column));
+  EXPECT_GT(result->feature_selection_seconds, 0.0);
+  EXPECT_GE(result->total_seconds, result->feature_selection_seconds);
+}
+
+TEST(ArdaTest, StarSchemaFindsRelevantFeatures) {
+  LakeFixture fix(true);  // Star: the relevant tables are direct.
+  Arda method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  auto eval = ml::TrainAndEvaluate(result->augmented,
+                                   fix.built.label_column,
+                                   ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(eval.ok());
+  BaseMethod base;
+  auto base_result = base.Augment(fix.built.lake, fix.drg,
+                                  fix.built.base_table,
+                                  fix.built.label_column);
+  auto base_eval = ml::TrainAndEvaluate(base_result->augmented,
+                                        fix.built.label_column,
+                                        ml::ModelKind::kLightGbm);
+  EXPECT_GT(eval->accuracy, base_eval->accuracy);
+}
+
+TEST(MabTest, OnlyFollowsSameNameJoins) {
+  LakeFixture fix;
+  Mab method;
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Mismatched-name deep links are invisible to MAB.
+  for (const auto& kfk : fix.built.lake.kfk_constraints()) {
+    if (kfk.from_column == kfk.to_column) continue;
+    for (const auto& col : result->augmented.ColumnNames()) {
+      EXPECT_FALSE(StartsWith(col, kfk.to_table + "_f"))
+          << "MAB crossed a mismatched-name join: " << col;
+    }
+  }
+  EXPECT_EQ(method.name(), "MAB");
+}
+
+TEST(MabTest, AcceptsOnlyImprovingJoins) {
+  LakeFixture fix(true);
+  MabOptions options;
+  options.episodes = 8;
+  Mab method(options);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tables_joined, 8u);
+  EXPECT_GT(result->feature_selection_seconds, 0.0);
+}
+
+TEST(AutoFeatMethodTest, ImplementsAugmenterInterface) {
+  LakeFixture fix;
+  AutoFeatConfig config;
+  config.sample_rows = 500;
+  AutoFeatMethod method(config);
+  auto result = method.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                               fix.built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(method.name(), "AutoFeat");
+  EXPECT_GT(result->tables_joined, 0u);
+  EXPECT_GT(result->feature_selection_seconds, 0.0);
+  EXPECT_GT(method.last_result().accuracy, 0.5);
+}
+
+TEST(ComparisonTest, AutoFeatBeatsArdaOnSnowflake) {
+  // The paper's core effectiveness claim: with the strongest features
+  // multi-hop away, AutoFeat's augmented table out-scores ARDA's.
+  LakeFixture fix;
+  AutoFeatConfig config;
+  config.sample_rows = 500;
+  AutoFeatMethod autofeat(config);
+  Arda arda;
+  auto af = autofeat.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                             fix.built.label_column);
+  auto ar = arda.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                         fix.built.label_column);
+  ASSERT_TRUE(af.ok());
+  ASSERT_TRUE(ar.ok());
+  auto af_eval = ml::TrainAndEvaluate(af->augmented, fix.built.label_column,
+                                      ml::ModelKind::kLightGbm);
+  auto ar_eval = ml::TrainAndEvaluate(ar->augmented, fix.built.label_column,
+                                      ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(af_eval.ok());
+  ASSERT_TRUE(ar_eval.ok());
+  EXPECT_GT(af_eval->accuracy, ar_eval->accuracy + 0.03);
+}
+
+TEST(ComparisonTest, AutoFeatFeatureSelectionFasterThanArdaAndMab) {
+  // The paper's efficiency claim, at small scale: AutoFeat's ranking-based
+  // selection beats the model-in-the-loop baselines.
+  LakeFixture fix;
+  AutoFeatConfig config;
+  config.sample_rows = 500;
+  AutoFeatMethod autofeat(config);
+  Arda arda;
+  Mab mab;
+  auto af = autofeat.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                             fix.built.label_column);
+  auto ar = arda.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                         fix.built.label_column);
+  auto mb = mab.Augment(fix.built.lake, fix.drg, fix.built.base_table,
+                        fix.built.label_column);
+  ASSERT_TRUE(af.ok());
+  ASSERT_TRUE(ar.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_LT(af->feature_selection_seconds, ar->feature_selection_seconds);
+  EXPECT_LT(af->feature_selection_seconds, mb->feature_selection_seconds);
+}
+
+}  // namespace
+}  // namespace autofeat::baselines

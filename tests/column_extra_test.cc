@@ -1,0 +1,95 @@
+// Additional Column/Schema coverage: key canonicalisation corner cases,
+// type-name helpers, reserve/append interactions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace autofeat {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+}
+
+TEST(DataTypeTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+TEST(ColumnKeyTest, NegativeNumbersCanonicalise) {
+  Column d = Column::Doubles({-3.0});
+  Column i = Column::Int64s({-3});
+  EXPECT_EQ(d.KeyAt(0), i.KeyAt(0));
+}
+
+TEST(ColumnKeyTest, FractionalDoublesKeepPrecision) {
+  Column a = Column::Doubles({1.5});
+  Column b = Column::Doubles({1.25});
+  EXPECT_NE(a.KeyAt(0), b.KeyAt(0));
+}
+
+TEST(ColumnKeyTest, NonFiniteDoublesDoNotCollapse) {
+  Column c = Column::Doubles({std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()});
+  EXPECT_NE(c.KeyAt(0), c.KeyAt(1));
+}
+
+TEST(ColumnKeyTest, LargeMagnitudeDoubleFallsBackToDecimalForm) {
+  // Beyond the int64-safe range the canonicalisation must not cast.
+  Column c = Column::Doubles({1e18});
+  EXPECT_FALSE(c.KeyAt(0).empty());
+}
+
+TEST(ColumnKeyTest, StringsPassThrough) {
+  Column c = Column::Strings({"7"});
+  Column i = Column::Int64s({7});
+  // A string "7" and the integer 7 share a key representation — useful
+  // when CSV parsing types the two sides differently.
+  EXPECT_EQ(c.KeyAt(0), i.KeyAt(0));
+}
+
+TEST(ColumnTest, ReserveThenAppendWithNulls) {
+  Column c(DataType::kDouble);
+  c.Reserve(100);
+  c.AppendDouble(1.0);
+  c.AppendNull();
+  c.Reserve(200);
+  c.AppendDouble(2.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.GetDouble(2), 2.0);
+}
+
+TEST(ColumnTest, ValueToStringPreservesDoubleRoundTrip) {
+  double v = 0.1 + 0.2;  // Not exactly 0.3.
+  Column c = Column::Doubles({v});
+  double parsed = std::strtod(c.ValueToString(0).c_str(), nullptr);
+  EXPECT_EQ(parsed, v);  // %.17g guarantees exact round-trip.
+}
+
+TEST(ColumnTest, EmptyTake) {
+  Column c = Column::Int64s({1, 2, 3});
+  Column t = c.Take({});
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.type(), DataType::kInt64);
+}
+
+TEST(SchemaTest, FieldsAccessorAndEquality) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"x", DataType::kInt64}});
+  Schema c({{"x", DataType::kDouble}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.fields().size(), 1u);
+  EXPECT_EQ(a.FieldNames(), (std::vector<std::string>{"x"}));
+}
+
+}  // namespace
+}  // namespace autofeat

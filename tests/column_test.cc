@@ -1,0 +1,161 @@
+#include "table/column.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(ColumnTest, DoubleFactory) {
+  Column c = Column::Doubles({1.0, 2.5, -3.0});
+  EXPECT_EQ(c.type(), DataType::kDouble);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 0u);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), 2.5);
+}
+
+TEST(ColumnTest, Int64Factory) {
+  Column c = Column::Int64s({1, 2, 3});
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.GetInt64(2), 3);
+  EXPECT_DOUBLE_EQ(c.NumericAt(2), 3.0);
+}
+
+TEST(ColumnTest, StringFactory) {
+  Column c = Column::Strings({"a", "b"});
+  EXPECT_EQ(c.type(), DataType::kString);
+  EXPECT_EQ(c.GetString(0), "a");
+}
+
+TEST(ColumnTest, ValidityMask) {
+  Column c = Column::Doubles({1, 2, 3}, {1, 0, 1});
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_NEAR(c.null_ratio(), 1.0 / 3, 1e-12);
+}
+
+TEST(ColumnTest, NullsFactory) {
+  Column c = Column::Nulls(DataType::kString, 4);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.null_count(), 4u);
+  EXPECT_DOUBLE_EQ(c.null_ratio(), 1.0);
+}
+
+TEST(ColumnTest, EmptyColumnNullRatioIsZero) {
+  Column c(DataType::kDouble);
+  EXPECT_DOUBLE_EQ(c.null_ratio(), 0.0);
+}
+
+TEST(ColumnTest, AppendMixedWithNulls) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(10);
+  c.AppendNull();
+  c.AppendInt64(30);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_EQ(c.GetInt64(2), 30);
+}
+
+TEST(ColumnTest, AppendNullFirstThenValue) {
+  Column c(DataType::kDouble);
+  c.AppendNull();
+  c.AppendDouble(5.0);
+  EXPECT_TRUE(c.IsNull(0));
+  EXPECT_FALSE(c.IsNull(1));
+}
+
+TEST(ColumnTest, AppendFromCopiesNulls) {
+  Column src = Column::Doubles({1, 2}, {0, 1});
+  Column dst(DataType::kDouble);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_DOUBLE_EQ(dst.GetDouble(1), 2.0);
+}
+
+TEST(ColumnTest, TakeGathersAndDuplicates) {
+  Column c = Column::Int64s({10, 20, 30});
+  Column t = c.Take({2, 0, 2});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.GetInt64(0), 30);
+  EXPECT_EQ(t.GetInt64(1), 10);
+  EXPECT_EQ(t.GetInt64(2), 30);
+}
+
+TEST(ColumnTest, TakePreservesNulls) {
+  Column c = Column::Strings({"x", "y"}, {0, 1});
+  Column t = c.Take({0, 1, 0});
+  EXPECT_TRUE(t.IsNull(0));
+  EXPECT_FALSE(t.IsNull(1));
+  EXPECT_TRUE(t.IsNull(2));
+}
+
+TEST(ColumnTest, ToNumericWidensIntAndNansNulls) {
+  Column c = Column::Int64s({5, 6, 7}, {1, 0, 1});
+  auto v = c.ToNumeric();
+  EXPECT_DOUBLE_EQ(v[0], 5.0);
+  EXPECT_TRUE(std::isnan(v[1]));
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+TEST(ColumnTest, ToNumericOrdinalEncodesStrings) {
+  Column c = Column::Strings({"b", "a", "b", "c"});
+  auto v = c.ToNumeric();
+  EXPECT_DOUBLE_EQ(v[0], 0.0);  // first occurrence order
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 2.0);
+}
+
+TEST(ColumnTest, KeyAtCanonicalisesIntegralDoubles) {
+  Column d = Column::Doubles({7.0});
+  Column i = Column::Int64s({7});
+  EXPECT_EQ(d.KeyAt(0), i.KeyAt(0));
+}
+
+TEST(ColumnTest, KeyAtNullSentinelNeverMatchesData) {
+  Column c = Column::Strings({""}, {0});
+  Column empty_str = Column::Strings({""});
+  EXPECT_NE(c.KeyAt(0), empty_str.KeyAt(0));
+}
+
+TEST(ColumnTest, ValueToStringEmptyForNull) {
+  Column c = Column::Int64s({1}, {0});
+  EXPECT_EQ(c.ValueToString(0), "");
+}
+
+TEST(ColumnTest, EqualsComparesValuesAndNulls) {
+  Column a = Column::Doubles({1, 2}, {1, 0});
+  Column b = Column::Doubles({1, 2}, {1, 0});
+  Column c = Column::Doubles({1, 2});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(Column::Int64s({1, 2})));
+}
+
+// Round-trip property: Take with the identity permutation is equality.
+class ColumnTakeIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ColumnTakeIdentityTest, IdentityTakeIsEqual) {
+  size_t n = GetParam();
+  Column c(DataType::kDouble);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 5 == 0) {
+      c.AppendNull();
+    } else {
+      c.AppendDouble(static_cast<double>(i) * 0.5);
+    }
+  }
+  std::vector<size_t> identity(n);
+  for (size_t i = 0; i < n; ++i) identity[i] = i;
+  EXPECT_TRUE(c.Take(identity).Equals(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ColumnTakeIdentityTest,
+                         ::testing::Values(0, 1, 2, 17, 100));
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,119 @@
+#include "ml/cross_validation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace autofeat::ml {
+namespace {
+
+Table MakeSignalTable(size_t n, double separation, uint64_t seed) {
+  Rng rng(seed);
+  Table t("cv");
+  Column f(DataType::kDouble), label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) {
+    int y = static_cast<int>(i % 2);
+    f.AppendDouble(y == 1 ? rng.Normal(separation, 1)
+                          : rng.Normal(-separation, 1));
+    label.AppendInt64(y);
+  }
+  t.AddColumn("f", std::move(f)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  return t;
+}
+
+TEST(FoldAssignmentTest, EveryRowGetsAFold) {
+  Table t = MakeSignalTable(103, 1.0, 1);
+  auto folds = StratifiedFoldAssignment(t, "label", 5, 7);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 103u);
+  for (size_t f : *folds) EXPECT_LT(f, 5u);
+}
+
+TEST(FoldAssignmentTest, FoldsAreBalanced) {
+  Table t = MakeSignalTable(100, 1.0, 2);
+  auto folds = StratifiedFoldAssignment(t, "label", 5, 7);
+  ASSERT_TRUE(folds.ok());
+  std::vector<size_t> counts(5, 0);
+  for (size_t f : *folds) ++counts[f];
+  for (size_t c : counts) EXPECT_EQ(c, 20u);
+}
+
+TEST(FoldAssignmentTest, StratificationPreservesClassBalancePerFold) {
+  Table t = MakeSignalTable(200, 1.0, 3);
+  auto folds = StratifiedFoldAssignment(t, "label", 4, 9);
+  ASSERT_TRUE(folds.ok());
+  auto label = *t.GetColumn("label");
+  std::vector<size_t> positives(4, 0), totals(4, 0);
+  for (size_t r = 0; r < 200; ++r) {
+    ++totals[(*folds)[r]];
+    positives[(*folds)[r]] += static_cast<size_t>(label->GetInt64(r));
+  }
+  for (size_t f = 0; f < 4; ++f) {
+    double rate = static_cast<double>(positives[f]) / totals[f];
+    EXPECT_NEAR(rate, 0.5, 0.06) << "fold " << f;
+  }
+}
+
+TEST(FoldAssignmentTest, TooFewFoldsIsError) {
+  Table t = MakeSignalTable(20, 1.0, 4);
+  EXPECT_FALSE(StratifiedFoldAssignment(t, "label", 1, 1).ok());
+  EXPECT_FALSE(StratifiedFoldAssignment(t, "missing", 5, 1).ok());
+}
+
+TEST(CrossValidateTest, StrongSignalScoresHigh) {
+  Table t = MakeSignalTable(400, 2.0, 5);
+  auto result = CrossValidate(t, "label", ModelKind::kLogRegL1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_accuracies.size(), 5u);
+  EXPECT_GT(result->mean_accuracy, 0.9);
+  EXPECT_GT(result->mean_auc, 0.95);
+  EXPECT_LT(result->stddev_accuracy, 0.1);
+  EXPECT_EQ(result->model_name, "LogRegL1");
+}
+
+TEST(CrossValidateTest, NoSignalNearChance) {
+  Rng rng(6);
+  Table t("noise");
+  Column f(DataType::kDouble), label(DataType::kInt64);
+  for (size_t i = 0; i < 400; ++i) {
+    f.AppendDouble(rng.Normal(0, 1));
+    label.AppendInt64(static_cast<int64_t>(i % 2));
+  }
+  t.AddColumn("f", std::move(f)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  auto result = CrossValidate(t, "label", ModelKind::kKnn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_accuracy, 0.5, 0.1);
+}
+
+TEST(CrossValidateTest, FoldCountRespected) {
+  Table t = MakeSignalTable(90, 1.5, 7);
+  CrossValidationOptions options;
+  options.folds = 3;
+  auto result = CrossValidate(t, "label", ModelKind::kKnn, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_accuracies.size(), 3u);
+  EXPECT_EQ(result->fold_aucs.size(), 3u);
+}
+
+TEST(CrossValidateTest, DeterministicGivenSeed) {
+  Table t = MakeSignalTable(200, 1.0, 8);
+  auto a = CrossValidate(t, "label", ModelKind::kLightGbm);
+  auto b = CrossValidate(t, "label", ModelKind::kLightGbm);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->fold_accuracies, b->fold_accuracies);
+}
+
+TEST(CrossValidateTest, DegenerateFoldCountIsError) {
+  Table t = MakeSignalTable(4, 1.0, 9);
+  CrossValidationOptions options;
+  options.folds = 10;  // More folds than rows per class.
+  EXPECT_FALSE(CrossValidate(t, "label", ModelKind::kKnn, options).ok());
+}
+
+}  // namespace
+}  // namespace autofeat::ml

@@ -1,0 +1,101 @@
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  auto t = ReadCsvString("id,score,name\n1,0.5,ann\n2,1.25,bob\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ((*t->GetColumn("id"))->type(), DataType::kInt64);
+  EXPECT_EQ((*t->GetColumn("score"))->type(), DataType::kDouble);
+  EXPECT_EQ((*t->GetColumn("name"))->type(), DataType::kString);
+}
+
+TEST(CsvTest, IntegerColumnWithDecimalBecomesDouble) {
+  auto t = ReadCsvString("x\n1\n2.5\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).type(), DataType::kDouble);
+}
+
+TEST(CsvTest, MixedColumnBecomesString) {
+  auto t = ReadCsvString("x\n1\nabc\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).type(), DataType::kString);
+}
+
+TEST(CsvTest, EmptyAndNaTokensAreNull) {
+  auto t = ReadCsvString("a,b\n1,\n,x\nNA,y\n", "t");
+  ASSERT_TRUE(t.ok());
+  const Column& a = *(*t->GetColumn("a"));
+  EXPECT_FALSE(a.IsNull(0));
+  EXPECT_TRUE(a.IsNull(1));
+  EXPECT_TRUE(a.IsNull(2));
+  const Column& b = *(*t->GetColumn("b"));
+  EXPECT_TRUE(b.IsNull(0));
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimiters) {
+  auto t = ReadCsvString("a,b\n\"x,y\",2\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t->GetColumn("a"))->GetString(0), "x,y");
+  EXPECT_EQ((*t->GetColumn("b"))->GetInt64(0), 2);
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto t = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).GetString(0), "he said \"hi\"");
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto t = ReadCsvString("a,b\n1\n", "t");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+}
+
+TEST(CsvTest, NegativeAndScientificNumbers) {
+  auto t = ReadCsvString("x,y\n-5,1e-3\n7,-2.5E2\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t->GetColumn("x"))->GetInt64(0), -5);
+  EXPECT_DOUBLE_EQ((*t->GetColumn("y"))->GetDouble(1), -250.0);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table t("roundtrip");
+  t.AddColumn("id", Column::Int64s({1, 2, 3}, {1, 0, 1})).Abort();
+  t.AddColumn("v", Column::Doubles({0.125, -2.0, 3.75})).Abort();
+  t.AddColumn("s", Column::Strings({"plain", "with,comma", "with\"quote"}))
+      .Abort();
+  std::string csv = WriteCsvString(t);
+  auto back = ReadCsvString(csv, "roundtrip");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(t)) << csv;
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t("disk");
+  t.AddColumn("k", Column::Int64s({10, 20})).Abort();
+  t.AddColumn("v", Column::Doubles({1.5, 2.5})).Abort();
+  std::string path = ::testing::TempDir() + "/autofeat_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "autofeat_csv_test");
+  back->set_name("disk");
+  EXPECT_TRUE(back->Equals(t));
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace autofeat

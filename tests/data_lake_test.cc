@@ -1,0 +1,138 @@
+#include "discovery/data_lake.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+
+namespace autofeat {
+namespace {
+
+Table MakeTable(const std::string& name, const std::string& key_column,
+                std::vector<int64_t> keys) {
+  Table t(name);
+  t.AddColumn(key_column, Column::Int64s(std::move(keys))).Abort();
+  return t;
+}
+
+TEST(DataLakeTest, AddAndGet) {
+  DataLake lake;
+  ASSERT_TRUE(lake.AddTable(MakeTable("a", "id", {1, 2})).ok());
+  EXPECT_TRUE(lake.HasTable("a"));
+  EXPECT_EQ(lake.num_tables(), 1u);
+  auto t = lake.GetTable("a");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "a");
+  EXPECT_EQ(lake.GetTable("b").status().code(), StatusCode::kKeyError);
+}
+
+TEST(DataLakeTest, DuplicateAndUnnamedRejected) {
+  DataLake lake;
+  ASSERT_TRUE(lake.AddTable(MakeTable("a", "id", {1})).ok());
+  EXPECT_FALSE(lake.AddTable(MakeTable("a", "id", {2})).ok());
+  EXPECT_FALSE(lake.AddTable(Table()).ok());
+}
+
+TEST(DataLakeTest, ReplaceTable) {
+  DataLake lake;
+  lake.AddTable(MakeTable("a", "id", {1})).Abort();
+  Table updated = MakeTable("a", "id", {1});
+  updated.AddColumn("extra", Column::Doubles({0.5})).Abort();
+  ASSERT_TRUE(lake.ReplaceTable(std::move(updated)).ok());
+  EXPECT_TRUE((*lake.GetTable("a"))->HasColumn("extra"));
+  EXPECT_FALSE(lake.ReplaceTable(MakeTable("zz", "id", {1})).ok());
+}
+
+TEST(DataLakeTest, TableNames) {
+  DataLake lake;
+  lake.AddTable(MakeTable("x", "id", {1})).Abort();
+  lake.AddTable(MakeTable("y", "id", {1})).Abort();
+  EXPECT_EQ(lake.TableNames(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(DataLakeTest, FromCsvDirectory) {
+  namespace fs = std::filesystem;
+  std::string dir = ::testing::TempDir() + "/autofeat_lake_test";
+  fs::create_directories(dir);
+  WriteCsvFile(MakeTable("t1", "id", {1, 2}), dir + "/t1.csv").Abort();
+  WriteCsvFile(MakeTable("t2", "id", {3}), dir + "/t2.csv").Abort();
+  auto lake = DataLake::FromCsvDirectory(dir);
+  ASSERT_TRUE(lake.ok());
+  EXPECT_EQ(lake->num_tables(), 2u);
+  EXPECT_TRUE(lake->HasTable("t1"));
+  EXPECT_TRUE(lake->HasTable("t2"));
+  fs::remove_all(dir);
+  EXPECT_FALSE(DataLake::FromCsvDirectory("/nonexistent").ok());
+}
+
+DataLake MakeKfkLake() {
+  DataLake lake;
+  // Keys span >= 16 distinct values so value overlap counts as evidence.
+  std::vector<int64_t> base_keys, sat_keys;
+  std::vector<double> sat_values;
+  for (int64_t i = 0; i < 24; ++i) {
+    base_keys.push_back(i);
+    if (i < 20) {
+      sat_keys.push_back(i);
+      sat_values.push_back(static_cast<double>(i) * 0.5);
+    }
+  }
+  Table base = MakeTable("base", "id", base_keys);
+  Table sat = MakeTable("sat", "base_id", sat_keys);
+  sat.AddColumn("v", Column::Doubles(std::move(sat_values))).Abort();
+  lake.AddTable(std::move(base)).Abort();
+  lake.AddTable(std::move(sat)).Abort();
+  lake.AddKfk(KfkConstraint{"base", "id", "sat", "base_id"});
+  return lake;
+}
+
+TEST(BuildDrgFromKfkTest, EdgesMirrorConstraints) {
+  auto drg = BuildDrgFromKfk(MakeKfkLake());
+  ASSERT_TRUE(drg.ok());
+  EXPECT_EQ(drg->num_nodes(), 2u);
+  EXPECT_EQ(drg->num_edges(), 1u);
+  auto edges =
+      drg->EdgesBetween(*drg->NodeId("base"), *drg->NodeId("sat"));
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 1.0);
+  EXPECT_EQ(edges[0].from_column, "id");
+  EXPECT_EQ(edges[0].to_column, "base_id");
+}
+
+TEST(BuildDrgFromKfkTest, InvalidConstraintIsError) {
+  DataLake lake = MakeKfkLake();
+  lake.AddKfk(KfkConstraint{"base", "ghost_column", "sat", "base_id"});
+  EXPECT_FALSE(BuildDrgFromKfk(lake).ok());
+  DataLake lake2 = MakeKfkLake();
+  lake2.AddKfk(KfkConstraint{"ghost_table", "id", "sat", "base_id"});
+  EXPECT_FALSE(BuildDrgFromKfk(lake2).ok());
+}
+
+TEST(BuildDrgByDiscoveryTest, FindsValueOverlapEdges) {
+  auto drg = BuildDrgByDiscovery(MakeKfkLake());
+  ASSERT_TRUE(drg.ok());
+  EXPECT_EQ(drg->num_nodes(), 2u);
+  // id and base_id overlap in values; an edge should be discovered with a
+  // similarity weight below 1.
+  auto edges =
+      drg->EdgesBetween(*drg->NodeId("base"), *drg->NodeId("sat"));
+  ASSERT_FALSE(edges.empty());
+  EXPECT_GE(edges[0].weight, 0.55);
+  EXPECT_LE(edges[0].weight, 1.0);
+}
+
+TEST(BuildDrgByDiscoveryTest, ThresholdControlsDensity) {
+  MatchOptions loose;
+  loose.threshold = 0.1;
+  MatchOptions strict;
+  strict.threshold = 0.999;
+  auto dense = BuildDrgByDiscovery(MakeKfkLake(), loose);
+  auto sparse = BuildDrgByDiscovery(MakeKfkLake(), strict);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_GE(dense->num_edges(), sparse->num_edges());
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/lake_builder.h"
+#include "datagen/registry.h"
+#include "stats/correlation.h"
+
+namespace autofeat::datagen {
+namespace {
+
+TEST(GeneratorTest, ShapeMatchesOptions) {
+  GeneratorOptions options;
+  options.rows = 100;
+  options.informative_features = 3;
+  options.redundant_features = 2;
+  options.noise_features = 4;
+  Table t = GenerateClassification(options, "gen");
+  EXPECT_EQ(t.name(), "gen");
+  EXPECT_EQ(t.num_rows(), 100u);
+  // row_id + 3 + 2 + 4 + label.
+  EXPECT_EQ(t.num_columns(), 11u);
+  EXPECT_TRUE(t.HasColumn("row_id"));
+  EXPECT_TRUE(t.HasColumn("inf_0"));
+  EXPECT_TRUE(t.HasColumn("red_1"));
+  EXPECT_TRUE(t.HasColumn("noise_3"));
+  EXPECT_TRUE(t.HasColumn("label"));
+}
+
+TEST(GeneratorTest, LabelsAreBalancedBinary) {
+  GeneratorOptions options;
+  options.rows = 1000;
+  options.label_noise = 0.0;
+  Table t = GenerateClassification(options, "gen");
+  auto label = *t.GetColumn("label");
+  size_t positives = 0;
+  for (size_t i = 0; i < label->size(); ++i) {
+    int64_t v = label->GetInt64(i);
+    ASSERT_TRUE(v == 0 || v == 1);
+    positives += static_cast<size_t>(v);
+  }
+  EXPECT_EQ(positives, 500u);
+}
+
+TEST(GeneratorTest, InformativeCorrelatesNoiseDoesNot) {
+  GeneratorOptions options;
+  options.rows = 2000;
+  options.class_separation = 1.5;
+  Table t = GenerateClassification(options, "gen");
+  auto label = (*t.GetColumn("label"))->ToNumeric();
+  double inf_corr = std::abs(SpearmanCorrelation(
+      (*t.GetColumn("inf_0"))->ToNumeric(), label));
+  double noise_corr = std::abs(SpearmanCorrelation(
+      (*t.GetColumn("noise_0"))->ToNumeric(), label));
+  EXPECT_GT(inf_corr, 0.25);
+  EXPECT_LT(noise_corr, 0.1);
+}
+
+TEST(GeneratorTest, MissingRateProducesNulls) {
+  GeneratorOptions options;
+  options.rows = 500;
+  options.missing_rate = 0.2;
+  Table t = GenerateClassification(options, "gen");
+  double ratio = (*t.GetColumn("inf_0"))->null_ratio();
+  EXPECT_NEAR(ratio, 0.2, 0.08);
+  // Keys and labels are never masked.
+  EXPECT_EQ((*t.GetColumn("row_id"))->null_count(), 0u);
+  EXPECT_EQ((*t.GetColumn("label"))->null_count(), 0u);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorOptions options;
+  options.rows = 200;
+  Table a = GenerateClassification(options, "a");
+  Table b = GenerateClassification(options, "b");
+  b.set_name("a");
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(LakeBuilderTest, TableCountAndNames) {
+  LakeSpec spec;
+  spec.name = "lk";
+  spec.rows = 300;
+  spec.joinable_tables = 6;
+  spec.total_features = 24;
+  BuiltLake built = BuildLake(spec);
+  EXPECT_EQ(built.lake.num_tables(), 7u);  // base + 6 satellites.
+  EXPECT_EQ(built.base_table, "lk_base");
+  EXPECT_TRUE(built.lake.HasTable("lk_t0"));
+  EXPECT_TRUE(built.lake.HasTable("lk_t5"));
+  EXPECT_EQ(built.truth.size(), 6u);
+}
+
+TEST(LakeBuilderTest, LabelOnlyInBaseTable) {
+  LakeSpec spec;
+  spec.rows = 200;
+  spec.joinable_tables = 4;
+  BuiltLake built = BuildLake(spec);
+  for (const auto& t : built.lake.tables()) {
+    if (t.name() == built.base_table) {
+      EXPECT_TRUE(t.HasColumn(built.label_column));
+    } else {
+      EXPECT_FALSE(t.HasColumn(built.label_column));
+    }
+  }
+}
+
+TEST(LakeBuilderTest, KfkConstraintsValidAndConnected) {
+  LakeSpec spec;
+  spec.rows = 200;
+  spec.joinable_tables = 8;
+  BuiltLake built = BuildLake(spec);
+  EXPECT_EQ(built.lake.kfk_constraints().size(), 8u);
+  auto drg = BuildDrgFromKfk(built.lake);
+  ASSERT_TRUE(drg.ok()) << drg.status().ToString();
+  EXPECT_EQ(drg->num_edges(), 8u);
+  // Every satellite is reachable from the base (paths exist).
+  auto paths =
+      drg->EnumeratePaths(*drg->NodeId(built.base_table), 8);
+  std::set<size_t> reached;
+  for (const auto& p : paths) reached.insert(p.Terminal(0));
+  EXPECT_EQ(reached.size(), 8u);
+}
+
+TEST(LakeBuilderTest, SnowflakePlantsStrongestSignalDeep) {
+  LakeSpec spec;
+  spec.rows = 300;
+  spec.joinable_tables = 6;
+  spec.star_schema = false;
+  BuiltLake built = BuildLake(spec);
+  EXPECT_GE(built.DeepestRelevantDepth(), 2u);
+  double deepest_effect = 0;
+  double depth1_max = 0;
+  for (const auto& t : built.truth) {
+    if (t.depth == built.DeepestRelevantDepth()) {
+      deepest_effect = std::max(deepest_effect, t.effect);
+    }
+    if (t.depth == 1) depth1_max = std::max(depth1_max, t.effect);
+  }
+  EXPECT_GT(deepest_effect, depth1_max);
+}
+
+TEST(LakeBuilderTest, StarSchemaAllDepthOne) {
+  LakeSpec spec;
+  spec.rows = 200;
+  spec.joinable_tables = 5;
+  spec.star_schema = true;
+  BuiltLake built = BuildLake(spec);
+  for (const auto& t : built.truth) EXPECT_EQ(t.depth, 1u);
+  EXPECT_FALSE(built.RelevantTables().empty());
+}
+
+TEST(LakeBuilderTest, KeyCoverageControlsSatelliteSize) {
+  LakeSpec spec;
+  spec.rows = 1000;
+  spec.joinable_tables = 2;
+  spec.star_schema = true;
+  spec.key_coverage = 0.5;
+  BuiltLake built = BuildLake(spec);
+  auto t0 = built.lake.GetTable("synthetic_t0");
+  ASSERT_TRUE(t0.ok());
+  EXPECT_NEAR(static_cast<double>((*t0)->num_rows()), 500.0, 1.0);
+}
+
+TEST(LakeBuilderTest, DeterministicGivenSeed) {
+  LakeSpec spec;
+  spec.rows = 150;
+  spec.joinable_tables = 4;
+  BuiltLake a = BuildLake(spec);
+  BuiltLake b = BuildLake(spec);
+  for (const auto& t : a.lake.tables()) {
+    auto other = b.lake.GetTable(t.name());
+    ASSERT_TRUE(other.ok());
+    EXPECT_TRUE(t.Equals(**other)) << t.name();
+  }
+}
+
+TEST(RegistryTest, EightPaperDatasets) {
+  auto specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "credit");
+  EXPECT_EQ(specs[0].paper_rows, 1001u);
+  EXPECT_EQ(specs[0].joinable_tables, 5u);
+  EXPECT_EQ(specs[7].name, "bioresponse");
+  EXPECT_EQ(specs[7].joinable_tables, 40u);
+  // `school` is the star schema with 16 tables and 731 features.
+  auto school = FindDataset("school");
+  ASSERT_TRUE(school.ok());
+  EXPECT_TRUE(school->star_schema);
+  EXPECT_EQ(school->total_features, 731u);
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(RegistryTest, ScaledRowsNeverExceedPaperRows) {
+  for (const auto& spec : PaperDatasets()) {
+    EXPECT_LE(spec.rows, spec.paper_rows) << spec.name;
+    EXPECT_GT(spec.rows, 0u) << spec.name;
+  }
+}
+
+TEST(RegistryTest, BuildPaperLakeMatchesSpec) {
+  auto spec = *FindDataset("credit");
+  BuiltLake built = BuildPaperLake(spec, 7);
+  EXPECT_EQ(built.lake.num_tables(), spec.joinable_tables + 1);
+  auto base = built.lake.GetTable(built.base_table);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ((*base)->num_rows(), spec.rows);
+}
+
+}  // namespace
+}  // namespace autofeat::datagen

@@ -1,0 +1,121 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testing.h"
+
+namespace autofeat::ml {
+namespace {
+
+TEST(DecisionTreeTest, LearnsSeparableBlobs) {
+  Dataset train = MakeBlobs(400, 2.0, 1);
+  Dataset test = MakeBlobs(200, 2.0, 2);
+  DecisionTree tree;
+  EXPECT_GT(HoldoutAccuracy(tree, train, test), 0.9);
+}
+
+TEST(DecisionTreeTest, SolvesXor) {
+  Dataset train = MakeXor(400, 3);
+  Dataset test = MakeXor(200, 4);
+  DecisionTree tree;
+  EXPECT_GT(HoldoutAccuracy(tree, train, test), 0.95);
+}
+
+TEST(DecisionTreeTest, PureLeavesOnTrainingData) {
+  Dataset train = MakeBlobs(100, 3.0, 5);
+  TreeOptions options;
+  options.max_depth = 32;
+  options.min_samples_leaf = 1;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  // With unconstrained depth the tree fits the training set exactly.
+  EXPECT_DOUBLE_EQ(
+      Accuracy(train.labels(), tree.PredictProbaAll(train)), 1.0);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsMajorityVote) {
+  Dataset train = MakeBlobs(100, 3.0, 6);
+  TreeOptions options;
+  options.max_depth = 0;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  double p = tree.PredictProba(train, 0);
+  EXPECT_NEAR(p, 0.5, 0.05);  // Balanced classes.
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Dataset train = MakeXor(300, 7);
+  TreeOptions options;
+  options.max_depth = 3;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset train = MakeBlobs(50, 0.3, 8);
+  TreeOptions options;
+  options.min_samples_leaf = 20;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  // Splits below 20-per-side are impossible -> at most 1 split layer here.
+  EXPECT_LE(tree.num_nodes(), 7u);
+}
+
+TEST(DecisionTreeTest, EmptyTrainingFails) {
+  Dataset empty;
+  DecisionTree tree;
+  EXPECT_FALSE(tree.FitRows(MakeBlobs(10, 1, 9), {}).ok());
+}
+
+TEST(DecisionTreeTest, ImportancesFavorInformativeFeatures) {
+  Dataset train = MakeBlobs(500, 2.0, 10);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  auto imp = tree.FeatureImportances();
+  ASSERT_EQ(imp.size(), 3u);
+  // noise is feature 2.
+  EXPECT_GT(imp[0] + imp[1], imp[2]);
+  double sum = imp[0] + imp[1] + imp[2];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, DeterministicGivenSeed) {
+  Dataset train = MakeBlobs(200, 1.0, 11);
+  TreeOptions options;
+  options.max_features = TreeOptions::kSqrt;
+  options.seed = 99;
+  DecisionTree a(options), b(options);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(train, r), b.PredictProba(train, r));
+  }
+}
+
+TEST(DecisionTreeTest, RandomThresholdModeStillLearns) {
+  Dataset train = MakeBlobs(400, 2.0, 12);
+  Dataset test = MakeBlobs(200, 2.0, 13);
+  TreeOptions options;
+  options.random_thresholds = true;
+  DecisionTree tree(options);
+  EXPECT_GT(HoldoutAccuracy(tree, train, test), 0.85);
+}
+
+TEST(DecisionTreeTest, FitRowsSubsetOnly) {
+  Dataset data = MakeBlobs(100, 5.0, 14);
+  // Train only on class-0 rows: predictions collapse to 0.
+  std::vector<size_t> zero_rows;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (data.label(r) == 0) zero_rows.push_back(r);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.FitRows(data, zero_rows).ok());
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_DOUBLE_EQ(tree.PredictProba(data, r), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace autofeat::ml

@@ -1,0 +1,75 @@
+#include "relational/describe.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+Table MakeTable() {
+  Table t("profiled");
+  t.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  t.AddColumn("score", Column::Doubles({1.0, 3.0, 0.0, 2.0}, {1, 1, 0, 1}))
+      .Abort();
+  t.AddColumn("city", Column::Strings({"a", "b", "a", "b"})).Abort();
+  return t;
+}
+
+TEST(DescribeTest, ProfilesEveryColumn) {
+  auto profiles = DescribeTable(MakeTable());
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "id");
+  EXPECT_EQ(profiles[1].name, "score");
+  EXPECT_EQ(profiles[2].name, "city");
+}
+
+TEST(DescribeTest, NumericSummary) {
+  auto p = ProfileColumn("score", *(*MakeTable().GetColumn("score")));
+  EXPECT_EQ(p.rows, 4u);
+  EXPECT_EQ(p.nulls, 1u);
+  EXPECT_NEAR(p.null_ratio(), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_EQ(p.distinct, 3u);
+}
+
+TEST(DescribeTest, DistinctCounting) {
+  auto p = ProfileColumn("city", *(*MakeTable().GetColumn("city")));
+  EXPECT_EQ(p.distinct, 2u);
+  EXPECT_FALSE(p.distinct_capped);
+}
+
+TEST(DescribeTest, DistinctCapRespected) {
+  Column c(DataType::kInt64);
+  for (int64_t i = 0; i < 100; ++i) c.AppendInt64(i);
+  auto p = ProfileColumn("wide", c, /*distinct_cap=*/10);
+  EXPECT_EQ(p.distinct, 10u);
+  EXPECT_TRUE(p.distinct_capped);
+}
+
+TEST(DescribeTest, KeyDetection) {
+  auto profiles = DescribeTable(MakeTable());
+  EXPECT_TRUE(profiles[0].LooksLikeKey());    // Unique int64.
+  EXPECT_FALSE(profiles[1].LooksLikeKey());   // Continuous double.
+  EXPECT_FALSE(profiles[2].LooksLikeKey());   // Repeated strings.
+}
+
+TEST(DescribeTest, AllNullColumn) {
+  auto p = ProfileColumn("empty", Column::Nulls(DataType::kDouble, 5));
+  EXPECT_EQ(p.nulls, 5u);
+  EXPECT_EQ(p.distinct, 0u);
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_FALSE(p.LooksLikeKey());
+}
+
+TEST(DescribeTest, FormattedOutputMentionsEveryColumn) {
+  std::string text = FormatTableDescription(MakeTable());
+  EXPECT_NE(text.find("profiled"), std::string::npos);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("score"), std::string::npos);
+  EXPECT_NE(text.find("city"), std::string::npos);
+  EXPECT_NE(text.find("[key?]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autofeat

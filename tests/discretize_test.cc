@@ -1,0 +1,108 @@
+#include "stats/discretize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace autofeat {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(DefaultBinCountTest, SqrtRuleCappedAtTen) {
+  EXPECT_EQ(DefaultBinCount(4), 2);
+  EXPECT_EQ(DefaultBinCount(25), 5);
+  EXPECT_EQ(DefaultBinCount(100), 10);
+  EXPECT_EQ(DefaultBinCount(100000), 10);
+  EXPECT_EQ(DefaultBinCount(1), 2);  // At least two bins.
+}
+
+TEST(EqualWidthTest, SplitsRangeEvenly) {
+  std::vector<double> v{0.0, 0.25, 0.5, 0.75, 1.0};
+  auto codes = DiscretizeEqualWidth(v, 4);
+  EXPECT_EQ(codes, (std::vector<int>{0, 1, 2, 3, 3}));
+}
+
+TEST(EqualWidthTest, ConstantColumnSingleBin) {
+  std::vector<double> v{2.0, 2.0, 2.0};
+  auto codes = DiscretizeEqualWidth(v, 5);
+  EXPECT_EQ(codes, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(EqualWidthTest, NanGetsMissingBin) {
+  std::vector<double> v{1.0, kNan, 2.0};
+  auto codes = DiscretizeEqualWidth(v, 2);
+  EXPECT_EQ(codes[1], kMissingBin);
+  EXPECT_NE(codes[0], kMissingBin);
+}
+
+TEST(EqualFrequencyTest, BalancedBins) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  auto codes = DiscretizeEqualFrequency(v, 4);
+  std::vector<int> counts(4, 0);
+  for (int c : codes) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 4);
+    ++counts[c];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(EqualFrequencyTest, TiesStayTogether) {
+  std::vector<double> v{1, 1, 1, 1, 2, 3};
+  auto codes = DiscretizeEqualFrequency(v, 3);
+  // All the 1s share a bin.
+  EXPECT_EQ(codes[0], codes[1]);
+  EXPECT_EQ(codes[1], codes[2]);
+  EXPECT_EQ(codes[2], codes[3]);
+}
+
+TEST(EqualFrequencyTest, AllNan) {
+  std::vector<double> v{kNan, kNan};
+  auto codes = DiscretizeEqualFrequency(v, 3);
+  EXPECT_EQ(codes, (std::vector<int>{kMissingBin, kMissingBin}));
+}
+
+TEST(CodesFromValuesTest, FirstOccurrenceOrder) {
+  std::vector<double> v{5.0, 3.0, 5.0, kNan, 7.0};
+  auto codes = CodesFromValues(v);
+  EXPECT_EQ(codes, (std::vector<int>{0, 1, 0, kMissingBin, 2}));
+}
+
+TEST(DistinctCodeCountTest, IgnoresMissing) {
+  EXPECT_EQ(DistinctCodeCount({0, 1, 1, kMissingBin, 2}), 3u);
+  EXPECT_EQ(DistinctCodeCount({kMissingBin}), 0u);
+  EXPECT_EQ(DistinctCodeCount({}), 0u);
+}
+
+// Properties over random data: codes in range, monotone wrt values.
+class DiscretizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscretizePropertyTest, CodesInRangeAndMonotone) {
+  int bins = GetParam();
+  Rng rng(bins);
+  std::vector<double> v(500);
+  for (auto& x : v) x = rng.Normal(0, 3);
+
+  for (auto codes : {DiscretizeEqualWidth(v, bins),
+                     DiscretizeEqualFrequency(v, bins)}) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      ASSERT_GE(codes[i], 0);
+      ASSERT_LT(codes[i], bins);
+      for (size_t j = 0; j < v.size(); ++j) {
+        if (v[i] < v[j]) {
+          ASSERT_LE(codes[i], codes[j]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, DiscretizePropertyTest,
+                         ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,64 @@
+#include "graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+DatasetRelationGraph MakeGraph() {
+  DatasetRelationGraph g;
+  g.AddEdge("base", "id", "sat", "base_id", 1.0).Abort();
+  g.AddEdge("base", "id", "noise", "nid", 0.6).Abort();
+  return g;
+}
+
+TEST(DotExportTest, ContainsNodesAndEdges) {
+  std::string dot = ExportDrgToDot(MakeGraph());
+  EXPECT_NE(dot.find("graph drg {"), std::string::npos);
+  EXPECT_NE(dot.find("\"base\""), std::string::npos);
+  EXPECT_NE(dot.find("\"sat\""), std::string::npos);
+  EXPECT_NE(dot.find("\"base\" -- \"sat\""), std::string::npos);
+  EXPECT_NE(dot.find("id = base_id (1.00)"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, HighlightsBaseNode) {
+  DotOptions options;
+  options.highlight_node = "base";
+  std::string dot = ExportDrgToDot(MakeGraph(), options);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+}
+
+TEST(DotExportTest, WeakEdgesDashed) {
+  std::string dot = ExportDrgToDot(MakeGraph());
+  // The 0.6 edge is below the 0.9 default threshold.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // The KFK edge is solid: the line containing "base_id" must not be
+  // dashed.
+  size_t pos = dot.find("id = base_id");
+  ASSERT_NE(pos, std::string::npos);
+  size_t line_end = dot.find('\n', pos);
+  std::string line = dot.substr(pos, line_end - pos);
+  EXPECT_EQ(line.find("dashed"), std::string::npos);
+}
+
+TEST(DotExportTest, HighlightPathColoured) {
+  auto g = MakeGraph();
+  JoinPath path;
+  path.steps.push_back(JoinStep{*g.NodeId("base"), *g.NodeId("sat"), "id",
+                                "base_id", 1.0});
+  DotOptions options;
+  options.highlight_path = &path;
+  std::string dot = ExportDrgToDot(g, options);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotExportTest, EscapesQuotes) {
+  DatasetRelationGraph g;
+  g.AddEdge("we\"ird", "c", "other", "d", 1.0).Abort();
+  std::string dot = ExportDrgToDot(g);
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autofeat

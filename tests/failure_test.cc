@@ -1,0 +1,184 @@
+// Failure-injection tests: malformed inputs, broken graphs and degenerate
+// lakes must produce clean Status errors (or graceful skips), never
+// crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include "core/autofeat.h"
+#include "core/tuning.h"
+#include "datagen/lake_builder.h"
+#include "graph/drg.h"
+#include "table/csv.h"
+
+namespace autofeat {
+namespace {
+
+// ---- Malformed CSV inputs ---------------------------------------------------
+
+TEST(CsvFailureTest, VariousMalformedInputs) {
+  // Header only: zero rows is valid.
+  auto empty = ReadCsvString("a,b\n", "t");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+  // Too many fields.
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2,3\n", "t").ok());
+  // Too few fields.
+  EXPECT_FALSE(ReadCsvString("a,b,c\n1,2\n", "t").ok());
+}
+
+TEST(CsvFailureTest, UnterminatedQuoteStillTerminates) {
+  // Parser must not hang or crash on a dangling quote.
+  auto t = ReadCsvString("a\n\"unterminated\n", "t");
+  // Either parse (content swallowed to EOL) or error; both acceptable,
+  // crash is not.
+  (void)t;
+  SUCCEED();
+}
+
+// ---- DRG referencing tables missing from the lake ---------------------------
+
+TEST(EngineFailureTest, DrgNodeWithoutLakeTableIsSkipped) {
+  datagen::LakeSpec spec;
+  spec.name = "ghost";
+  spec.rows = 300;
+  spec.joinable_tables = 3;
+  spec.seed = 5;
+  auto built = datagen::BuildLake(spec);
+  auto drg = BuildDrgFromKfk(built.lake).MoveValue();
+  // An edge to a table that is in the graph but not in the lake.
+  drg.AddEdge("ghost_base", "ghost_id", "phantom", "ghost_id", 1.0).Abort();
+
+  AutoFeatConfig config;
+  config.sample_rows = 200;
+  AutoFeat engine(&built.lake, &drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The phantom neighbour is skipped; real paths still come back.
+  EXPECT_FALSE(result->ranked.empty());
+  for (const auto& rp : result->ranked) {
+    for (const auto& step : rp.path.steps) {
+      EXPECT_NE(drg.NodeName(step.to_node), "phantom");
+    }
+  }
+}
+
+TEST(EngineFailureTest, EdgeWithWrongColumnIsInfeasible) {
+  datagen::LakeSpec spec;
+  spec.name = "wrongcol";
+  spec.rows = 300;
+  spec.joinable_tables = 2;
+  spec.seed = 6;
+  auto built = datagen::BuildLake(spec);
+  DatasetRelationGraph drg;
+  // Edge claims a join column the base table does not have.
+  drg.AddNode(built.base_table);
+  drg.AddEdge(built.base_table, "no_such_column", "wrongcol_t0",
+              "wrongcol_id", 0.9).Abort();
+  AutoFeatConfig config;
+  config.sample_rows = 200;
+  AutoFeat engine(&built.lake, &drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ranked.empty());
+  EXPECT_GT(result->paths_pruned_infeasible, 0u);
+}
+
+TEST(EngineFailureTest, IsolatedBaseTableYieldsEmptyRanking) {
+  datagen::LakeSpec spec;
+  spec.name = "island";
+  spec.rows = 300;
+  spec.joinable_tables = 2;
+  spec.seed = 7;
+  auto built = datagen::BuildLake(spec);
+  DatasetRelationGraph drg;
+  for (const auto& t : built.lake.tables()) drg.AddNode(t.name());
+  // No edges at all.
+  AutoFeatConfig config;
+  config.sample_rows = 200;
+  AutoFeat engine(&built.lake, &drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ranked.empty());
+  EXPECT_EQ(result->paths_explored, 0u);
+  // Augment falls back to the base table without error.
+  auto augmented = engine.Augment(built.base_table, built.label_column,
+                                  ml::ModelKind::kKnn);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented->best_path.path.length(), 0u);
+}
+
+// ---- Degenerate data ---------------------------------------------------------
+
+TEST(DegenerateDataTest, SingleClassLabelIsCleanError) {
+  DataLake lake;
+  Table base("b");
+  base.AddColumn("id", Column::Int64s({1, 2, 3})).Abort();
+  base.AddColumn("label", Column::Int64s({1, 1, 1})).Abort();
+  lake.AddTable(std::move(base)).Abort();
+  DatasetRelationGraph drg;
+  drg.AddNode("b");
+  AutoFeat engine(&lake, &drg, AutoFeatConfig{});
+  // Discovery itself works (no ML involved)...
+  auto discovery = engine.DiscoverFeatures("b", "label");
+  EXPECT_TRUE(discovery.ok());
+  // ...but training on a single-class label fails with a Status, not a
+  // crash.
+  auto augmented = engine.Augment("b", "label", ml::ModelKind::kKnn);
+  EXPECT_FALSE(augmented.ok());
+}
+
+TEST(DegenerateDataTest, TinyTableStillRuns) {
+  DataLake lake;
+  Table base("tiny");
+  base.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  base.AddColumn("x", Column::Doubles({0.1, 0.9, 0.2, 0.8})).Abort();
+  base.AddColumn("label", Column::Int64s({0, 1, 0, 1})).Abort();
+  lake.AddTable(std::move(base)).Abort();
+  Table sat("sat");
+  sat.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  sat.AddColumn("y", Column::Doubles({1.0, 2.0, 1.1, 2.1})).Abort();
+  lake.AddTable(std::move(sat)).Abort();
+  lake.AddKfk(KfkConstraint{"tiny", "id", "sat", "id"});
+  auto drg = BuildDrgFromKfk(lake);
+  ASSERT_TRUE(drg.ok());
+  AutoFeat engine(&lake, &*drg, AutoFeatConfig{});
+  auto result = engine.Augment("tiny", "label", ml::ModelKind::kKnn);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(DegenerateDataTest, AllConstantFeaturesRankNothing) {
+  DataLake lake;
+  Table base("c");
+  base.AddColumn("id", Column::Int64s({1, 2, 3, 4, 5, 6})).Abort();
+  base.AddColumn("label", Column::Int64s({0, 1, 0, 1, 0, 1})).Abort();
+  lake.AddTable(std::move(base)).Abort();
+  Table sat("consts");
+  sat.AddColumn("id", Column::Int64s({1, 2, 3, 4, 5, 6})).Abort();
+  sat.AddColumn("k1", Column::Doubles(std::vector<double>(6, 3.14))).Abort();
+  sat.AddColumn("k2", Column::Doubles(std::vector<double>(6, 2.72))).Abort();
+  lake.AddTable(std::move(sat)).Abort();
+  lake.AddKfk(KfkConstraint{"c", "id", "consts", "id"});
+  auto drg = BuildDrgFromKfk(lake);
+  AutoFeat engine(&lake, &*drg, AutoFeatConfig{});
+  auto result = engine.DiscoverFeatures("c", "label");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ranked.empty());  // All features irrelevant.
+}
+
+// ---- Tuning over a broken lake -----------------------------------------------
+
+TEST(TuningFailureTest, PropagatesEngineErrors) {
+  DataLake lake;
+  Table base("b");
+  base.AddColumn("id", Column::Int64s({1, 2})).Abort();
+  base.AddColumn("label", Column::Int64s({1, 1})).Abort();  // Single class.
+  lake.AddTable(std::move(base)).Abort();
+  DatasetRelationGraph drg;
+  drg.AddNode("b");
+  auto result = TuneHyperParameters(lake, drg, "b", "label",
+                                    AutoFeatConfig{}, TuningOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace autofeat

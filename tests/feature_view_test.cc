@@ -1,0 +1,84 @@
+#include "fs/feature_view.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/discretize.h"
+
+namespace autofeat {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  t.AddColumn("id", Column::Int64s({0, 1, 2, 3})).Abort();
+  t.AddColumn("num", Column::Doubles({0.5, 1.5, 2.5, 3.5})).Abort();
+  t.AddColumn("cat", Column::Strings({"a", "b", "a", "c"})).Abort();
+  t.AddColumn("label", Column::Int64s({0, 1, 0, 1})).Abort();
+  return t;
+}
+
+TEST(FeatureViewTest, DefaultsToAllNonLabelColumns) {
+  auto v = FeatureView::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->num_features(), 3u);
+  EXPECT_EQ(v->names(), (std::vector<std::string>{"id", "num", "cat"}));
+  EXPECT_EQ(v->num_rows(), 4u);
+}
+
+TEST(FeatureViewTest, ExplicitSubset) {
+  auto v = FeatureView::FromTable(MakeTable(), "label", {"cat"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->num_features(), 1u);
+  EXPECT_EQ(*v->FeatureIndex("cat"), 0u);
+  EXPECT_FALSE(v->FeatureIndex("num").has_value());
+}
+
+TEST(FeatureViewTest, LabelAsFeatureIsError) {
+  EXPECT_FALSE(FeatureView::FromTable(MakeTable(), "label", {"label"}).ok());
+}
+
+TEST(FeatureViewTest, MissingLabelIsError) {
+  EXPECT_FALSE(FeatureView::FromTable(MakeTable(), "nope").ok());
+}
+
+TEST(FeatureViewTest, LabelCodesAreBinaryHere) {
+  auto v = FeatureView::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->label_codes(), (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(FeatureViewTest, CategoricalCodesKeepIdentity) {
+  auto v = FeatureView::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(v.ok());
+  size_t cat = *v->FeatureIndex("cat");
+  EXPECT_EQ(v->codes(cat), (std::vector<int>{0, 1, 0, 2}));
+}
+
+TEST(FeatureViewTest, NullsBecomeMissingCodes) {
+  Table t("t");
+  t.AddColumn("x", Column::Doubles({1, 2, 3}, {1, 0, 1})).Abort();
+  t.AddColumn("label", Column::Int64s({0, 1, 0})).Abort();
+  auto v = FeatureView::FromTable(t, "label");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->codes(0)[1], kMissingBin);
+  EXPECT_TRUE(std::isnan(v->numeric(0)[1]));
+}
+
+TEST(FeatureViewTest, HighCardinalityNumericIsBinned) {
+  Table t("t");
+  Column c(DataType::kDouble);
+  Column label(DataType::kInt64);
+  for (int i = 0; i < 200; ++i) {
+    c.AppendDouble(i * 0.37);
+    label.AppendInt64(i % 2);
+  }
+  t.AddColumn("x", std::move(c)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  auto v = FeatureView::FromTable(t, "label");
+  ASSERT_TRUE(v.ok());
+  EXPECT_LE(DistinctCodeCount(v->codes(0)), 10u);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,92 @@
+#include "ml/forest.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testing.h"
+
+namespace autofeat::ml {
+namespace {
+
+TEST(RandomForestTest, LearnsBlobs) {
+  Dataset train = MakeBlobs(400, 1.5, 1);
+  Dataset test = MakeBlobs(200, 1.5, 2);
+  Forest forest = Forest::RandomForest(30, 42);
+  EXPECT_GT(HoldoutAccuracy(forest, train, test), 0.9);
+}
+
+TEST(RandomForestTest, SolvesXor) {
+  Dataset train = MakeXor(400, 3);
+  Dataset test = MakeXor(200, 4);
+  Forest forest = Forest::RandomForest(30, 42);
+  EXPECT_GT(HoldoutAccuracy(forest, train, test), 0.95);
+}
+
+TEST(ExtraTreesTest, LearnsBlobs) {
+  Dataset train = MakeBlobs(400, 1.5, 5);
+  Dataset test = MakeBlobs(200, 1.5, 6);
+  Forest forest = Forest::ExtraTrees(30, 42);
+  EXPECT_GT(HoldoutAccuracy(forest, train, test), 0.9);
+}
+
+TEST(ForestTest, NamesIdentifyVariant) {
+  EXPECT_EQ(Forest::RandomForest().name(), "RandomForest");
+  EXPECT_EQ(Forest::ExtraTrees().name(), "ExtraTrees");
+}
+
+TEST(ForestTest, NumTreesHonored) {
+  Dataset train = MakeBlobs(100, 1.0, 7);
+  Forest forest = Forest::RandomForest(13, 1);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  EXPECT_EQ(forest.num_trees(), 13u);
+}
+
+TEST(ForestTest, EmptyTrainingFails) {
+  Forest forest = Forest::RandomForest(5, 1);
+  EXPECT_FALSE(forest.Fit(Dataset()).ok());
+}
+
+TEST(ForestTest, ProbabilitiesAreAveraged) {
+  Dataset train = MakeBlobs(200, 2.0, 8);
+  Forest forest = Forest::RandomForest(20, 2);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  for (size_t r = 0; r < 20; ++r) {
+    double p = forest.PredictProba(train, r);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(ForestTest, ImportancesSumToOneAndFavorSignal) {
+  Dataset train = MakeBlobs(500, 2.0, 9);
+  Forest forest = Forest::RandomForest(20, 3);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  auto imp = forest.FeatureImportances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_NEAR(imp[0] + imp[1] + imp[2], 1.0, 1e-9);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(ForestTest, DeterministicGivenSeed) {
+  Dataset train = MakeBlobs(150, 1.0, 10);
+  Forest a = Forest::RandomForest(10, 77);
+  Forest b = Forest::RandomForest(10, 77);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(train, r), b.PredictProba(train, r));
+  }
+}
+
+TEST(ForestTest, EnsembleBeatsSingleTreeOnNoisyData) {
+  Dataset train = MakeBlobs(300, 0.6, 11);
+  Dataset test = MakeBlobs(600, 0.6, 12);
+  DecisionTree tree;
+  Forest forest = Forest::RandomForest(40, 4);
+  double tree_acc = HoldoutAccuracy(tree, train, test);
+  double forest_acc = HoldoutAccuracy(forest, train, test);
+  EXPECT_GE(forest_acc, tree_acc - 0.02);
+}
+
+}  // namespace
+}  // namespace autofeat::ml

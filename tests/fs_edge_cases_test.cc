@@ -1,0 +1,98 @@
+// Edge cases of the feature-selection stack: degenerate views, zero
+// budgets, exotic option combinations.
+
+#include <gtest/gtest.h>
+
+#include "fs/streaming.h"
+
+namespace autofeat {
+namespace {
+
+Table LabelOnlyTable(size_t n = 20) {
+  Table t("lonely");
+  Column label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) label.AppendInt64(static_cast<int64_t>(i % 2));
+  t.AddColumn("label", std::move(label)).Abort();
+  return t;
+}
+
+TEST(FsEdgeCaseTest, ViewWithZeroFeatures) {
+  auto view = FeatureView::FromTable(LabelOnlyTable(), "label");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_features(), 0u);
+  EXPECT_EQ(view->num_rows(), 20u);
+  // Scoring an empty view returns no scores without crashing.
+  EXPECT_TRUE(ScoreRelevance(*view, {}, RelevanceOptions{}).empty());
+}
+
+TEST(FsEdgeCaseTest, StreamingEmptyBatch) {
+  auto view = FeatureView::FromTable(LabelOnlyTable(), "label");
+  StreamingFeatureSelector sel({});
+  auto result = sel.ProcessBatch(*view, {});
+  EXPECT_TRUE(result.relevant.empty());
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_TRUE(result.AllIrrelevant());
+}
+
+TEST(FsEdgeCaseTest, SelectKBestZeroBudget) {
+  std::vector<FeatureScore> scores{{"a", 0.9}};
+  EXPECT_TRUE(SelectKBest(scores, 0, 0.0).empty());
+}
+
+TEST(FsEdgeCaseTest, ReliefOnEmptyIndexList) {
+  Table t = LabelOnlyTable();
+  t.AddColumn("x", Column::Doubles(std::vector<double>(20, 1.0))).Abort();
+  auto view = FeatureView::FromTable(t, "label");
+  RelevanceOptions options;
+  options.kind = RelevanceKind::kRelief;
+  auto scores = ScoreRelevance(*view, {0}, options);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 0.0);  // Constant feature: no signal.
+}
+
+TEST(FsEdgeCaseTest, MifsBetaIsConfigurable) {
+  // A higher beta must penalise a redundant candidate at least as hard.
+  std::vector<int> label(400), informative(400), duplicate(400);
+  for (size_t i = 0; i < 400; ++i) {
+    label[i] = static_cast<int>(i % 2);
+    informative[i] = label[i];
+    duplicate[i] = label[i];
+  }
+  std::vector<std::vector<int>> selected{informative};
+  RedundancyOptions weak;
+  weak.kind = RedundancyKind::kMifs;
+  weak.mifs_beta = 0.1;
+  RedundancyOptions strong;
+  strong.kind = RedundancyKind::kMifs;
+  strong.mifs_beta = 2.0;
+  EXPECT_GT(RedundancyScore(duplicate, label, selected, weak),
+            RedundancyScore(duplicate, label, selected, strong));
+}
+
+TEST(FsEdgeCaseTest, AllNullFeatureIsIrrelevant) {
+  Table t = LabelOnlyTable(30);
+  t.AddColumn("ghost", Column::Nulls(DataType::kDouble, 30)).Abort();
+  auto view = FeatureView::FromTable(t, "label");
+  ASSERT_TRUE(view.ok());
+  StreamingFeatureSelector sel({});
+  auto result = sel.ProcessBatch(*view, {0});
+  EXPECT_TRUE(result.AllIrrelevant());
+}
+
+TEST(FsEdgeCaseTest, DuplicateBatchIndicesHandled) {
+  Table t = LabelOnlyTable(50);
+  Column x(DataType::kDouble);
+  for (size_t i = 0; i < 50; ++i) {
+    x.AppendDouble(i % 2 == 0 ? -1.0 : 1.0);
+  }
+  t.AddColumn("x", std::move(x)).Abort();
+  auto view = FeatureView::FromTable(t, "label");
+  StreamingFeatureSelector sel({});
+  // The same index listed twice must not double-select the feature.
+  auto result = sel.ProcessBatch(*view, {0, 0});
+  EXPECT_EQ(sel.selected().size(), 1u);
+  EXPECT_LE(result.selected.size(), 1u);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,63 @@
+// Smoke tests of the benchmark harness helpers (bench/harness.h): the
+// figure binaries build on these, so their contracts deserve coverage too.
+
+#include "../bench/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat::benchx {
+namespace {
+
+TEST(HarnessTest, ScaledSpecCapsQuickMode) {
+  // The test binary runs without AUTOFEAT_BENCH_MODE=full.
+  ASSERT_FALSE(FullMode());
+  auto spec = ScaledSpec(*datagen::FindDataset("covertype"));
+  EXPECT_LE(spec.rows, 2000u);
+  EXPECT_LE(spec.total_features, 120u);
+}
+
+TEST(HarnessTest, TreeModelsNonEmpty) {
+  auto models = BenchTreeModels();
+  EXPECT_GE(models.size(), 2u);
+}
+
+TEST(HarnessTest, SettingDrgBuildsBothWays) {
+  auto spec = ScaledSpec(*datagen::FindDataset("credit"));
+  auto built = datagen::BuildPaperLake(spec, 1);
+  auto kfk = BuildSettingDrg(built, Setting::kBenchmark);
+  auto lake = BuildSettingDrg(built, Setting::kDataLake);
+  ASSERT_TRUE(kfk.ok());
+  ASSERT_TRUE(lake.ok());
+  EXPECT_EQ(kfk->num_edges(), spec.joinable_tables);
+  EXPECT_GE(lake->num_edges(), kfk->num_edges());
+  EXPECT_STREQ(SettingName(Setting::kBenchmark), "benchmark");
+  EXPECT_STREQ(SettingName(Setting::kDataLake), "data lake");
+}
+
+TEST(HarnessTest, MethodLineup) {
+  auto with_joinall = MakeMethods(true);
+  auto without = MakeMethods(false);
+  EXPECT_EQ(with_joinall.size(), 6u);
+  EXPECT_EQ(without.size(), 4u);
+  EXPECT_EQ(with_joinall[0]->name(), "BASE");
+  EXPECT_EQ(with_joinall[1]->name(), "AutoFeat");
+  EXPECT_EQ(with_joinall[4]->name(), "JoinAll");
+  EXPECT_EQ(with_joinall[5]->name(), "JoinAll+F");
+}
+
+TEST(HarnessTest, RunMethodProducesSaneRow) {
+  auto spec = ScaledSpec(*datagen::FindDataset("credit"));
+  spec.rows = 500;  // Keep the smoke test fast.
+  auto built = datagen::BuildPaperLake(spec, 2);
+  auto drg = BuildSettingDrg(built, Setting::kBenchmark);
+  ASSERT_TRUE(drg.ok());
+  baselines::BaseMethod base;
+  auto row = RunMethod(&base, built, *drg, {ml::ModelKind::kKnn});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->method, "BASE");
+  EXPECT_GT(row->accuracy, 0.0);
+  EXPECT_EQ(row->tables_joined, 0u);
+}
+
+}  // namespace
+}  // namespace autofeat::benchx

@@ -1,0 +1,57 @@
+#include "relational/imputation.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(ImputationTest, NoNullsReturnsIdentical) {
+  Column c = Column::Int64s({1, 2, 2});
+  EXPECT_TRUE(ImputeMostFrequent(c).Equals(c));
+}
+
+TEST(ImputationTest, FillsWithMode) {
+  Column c = Column::Int64s({5, 7, 7, 0, 0, 0}, {1, 1, 1, 0, 0, 0});
+  Column imputed = ImputeMostFrequent(c);
+  EXPECT_EQ(imputed.null_count(), 0u);
+  EXPECT_EQ(imputed.GetInt64(3), 7);
+  EXPECT_EQ(imputed.GetInt64(4), 7);
+  // Non-null values untouched.
+  EXPECT_EQ(imputed.GetInt64(0), 5);
+}
+
+TEST(ImputationTest, StringMode) {
+  Column c = Column::Strings({"a", "b", "b", ""}, {1, 1, 1, 0});
+  Column imputed = ImputeMostFrequent(c);
+  EXPECT_EQ(imputed.GetString(3), "b");
+}
+
+TEST(ImputationTest, TieBrokenByFirstOccurrence) {
+  Column c = Column::Strings({"x", "y", ""}, {1, 1, 0});
+  Column imputed = ImputeMostFrequent(c);
+  EXPECT_EQ(imputed.GetString(2), "x");
+}
+
+TEST(ImputationTest, AllNullGetsTypeDefault) {
+  Column d = ImputeMostFrequent(Column::Nulls(DataType::kDouble, 3));
+  EXPECT_EQ(d.null_count(), 0u);
+  EXPECT_DOUBLE_EQ(d.GetDouble(0), 0.0);
+  Column s = ImputeMostFrequent(Column::Nulls(DataType::kString, 2));
+  EXPECT_EQ(s.GetString(1), "");
+  Column i = ImputeMostFrequent(Column::Nulls(DataType::kInt64, 2));
+  EXPECT_EQ(i.GetInt64(0), 0);
+}
+
+TEST(ImputationTest, WholeTable) {
+  Table t("t");
+  t.AddColumn("a", Column::Int64s({1, 1, 0}, {1, 1, 0})).Abort();
+  t.AddColumn("b", Column::Strings({"m", "", "m"}, {1, 0, 1})).Abort();
+  Table imputed = ImputeTableMostFrequent(t);
+  EXPECT_EQ(imputed.name(), "t");
+  EXPECT_DOUBLE_EQ(imputed.OverallNullRatio(), 0.0);
+  EXPECT_EQ((*imputed.GetColumn("a"))->GetInt64(2), 1);
+  EXPECT_EQ((*imputed.GetColumn("b"))->GetString(1), "m");
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,205 @@
+#include "stats/information.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/discretize.h"
+#include "util/rng.h"
+
+namespace autofeat {
+namespace {
+
+TEST(EntropyTest, UniformBinary) {
+  std::vector<int> x{0, 1, 0, 1};
+  EXPECT_NEAR(Entropy(x), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({3, 3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+}
+
+TEST(EntropyTest, UniformKArySequence) {
+  std::vector<int> x;
+  for (int k = 0; k < 8; ++k) {
+    for (int r = 0; r < 10; ++r) x.push_back(k);
+  }
+  EXPECT_NEAR(Entropy(x), std::log(8.0), 1e-12);
+}
+
+TEST(EntropyTest, MissingRowsExcluded) {
+  std::vector<int> x{0, 1, kMissingBin, kMissingBin};
+  EXPECT_NEAR(Entropy(x), std::log(2.0), 1e-12);
+}
+
+TEST(JointEntropyTest, IndependentUniform) {
+  // All four combinations equally often -> H = log 4.
+  std::vector<int> x{0, 0, 1, 1};
+  std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(JointEntropy(x, y), std::log(4.0), 1e-12);
+}
+
+TEST(MutualInformationTest, PerfectDependence) {
+  std::vector<int> x{0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(MutualInformation(x, x), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformationTest, IndependentIsZero) {
+  std::vector<int> x{0, 0, 1, 1};
+  std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(MutualInformation(x, y), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, Symmetric) {
+  Rng rng(1);
+  std::vector<int> x(200), y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(0, 4));
+    y[i] = (x[i] + static_cast<int>(rng.UniformInt(0, 1))) % 5;
+  }
+  EXPECT_NEAR(MutualInformation(x, y), MutualInformation(y, x), 1e-12);
+}
+
+TEST(MutualInformationTest, NonNegative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> x(50), y(50);
+    for (size_t i = 0; i < 50; ++i) {
+      x[i] = static_cast<int>(rng.UniformInt(0, 3));
+      y[i] = static_cast<int>(rng.UniformInt(0, 3));
+    }
+    EXPECT_GE(MutualInformation(x, y), 0.0);
+  }
+}
+
+TEST(MutualInformationTest, InformationGainAlias) {
+  std::vector<int> x{0, 1, 1, 0};
+  std::vector<int> y{0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(InformationGain(x, y), MutualInformation(x, y));
+}
+
+TEST(MutualInformationTest, BoundedByMinEntropy) {
+  Rng rng(3);
+  std::vector<int> x(300), y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(0, 7));
+    y[i] = x[i] / 2;
+  }
+  double mi = MutualInformation(x, y);
+  EXPECT_LE(mi, Entropy(x) + 1e-12);
+  EXPECT_LE(mi, Entropy(y) + 1e-12);
+}
+
+TEST(ConditionalMiTest, ChainRuleSpecialCases) {
+  // If Y = X, then I(X;Y|Z) = H(X|Z).
+  std::vector<int> x{0, 1, 0, 1, 1, 0, 1, 0};
+  std::vector<int> z{0, 0, 0, 0, 1, 1, 1, 1};
+  double cmi = ConditionalMutualInformation(x, x, z);
+  double h_given_z = JointEntropy(x, z) - Entropy(z);
+  EXPECT_NEAR(cmi, h_given_z, 1e-12);
+}
+
+TEST(ConditionalMiTest, ZeroWhenZDeterminesBoth) {
+  // X and Y are functions of Z -> I(X;Y|Z) = 0.
+  std::vector<int> z{0, 1, 2, 0, 1, 2};
+  std::vector<int> x{0, 1, 0, 0, 1, 0};
+  std::vector<int> y{1, 0, 1, 1, 0, 1};
+  EXPECT_NEAR(ConditionalMutualInformation(x, y, z), 0.0, 1e-12);
+}
+
+TEST(SymmetricalUncertaintyTest, Bounds) {
+  std::vector<int> x{0, 1, 0, 1};
+  EXPECT_NEAR(SymmetricalUncertainty(x, x), 1.0, 1e-12);
+  std::vector<int> y{0, 0, 1, 1};
+  EXPECT_NEAR(SymmetricalUncertainty(x, y), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SymmetricalUncertainty({1, 1}, {2, 2}), 0.0);
+}
+
+TEST(SymmetricalUncertaintyTest, InUnitIntervalOnRandomData) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> x(80), y(80);
+    for (size_t i = 0; i < 80; ++i) {
+      x[i] = static_cast<int>(rng.UniformInt(0, 5));
+      y[i] = rng.Bernoulli(0.3) ? x[i] : static_cast<int>(rng.UniformInt(0, 5));
+    }
+    double su = SymmetricalUncertainty(x, y);
+    EXPECT_GE(su, 0.0);
+    EXPECT_LE(su, 1.0 + 1e-12);
+  }
+}
+
+TEST(CorrectedMiTest, IndependentFeaturesScoreNearZero) {
+  // The Miller-Madow corrected estimate should stay near zero for
+  // independent 10-bin features at n = 1000 (plug-in would be ~0.04 nats).
+  Rng rng(5);
+  double total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> x(1000), y(1000);
+    for (size_t i = 0; i < 1000; ++i) {
+      x[i] = static_cast<int>(rng.UniformInt(0, 9));
+      y[i] = static_cast<int>(rng.UniformInt(0, 9));
+    }
+    total += MutualInformationCorrected(x, y);
+  }
+  EXPECT_LT(total / 10, 0.01);
+}
+
+TEST(CorrectedMiTest, PreservesStrongDependence) {
+  std::vector<int> x(1000);
+  for (size_t i = 0; i < 1000; ++i) x[i] = static_cast<int>(i % 4);
+  double mi = MutualInformationCorrected(x, x);
+  EXPECT_NEAR(mi, std::log(4.0), 0.02);
+}
+
+TEST(CorrectedMiTest, SharedMissingnessDoesNotInflate) {
+  // Two independent features missing on the same 30% of rows (as after a
+  // left join) must not look dependent.
+  Rng rng(6);
+  std::vector<int> x(1000), y(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    bool missing = i < 300;
+    x[i] = missing ? kMissingBin : static_cast<int>(rng.UniformInt(0, 7));
+    y[i] = missing ? kMissingBin : static_cast<int>(rng.UniformInt(0, 7));
+  }
+  EXPECT_LT(MutualInformationCorrected(x, y), 0.02);
+  EXPECT_LT(MutualInformation(x, y), 0.06);  // Plug-in over complete pairs.
+}
+
+TEST(CorrectedCmiTest, NonNegativeAndZeroForIndependent) {
+  Rng rng(7);
+  std::vector<int> x(800), y(800), z(800);
+  for (size_t i = 0; i < 800; ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(0, 3));
+    y[i] = static_cast<int>(rng.UniformInt(0, 3));
+    z[i] = static_cast<int>(rng.UniformInt(0, 1));
+  }
+  double cmi = ConditionalMutualInformationCorrected(x, y, z);
+  EXPECT_GE(cmi, 0.0);
+  EXPECT_LT(cmi, 0.03);
+}
+
+// Property sweep: MI of a noisy copy increases as noise decreases.
+class MiMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MiMonotonicityTest, NoisierCopyHasLessInformation) {
+  double noise = GetParam();
+  Rng rng(42);
+  std::vector<int> x(2000), y_low(2000), y_high(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(0, 4));
+    y_low[i] = rng.Bernoulli(noise) ? static_cast<int>(rng.UniformInt(0, 4))
+                                    : x[i];
+    y_high[i] = rng.Bernoulli(std::min(1.0, noise + 0.3))
+                    ? static_cast<int>(rng.UniformInt(0, 4))
+                    : x[i];
+  }
+  EXPECT_GT(MutualInformation(x, y_low), MutualInformation(x, y_high));
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MiMonotonicityTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,121 @@
+// End-to-end tests across both evaluation settings of the paper:
+// the benchmark setting (KFK snowflake) and the data-lake setting
+// (discovered multigraph with spurious edges).
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "baselines/autofeat_method.h"
+#include "core/autofeat.h"
+#include "datagen/lake_builder.h"
+#include "datagen/registry.h"
+#include "ml/trainer.h"
+#include "table/csv.h"
+
+namespace autofeat {
+namespace {
+
+datagen::BuiltLake MakeLake(uint64_t seed = 19) {
+  datagen::LakeSpec spec;
+  spec.name = "itg";
+  spec.rows = 800;
+  spec.joinable_tables = 6;
+  spec.total_features = 24;
+  spec.seed = seed;
+  return datagen::BuildLake(spec);
+}
+
+TEST(DataLakeSettingTest, DiscoveryBuildsDenserGraphThanKfk) {
+  auto built = MakeLake();
+  auto kfk = BuildDrgFromKfk(built.lake);
+  MatchOptions options;
+  options.threshold = 0.55;
+  auto discovered = BuildDrgByDiscovery(built.lake, options);
+  ASSERT_TRUE(kfk.ok());
+  ASSERT_TRUE(discovered.ok());
+  // Surrogate-key value overlap creates spurious edges: the discovered
+  // graph is strictly denser than the curated one (§VII-A).
+  EXPECT_GT(discovered->num_edges(), kfk->num_edges());
+}
+
+TEST(DataLakeSettingTest, AutoFeatStillFindsSignalOnDiscoveredGraph) {
+  auto built = MakeLake();
+  MatchOptions options;
+  options.threshold = 0.55;
+  auto drg = BuildDrgByDiscovery(built.lake, options);
+  ASSERT_TRUE(drg.ok());
+
+  AutoFeatConfig config;
+  config.sample_rows = 500;
+  config.max_paths = 400;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.Augment(built.base_table, built.label_column,
+                               ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto base = built.lake.GetTable(built.base_table);
+  auto base_eval = ml::TrainAndEvaluate(**base, built.label_column,
+                                        ml::ModelKind::kLightGbm);
+  ASSERT_TRUE(base_eval.ok());
+  EXPECT_GT(result->accuracy, base_eval->accuracy)
+      << "augmentation over the discovered graph must beat the base table";
+}
+
+TEST(DataLakeSettingTest, SpuriousJoinsArePrunedNotSelected) {
+  auto built = MakeLake();
+  MatchOptions options;
+  options.threshold = 0.55;
+  auto drg = BuildDrgByDiscovery(built.lake, options);
+  AutoFeatConfig config;
+  config.sample_rows = 500;
+  config.max_paths = 400;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result =
+      engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+  // Spurious joins exist, so some paths must have been pruned or scored
+  // as featureless; the explored count exceeds the ranked count.
+  EXPECT_GT(result->paths_explored, result->ranked.size());
+}
+
+TEST(CsvPersistenceTest, LakeSurvivesDiskRoundTrip) {
+  namespace fs = std::filesystem;
+  auto built = MakeLake();
+  std::string dir = ::testing::TempDir() + "/autofeat_itg_lake";
+  fs::create_directories(dir);
+  for (const auto& table : built.lake.tables()) {
+    WriteCsvFile(table, dir + "/" + table.name() + ".csv").Abort();
+  }
+  auto reloaded = DataLake::FromCsvDirectory(dir);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_tables(), built.lake.num_tables());
+  for (const auto& table : built.lake.tables()) {
+    auto other = reloaded->GetTable(table.name());
+    ASSERT_TRUE(other.ok());
+    EXPECT_TRUE(table.Equals(**other)) << table.name();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(RegistrySmokeTest, SmallRegistryLakesRunEndToEnd) {
+  // The two smallest Table II datasets run through the full pipeline.
+  for (const char* name : {"credit", "school"}) {
+    auto spec = *datagen::FindDataset(name);
+    spec.rows = std::min<size_t>(spec.rows, 600);
+    spec.total_features = std::min<size_t>(spec.total_features, 40);
+    auto built = datagen::BuildPaperLake(spec, 3);
+    auto drg = BuildDrgFromKfk(built.lake);
+    ASSERT_TRUE(drg.ok()) << name;
+    AutoFeatConfig config;
+    config.sample_rows = 400;
+    baselines::AutoFeatMethod method(config);
+    auto result = method.Augment(built.lake, *drg, built.base_table,
+                                 built.label_column);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->augmented.num_rows(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,125 @@
+// Tests of the non-default join configurations (inner join, unnormalised
+// cardinality) used by the join-design ablation.
+
+#include <gtest/gtest.h>
+
+#include "relational/join.h"
+
+namespace autofeat {
+namespace {
+
+Table MakeLeft() {
+  Table t("left");
+  t.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  t.AddColumn("label", Column::Int64s({0, 0, 1, 1})).Abort();
+  return t;
+}
+
+// Right table: key 1 appears twice, key 3 once, keys 2/4 absent.
+Table MakeRight() {
+  Table t("right");
+  t.AddColumn("rid", Column::Int64s({1, 1, 3})).Abort();
+  t.AddColumn("v", Column::Doubles({10, 11, 30})).Abort();
+  return t;
+}
+
+TEST(InnerJoinTest, DropsUnmatchedRows) {
+  Rng rng(1);
+  JoinOptions options;
+  options.type = JoinType::kInner;
+  auto r = Join(MakeLeft(), "id", MakeRight(), "rid", &rng, options);
+  ASSERT_TRUE(r.ok());
+  // Only ids 1 and 3 survive.
+  EXPECT_EQ(r->table.num_rows(), 2u);
+  EXPECT_EQ(r->stats.matched_rows, 2u);
+  EXPECT_EQ((*r->table.GetColumn("v"))->null_count(), 0u);
+}
+
+TEST(InnerJoinTest, SkewsClassDistribution) {
+  Rng rng(1);
+  JoinOptions options;
+  options.type = JoinType::kInner;
+  auto r = Join(MakeLeft(), "id", MakeRight(), "rid", &rng, options);
+  ASSERT_TRUE(r.ok());
+  // Original balance 2:2; the inner join keeps one of each here, but
+  // removing rows is exactly the distribution hazard of §IV-B — verify
+  // the surviving rows are the matched subset, not the original.
+  auto label = *r->table.GetColumn("label");
+  EXPECT_EQ(label->size(), 2u);
+}
+
+TEST(UnnormalizedJoinTest, DuplicatesOneToManyMatches) {
+  Rng rng(1);
+  JoinOptions options;
+  options.normalize_cardinality = false;
+  auto r = Join(MakeLeft(), "id", MakeRight(), "rid", &rng, options);
+  ASSERT_TRUE(r.ok());
+  // id=1 matches two right rows -> duplicated; ids 2/4 null; total 5 rows.
+  EXPECT_EQ(r->table.num_rows(), 5u);
+  auto ids = *r->table.GetColumn("id");
+  EXPECT_EQ(ids->GetInt64(0), 1);
+  EXPECT_EQ(ids->GetInt64(1), 1);
+  // Both duplicate rows carry distinct right values.
+  auto v = *r->table.GetColumn("v");
+  EXPECT_NE(v->GetDouble(0), v->GetDouble(1));
+}
+
+TEST(UnnormalizedJoinTest, InnerUnnormalizedIsPureMultiplicity) {
+  Rng rng(1);
+  JoinOptions options;
+  options.type = JoinType::kInner;
+  options.normalize_cardinality = false;
+  auto r = Join(MakeLeft(), "id", MakeRight(), "rid", &rng, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 3u);  // 2 for id=1, 1 for id=3.
+}
+
+TEST(JoinOptionsTest, DefaultMatchesLeftJoin) {
+  Rng rng_a(9), rng_b(9);
+  auto via_default = Join(MakeLeft(), "id", MakeRight(), "rid", &rng_a);
+  auto via_wrapper = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng_b);
+  ASSERT_TRUE(via_default.ok());
+  ASSERT_TRUE(via_wrapper.ok());
+  EXPECT_TRUE(via_default->table.Equals(via_wrapper->table));
+}
+
+TEST(UnnormalizedJoinTest, LabelDistributionSkew) {
+  // The §IV-B argument, concretely: a right table whose duplicates align
+  // with one class inflates that class after an unnormalised join.
+  Table left("l");
+  left.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  left.AddColumn("label", Column::Int64s({1, 0, 0, 0})).Abort();
+  Table right("r");
+  // Key 1 (the positive row) appears 5 times.
+  right.AddColumn("rid", Column::Int64s({1, 1, 1, 1, 1, 2, 3, 4})).Abort();
+  right.AddColumn("v", Column::Doubles({1, 2, 3, 4, 5, 6, 7, 8})).Abort();
+
+  Rng rng(2);
+  JoinOptions skewed;
+  skewed.normalize_cardinality = false;
+  auto r = Join(left, "id", right, "rid", &rng, skewed);
+  ASSERT_TRUE(r.ok());
+  auto label = *r->table.GetColumn("label");
+  size_t positives = 0;
+  for (size_t i = 0; i < label->size(); ++i) {
+    positives += static_cast<size_t>(label->GetInt64(i));
+  }
+  // 5 of 8 rows are now positive vs 1 of 4 originally.
+  EXPECT_EQ(label->size(), 8u);
+  EXPECT_EQ(positives, 5u);
+
+  // The normalised join preserves the original distribution exactly.
+  Rng rng2(2);
+  auto normalized = LeftJoin(left, "id", right, "rid", &rng2);
+  ASSERT_TRUE(normalized.ok());
+  auto norm_label = *normalized->table.GetColumn("label");
+  size_t norm_positives = 0;
+  for (size_t i = 0; i < norm_label->size(); ++i) {
+    norm_positives += static_cast<size_t>(norm_label->GetInt64(i));
+  }
+  EXPECT_EQ(norm_label->size(), 4u);
+  EXPECT_EQ(norm_positives, 1u);
+}
+
+}  // namespace
+}  // namespace autofeat

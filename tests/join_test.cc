@@ -1,0 +1,195 @@
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+Table MakeLeft() {
+  Table t("left");
+  t.AddColumn("id", Column::Int64s({1, 2, 3, 4})).Abort();
+  t.AddColumn("x", Column::Doubles({0.1, 0.2, 0.3, 0.4})).Abort();
+  return t;
+}
+
+Table MakeRight() {
+  Table t("right");
+  t.AddColumn("rid", Column::Int64s({2, 3, 5})).Abort();
+  t.AddColumn("y", Column::Strings({"b", "c", "e"})).Abort();
+  return t;
+}
+
+TEST(LeftJoinTest, PreservesLeftRowCountAndOrder) {
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 4u);
+  auto ids = *r->table.GetColumn("id");
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ids->GetInt64(i), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(LeftJoinTest, MatchesAndNulls) {
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.matched_rows, 2u);
+  EXPECT_EQ(r->stats.total_rows, 4u);
+  auto y = *r->table.GetColumn("y");
+  EXPECT_TRUE(y->IsNull(0));   // id=1 unmatched
+  EXPECT_EQ(y->GetString(1), "b");
+  EXPECT_EQ(y->GetString(2), "c");
+  EXPECT_TRUE(y->IsNull(3));   // id=4 unmatched
+}
+
+TEST(LeftJoinTest, AppendsAllRightColumns) {
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->table.HasColumn("rid"));
+  EXPECT_TRUE(r->table.HasColumn("y"));
+  EXPECT_EQ(r->table.num_columns(), 4u);
+}
+
+TEST(LeftJoinTest, MissingKeyColumnFails) {
+  Rng rng(1);
+  EXPECT_FALSE(LeftJoin(MakeLeft(), "nope", MakeRight(), "rid", &rng).ok());
+  EXPECT_FALSE(LeftJoin(MakeLeft(), "id", MakeRight(), "nope", &rng).ok());
+}
+
+TEST(LeftJoinTest, NoMatchesSucceedsWithZeroMatchedRows) {
+  Table right("r");
+  right.AddColumn("rid", Column::Int64s({100, 200})).Abort();
+  right.AddColumn("z", Column::Doubles({1, 2})).Abort();
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", right, "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.matched_rows, 0u);
+  EXPECT_EQ((*r->table.GetColumn("z"))->null_count(), 4u);
+}
+
+TEST(LeftJoinTest, NullKeysNeverMatch) {
+  Table left("l");
+  left.AddColumn("id", Column::Int64s({1, 2}, {1, 0})).Abort();
+  Table right("r");
+  right.AddColumn("id2", Column::Int64s({1, 2}, {1, 0})).Abort();
+  right.AddColumn("v", Column::Doubles({10, 20})).Abort();
+  Rng rng(1);
+  auto r = LeftJoin(left, "id", right, "id2", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.matched_rows, 1u);  // Only id=1.
+}
+
+TEST(LeftJoinTest, CrossTypeNumericKeysMatch) {
+  Table left("l");
+  left.AddColumn("k", Column::Doubles({1.0, 2.0})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Int64s({2})).Abort();
+  right.AddColumn("v", Column::Strings({"two"})).Abort();
+  Rng rng(1);
+  auto r = LeftJoin(left, "k", right, "k2", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.matched_rows, 1u);
+  EXPECT_EQ((*r->table.GetColumn("v"))->GetString(1), "two");
+}
+
+TEST(LeftJoinTest, CollidingColumnNamesGetSuffix) {
+  Table left = MakeLeft();
+  Table right("r");
+  right.AddColumn("id", Column::Int64s({1, 2})).Abort();  // collides
+  right.AddColumn("x", Column::Doubles({9, 8})).Abort();  // collides
+  Rng rng(1);
+  auto r = LeftJoin(left, "id", right, "id", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->table.HasColumn("id#2"));
+  EXPECT_TRUE(r->table.HasColumn("x#2"));
+}
+
+TEST(NormalizeCardinalityTest, OneRowPerKey) {
+  Table t("dup");
+  t.AddColumn("k", Column::Int64s({1, 1, 2, 2, 2, 3})).Abort();
+  t.AddColumn("v", Column::Doubles({1, 2, 3, 4, 5, 6})).Abort();
+  Rng rng(7);
+  auto norm = NormalizeJoinCardinality(t, "k", &rng);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->num_rows(), 3u);
+  // First-seen key order is preserved.
+  auto k = *norm->GetColumn("k");
+  EXPECT_EQ(k->GetInt64(0), 1);
+  EXPECT_EQ(k->GetInt64(1), 2);
+  EXPECT_EQ(k->GetInt64(2), 3);
+}
+
+TEST(NormalizeCardinalityTest, DropsNullKeys) {
+  Table t("nulls");
+  t.AddColumn("k", Column::Int64s({1, 2, 3}, {1, 0, 1})).Abort();
+  Rng rng(7);
+  auto norm = NormalizeJoinCardinality(t, "k", &rng);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->num_rows(), 2u);
+}
+
+TEST(NormalizeCardinalityTest, PickIsDeterministicGivenSeed) {
+  Table t("dup");
+  std::vector<int64_t> keys, vals;
+  for (int64_t i = 0; i < 50; ++i) {
+    keys.push_back(i % 10);
+    vals.push_back(i);
+  }
+  t.AddColumn("k", Column::Int64s(keys)).Abort();
+  t.AddColumn("v", Column::Int64s(vals)).Abort();
+  Rng rng_a(11), rng_b(11);
+  auto a = NormalizeJoinCardinality(t, "k", &rng_a);
+  auto b = NormalizeJoinCardinality(t, "k", &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Equals(*b));
+}
+
+// Property: many-to-many join still returns exactly |left| rows.
+class JoinCardinalityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinCardinalityPropertyTest, LeftRowCountInvariant) {
+  int duplication = GetParam();
+  Table left("l");
+  std::vector<int64_t> lk;
+  for (int64_t i = 0; i < 20; ++i) lk.push_back(i % 5);
+  left.AddColumn("k", Column::Int64s(lk)).Abort();
+
+  Table right("r");
+  std::vector<int64_t> rk;
+  std::vector<double> rv;
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int d = 0; d < duplication; ++d) {
+      rk.push_back(i);
+      rv.push_back(static_cast<double>(i * 10 + d));
+    }
+  }
+  right.AddColumn("k2", Column::Int64s(rk)).Abort();
+  right.AddColumn("v", Column::Doubles(rv)).Abort();
+
+  Rng rng(3);
+  auto r = LeftJoin(left, "k", right, "k2", &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), left.num_rows());
+  EXPECT_EQ(r->stats.matched_rows, left.num_rows());
+  EXPECT_EQ(r->stats.right_distinct_keys, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Duplication, JoinCardinalityPropertyTest,
+                         ::testing::Values(1, 2, 5, 20));
+
+TEST(JoinCompletenessTest, MeasuresAppendedColumnsOnly) {
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  // rid/y each have 2 nulls out of 4 rows -> completeness 0.5.
+  EXPECT_NEAR(JoinCompleteness(r->table, {"rid", "y"}), 0.5, 1e-12);
+  // Left columns are complete.
+  EXPECT_DOUBLE_EQ(JoinCompleteness(r->table, {"id", "x"}), 1.0);
+  EXPECT_DOUBLE_EQ(JoinCompleteness(r->table, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace autofeat

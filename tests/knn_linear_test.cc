@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml_testing.h"
+
+namespace autofeat::ml {
+namespace {
+
+TEST(KnnTest, LearnsBlobs) {
+  Dataset train = MakeBlobs(400, 1.5, 1);
+  Dataset test = MakeBlobs(200, 1.5, 2);
+  Knn model;
+  EXPECT_GT(HoldoutAccuracy(model, train, test), 0.88);
+}
+
+TEST(KnnTest, SolvesXorLocally) {
+  Dataset train = MakeXor(500, 3);
+  Dataset test = MakeXor(200, 4);
+  Knn model;
+  EXPECT_GT(HoldoutAccuracy(model, train, test), 0.9);
+}
+
+TEST(KnnTest, KOneMemorizesTraining) {
+  Dataset train = MakeBlobs(100, 1.0, 5);
+  KnnOptions options;
+  options.k = 1;
+  Knn model(options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(train.labels(), model.PredictProbaAll(train)),
+                   1.0);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamped) {
+  Dataset train = MakeBlobs(10, 2.0, 6);
+  KnnOptions options;
+  options.k = 100;
+  Knn model(options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  double p = model.PredictProba(train, 0);
+  EXPECT_NEAR(p, 0.5, 0.11);  // Majority over all 10 balanced rows.
+}
+
+TEST(KnnTest, EmptyTrainingFails) {
+  Knn model;
+  EXPECT_FALSE(model.Fit(Dataset()).ok());
+}
+
+TEST(KnnTest, NormalisationMakesScalesIrrelevant) {
+  // Blow up one feature's scale: z-scoring keeps accuracy unchanged.
+  Dataset train = MakeBlobs(300, 1.5, 7);
+  Dataset test = MakeBlobs(200, 1.5, 8);
+  Knn baseline;
+  double acc1 = HoldoutAccuracy(baseline, train, test);
+
+  auto scale = [](Dataset ds) {
+    Table t("scaled");
+    Column f0(DataType::kDouble), f1(DataType::kDouble),
+        noise(DataType::kDouble), label(DataType::kInt64);
+    for (size_t r = 0; r < ds.num_rows(); ++r) {
+      f0.AppendDouble(ds.at(r, 0) * 1000.0);
+      f1.AppendDouble(ds.at(r, 1));
+      noise.AppendDouble(ds.at(r, 2));
+      label.AppendInt64(ds.label(r));
+    }
+    t.AddColumn("f0", std::move(f0)).Abort();
+    t.AddColumn("f1", std::move(f1)).Abort();
+    t.AddColumn("noise", std::move(noise)).Abort();
+    t.AddColumn("label", std::move(label)).Abort();
+    return Dataset::FromTable(t, "label").MoveValue();
+  };
+  Knn scaled;
+  double acc2 = HoldoutAccuracy(scaled, scale(train), scale(test));
+  EXPECT_NEAR(acc1, acc2, 0.03);
+}
+
+TEST(LogRegTest, LearnsBlobs) {
+  Dataset train = MakeBlobs(400, 1.5, 9);
+  Dataset test = MakeBlobs(200, 1.5, 10);
+  LogisticRegressionL1 model;
+  EXPECT_GT(HoldoutAccuracy(model, train, test), 0.9);
+}
+
+TEST(LogRegTest, CannotSolveXor) {
+  // A linear model is at chance on XOR - a sanity check that this really
+  // is a linear decision boundary.
+  Dataset train = MakeXor(500, 11);
+  Dataset test = MakeXor(400, 12);
+  LogisticRegressionL1 model;
+  EXPECT_LT(HoldoutAccuracy(model, train, test), 0.65);
+}
+
+TEST(LogRegTest, L1DrivesNoiseWeightsToZero) {
+  Dataset train = MakeBlobs(600, 2.0, 13);
+  LogRegOptions options;
+  options.l1 = 0.05;
+  LogisticRegressionL1 model(options);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto& w = model.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[2], 0.0) << "noise weight should be soft-thresholded away";
+  EXPECT_GT(std::abs(w[0]), 0.0);
+  EXPECT_GE(model.num_zero_weights(), 1u);
+}
+
+TEST(LogRegTest, StrongerL1MeansMoreZeros) {
+  Dataset train = MakeBlobs(400, 0.8, 14);
+  LogRegOptions weak;
+  weak.l1 = 0.001;
+  LogRegOptions strong;
+  strong.l1 = 0.5;
+  LogisticRegressionL1 a(weak), b(strong);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_GE(b.num_zero_weights(), a.num_zero_weights());
+}
+
+TEST(LogRegTest, EmptyTrainingFails) {
+  LogisticRegressionL1 model;
+  EXPECT_FALSE(model.Fit(Dataset()).ok());
+}
+
+TEST(LogRegTest, ProbabilitiesInUnitInterval) {
+  Dataset train = MakeBlobs(200, 1.0, 15);
+  LogisticRegressionL1 model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  for (double p : model.PredictProbaAll(train)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace autofeat::ml

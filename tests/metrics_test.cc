@@ -1,0 +1,125 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace autofeat::ml {
+namespace {
+
+TEST(AccuracyTest, PerfectAndWorst) {
+  std::vector<int> y{0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(y, {0.1, 0.9, 0.8, 0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(y, {0.9, 0.1, 0.2, 0.8}), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdAtHalf) {
+  std::vector<int> y{1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(y, {0.5, 0.499}), 1.0);  // >= 0.5 is positive.
+}
+
+TEST(AccuracyTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0); }
+
+TEST(RocAucTest, PerfectRanking) {
+  std::vector<int> y{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(y, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRanking) {
+  std::vector<int> y{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(y, {0.9, 0.8, 0.1, 0.2}), 0.0);
+}
+
+TEST(RocAucTest, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.1, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0}, {0.1, 0.9}), 0.5);
+}
+
+TEST(RocAucTest, AllTiedScoresIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(RocAucTest, PartialTiesGetHalfCredit) {
+  // One positive tied with one negative, one clean pair.
+  std::vector<int> y{0, 1, 0, 1};
+  std::vector<double> p{0.3, 0.3, 0.1, 0.9};
+  // Pairs: (n=0.3 vs p=0.3) tie = 0.5; (0.3, 0.9) = 1; (0.1, 0.3) = 1;
+  // (0.1, 0.9) = 1 -> AUC = 3.5 / 4.
+  EXPECT_DOUBLE_EQ(RocAuc(y, p), 3.5 / 4);
+}
+
+TEST(RocAucTest, InvariantToMonotoneTransform) {
+  Rng rng(1);
+  std::vector<int> y(200);
+  std::vector<double> p(200), p2(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = static_cast<int>(rng.UniformInt(0, 1));
+    p[i] = rng.Uniform();
+    p2[i] = p[i] * p[i] * 0.5;  // Monotone rescale.
+  }
+  EXPECT_NEAR(RocAuc(y, p), RocAuc(y, p2), 1e-12);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(7);
+  std::vector<int> y(5000);
+  std::vector<double> p(5000);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<int>(rng.UniformInt(0, 1));
+    p[i] = rng.Uniform();
+  }
+  EXPECT_NEAR(RocAuc(y, p), 0.5, 0.03);
+}
+
+
+TEST(LogLossTest, PerfectPredictionsNearZero) {
+  std::vector<int> y{0, 1};
+  EXPECT_LT(LogLoss(y, {1e-12, 1.0 - 1e-12}), 1e-9);
+}
+
+TEST(LogLossTest, ConstantHalfIsLn2) {
+  std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(LogLoss(y, {0.5, 0.5, 0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(LogLossTest, ConfidentlyWrongIsLarge) {
+  std::vector<int> y{1};
+  EXPECT_GT(LogLoss(y, {0.001}), 6.0);
+}
+
+TEST(LogLossTest, ClipsExtremeProbabilities) {
+  std::vector<int> y{1, 0};
+  double loss = LogLoss(y, {0.0, 1.0});  // Would be inf unclipped.
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(LogLossTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(LogLoss({}, {}), 0.0); }
+
+TEST(BrierTest, PerfectIsZeroWorstIsOne) {
+  std::vector<int> y{0, 1};
+  EXPECT_DOUBLE_EQ(BrierScore(y, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore(y, {1.0, 0.0}), 1.0);
+}
+
+TEST(BrierTest, ConstantHalfIsQuarter) {
+  std::vector<int> y{0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(BrierScore(y, {0.5, 0.5, 0.5, 0.5}), 0.25);
+}
+
+TEST(BrierTest, BetterCalibrationLowersScore) {
+  Rng rng(21);
+  std::vector<int> y(500);
+  std::vector<double> sharp(500), blurry(500);
+  for (size_t i = 0; i < 500; ++i) {
+    y[i] = static_cast<int>(rng.UniformInt(0, 1));
+    double signal = y[i] == 1 ? 0.8 : 0.2;
+    sharp[i] = signal;
+    blurry[i] = 0.5 + (signal - 0.5) * 0.2;
+  }
+  EXPECT_LT(BrierScore(y, sharp), BrierScore(y, blurry));
+}
+
+}  // namespace
+}  // namespace autofeat::ml

@@ -1,0 +1,90 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace autofeat::ml {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  t.AddColumn("num", Column::Doubles({1.0, 2.0, 3.0, 4.0}, {1, 0, 1, 1}))
+      .Abort();
+  t.AddColumn("cat", Column::Strings({"a", "b", "a", "b"})).Abort();
+  t.AddColumn("label", Column::Strings({"no", "yes", "no", "yes"})).Abort();
+  return t;
+}
+
+TEST(DatasetTest, FromTableShapes) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 4u);
+  EXPECT_EQ(ds->num_features(), 2u);
+  EXPECT_EQ(ds->feature_names(), (std::vector<std::string>{"num", "cat"}));
+}
+
+TEST(DatasetTest, LabelsMappedDeterministically) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(ds.ok());
+  // "no" < "yes" lexicographically -> no = 0, yes = 1.
+  EXPECT_EQ(ds->labels(), (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(DatasetTest, NullsImputedWithMode) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(ds.ok());
+  // num has nulls -> imputed (mode = first occurrence among 1,3,4), no NaN.
+  for (double v : ds->column(0)) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(DatasetTest, StringsOrdinallyEncoded) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->column(1), (std::vector<double>{0, 1, 0, 1}));
+}
+
+TEST(DatasetTest, NonBinaryLabelRejected) {
+  Table t("t");
+  t.AddColumn("x", Column::Doubles({1, 2, 3})).Abort();
+  t.AddColumn("label", Column::Int64s({0, 1, 2})).Abort();
+  EXPECT_FALSE(Dataset::FromTable(t, "label").ok());
+}
+
+TEST(DatasetTest, NullLabelRejected) {
+  Table t("t");
+  t.AddColumn("x", Column::Doubles({1, 2})).Abort();
+  t.AddColumn("label", Column::Int64s({0, 1}, {1, 0})).Abort();
+  EXPECT_FALSE(Dataset::FromTable(t, "label").ok());
+}
+
+TEST(DatasetTest, MissingLabelColumnRejected) {
+  EXPECT_FALSE(Dataset::FromTable(MakeTable(), "nope").ok());
+}
+
+TEST(DatasetTest, TakeRows) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  Dataset sub = ds->TakeRows({3, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_EQ(sub.label(1), 0);
+  EXPECT_DOUBLE_EQ(sub.at(1, 1), 0.0);
+}
+
+TEST(DatasetTest, SelectFeatures) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  Dataset sub = ds->SelectFeatures({1});
+  EXPECT_EQ(sub.num_features(), 1u);
+  EXPECT_EQ(sub.feature_names()[0], "cat");
+  EXPECT_EQ(sub.num_rows(), 4u);
+}
+
+TEST(DatasetTest, AddFeature) {
+  auto ds = Dataset::FromTable(MakeTable(), "label");
+  ds->AddFeature("injected", {9, 9, 9, 9});
+  EXPECT_EQ(ds->num_features(), 3u);
+  EXPECT_DOUBLE_EQ(ds->at(2, 2), 9.0);
+}
+
+}  // namespace
+}  // namespace autofeat::ml

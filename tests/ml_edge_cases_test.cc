@@ -1,0 +1,151 @@
+// Edge cases of the ML substrate: zero features, single rows, extreme
+// class imbalance, unfitted models.
+
+#include <gtest/gtest.h>
+
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml_testing.h"
+
+namespace autofeat::ml {
+namespace {
+
+// Dataset with a label but zero feature columns.
+Dataset FeaturelessDataset(size_t n) {
+  Table t("featureless");
+  Column label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) label.AppendInt64(static_cast<int64_t>(i % 2));
+  t.AddColumn("label", std::move(label)).Abort();
+  return Dataset::FromTable(t, "label").MoveValue();
+}
+
+TEST(MlEdgeCaseTest, ZeroFeatureDatasetsTrainToPrior) {
+  Dataset data = FeaturelessDataset(40);
+  // Every model must cope with p = 0 and fall back to the class prior.
+  {
+    DecisionTree tree;
+    ASSERT_TRUE(tree.Fit(data).ok());
+    EXPECT_NEAR(tree.PredictProba(data, 0), 0.5, 1e-9);
+  }
+  {
+    Forest forest = Forest::RandomForest(5, 1);
+    ASSERT_TRUE(forest.Fit(data).ok());
+    EXPECT_NEAR(forest.PredictProba(data, 0), 0.5, 0.2);
+  }
+  {
+    Gbdt model;
+    ASSERT_TRUE(model.Fit(data).ok());
+    EXPECT_NEAR(model.PredictProba(data, 0), 0.5, 0.05);
+  }
+  {
+    LogisticRegressionL1 model;
+    ASSERT_TRUE(model.Fit(data).ok());
+    EXPECT_NEAR(model.PredictProba(data, 0), 0.5, 0.05);
+  }
+  {
+    Knn model;
+    ASSERT_TRUE(model.Fit(data).ok());
+    double p = model.PredictProba(data, 0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlEdgeCaseTest, UnfittedModelsReturnNeutralProbability) {
+  Dataset data = MakeBlobs(10, 1.0, 1);
+  DecisionTree tree;
+  EXPECT_DOUBLE_EQ(tree.PredictProba(data, 0), 0.5);
+  Forest forest = Forest::RandomForest(3, 1);
+  EXPECT_DOUBLE_EQ(forest.PredictProba(data, 0), 0.5);
+  Knn knn;
+  EXPECT_DOUBLE_EQ(knn.PredictProba(data, 0), 0.5);
+}
+
+TEST(MlEdgeCaseTest, SingleRowTraining) {
+  // A binary Dataset needs two classes; train on a single-row *subset*.
+  Dataset two = MakeBlobs(2, 1.0, 2);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.FitRows(two, {0}).ok());
+  // The single row's label is the prediction everywhere.
+  EXPECT_DOUBLE_EQ(tree.PredictProba(two, 1),
+                   static_cast<double>(two.label(0)));
+  Gbdt model;
+  ASSERT_TRUE(model.Fit(two).ok());
+  for (size_t r = 0; r < 2; ++r) {
+    double p = model.PredictProba(two, r);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlEdgeCaseTest, ExtremeImbalanceStaysCalibratedDirectionally) {
+  // 2% positives with clear signal: every model should still rank the
+  // positive cluster above the negative one (AUC > 0.8).
+  Rng rng(5);
+  Table t("imbalanced");
+  Column x(DataType::kDouble), label(DataType::kInt64);
+  for (size_t i = 0; i < 1000; ++i) {
+    int y = i % 50 == 0 ? 1 : 0;
+    x.AppendDouble(y == 1 ? rng.Normal(2.5, 1) : rng.Normal(-0.5, 1));
+    label.AppendInt64(y);
+  }
+  t.AddColumn("x", std::move(x)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  Dataset data = Dataset::FromTable(t, "label").MoveValue();
+
+  Gbdt gbdt = Gbdt::LightGbmLike(1);
+  ASSERT_TRUE(gbdt.Fit(data).ok());
+  EXPECT_GT(RocAuc(data.labels(), gbdt.PredictProbaAll(data)), 0.8);
+
+  LogisticRegressionL1 logreg;
+  ASSERT_TRUE(logreg.Fit(data).ok());
+  EXPECT_GT(RocAuc(data.labels(), logreg.PredictProbaAll(data)), 0.8);
+}
+
+TEST(MlEdgeCaseTest, ConstantFeaturesDoNotBreakTraining) {
+  Table t("constant");
+  Column c1(DataType::kDouble), c2(DataType::kDouble),
+      label(DataType::kInt64);
+  for (size_t i = 0; i < 60; ++i) {
+    c1.AppendDouble(7.0);
+    c2.AppendDouble(-1.0);
+    label.AppendInt64(static_cast<int64_t>(i % 2));
+  }
+  t.AddColumn("c1", std::move(c1)).Abort();
+  t.AddColumn("c2", std::move(c2)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  Dataset data = Dataset::FromTable(t, "label").MoveValue();
+  for (auto make : {+[]() -> std::unique_ptr<Classifier> {
+                      return std::make_unique<DecisionTree>();
+                    },
+                    +[]() -> std::unique_ptr<Classifier> {
+                      return std::make_unique<Gbdt>();
+                    },
+                    +[]() -> std::unique_ptr<Classifier> {
+                      return std::make_unique<LogisticRegressionL1>();
+                    }}) {
+    auto model = make();
+    ASSERT_TRUE(model->Fit(data).ok()) << model->name();
+    double p = model->PredictProba(data, 0);
+    EXPECT_NEAR(p, 0.5, 0.05) << model->name();
+  }
+}
+
+TEST(MlEdgeCaseTest, PredictionOnWiderDatasetIgnoresExtraFeatures) {
+  // Models trained on p features must tolerate prediction data with more
+  // columns (extra ones ignored by index-based access).
+  Dataset train = MakeBlobs(200, 2.0, 7);
+  Gbdt model = Gbdt::LightGbmLike(3);
+  ASSERT_TRUE(model.Fit(train).ok());
+  Dataset wide = train;
+  wide.AddFeature("extra", std::vector<double>(train.num_rows(), 42.0));
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_DOUBLE_EQ(model.PredictProba(train, r),
+                     model.PredictProba(wide, r));
+  }
+}
+
+}  // namespace
+}  // namespace autofeat::ml

@@ -1,0 +1,64 @@
+// Shared fixtures for the ML model tests: synthetic datasets with known
+// learnable structure.
+
+#ifndef AUTOFEAT_TESTS_ML_TESTING_H_
+#define AUTOFEAT_TESTS_ML_TESTING_H_
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace autofeat::ml {
+
+// Linearly separable blobs: label 1 around (+d, +d), label 0 around
+// (-d, -d), plus one noise feature.
+inline Dataset MakeBlobs(size_t n, double separation, uint64_t seed) {
+  Rng rng(seed);
+  Table t("blobs");
+  Column f0(DataType::kDouble), f1(DataType::kDouble),
+      noise(DataType::kDouble), label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) {
+    int y = static_cast<int>(i % 2);
+    double mean = y == 1 ? separation : -separation;
+    f0.AppendDouble(rng.Normal(mean, 1));
+    f1.AppendDouble(rng.Normal(mean, 1));
+    noise.AppendDouble(rng.Normal(0, 1));
+    label.AppendInt64(y);
+  }
+  t.AddColumn("f0", std::move(f0)).Abort();
+  t.AddColumn("f1", std::move(f1)).Abort();
+  t.AddColumn("noise", std::move(noise)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  return Dataset::FromTable(t, "label").MoveValue();
+}
+
+// XOR data: not linearly separable, solvable by depth >= 2 trees.
+inline Dataset MakeXor(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t("xor");
+  Column f0(DataType::kDouble), f1(DataType::kDouble),
+      label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    double b = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    f0.AppendDouble(a + rng.Normal(0, 0.2));
+    f1.AppendDouble(b + rng.Normal(0, 0.2));
+    label.AppendInt64((a > 0) != (b > 0) ? 1 : 0);
+  }
+  t.AddColumn("f0", std::move(f0)).Abort();
+  t.AddColumn("f1", std::move(f1)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  return Dataset::FromTable(t, "label").MoveValue();
+}
+
+// Holdout accuracy of a fitted classifier.
+template <typename Model>
+double HoldoutAccuracy(Model& model, const Dataset& train,
+                       const Dataset& test) {
+  model.Fit(train).Abort("fit");
+  return Accuracy(test.labels(), model.PredictProbaAll(test));
+}
+
+}  // namespace autofeat::ml
+
+#endif  // AUTOFEAT_TESTS_ML_TESTING_H_

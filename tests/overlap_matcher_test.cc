@@ -1,0 +1,120 @@
+#include "discovery/overlap_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/lake_builder.h"
+
+namespace autofeat {
+namespace {
+
+std::vector<int64_t> Range(int64_t start, int64_t n) {
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(start + i);
+  return v;
+}
+
+TEST(ValueJaccardTest, IdenticalSetsIsOne) {
+  Column a = Column::Int64s(Range(0, 30));
+  Column b = Column::Int64s(Range(0, 30));
+  EXPECT_DOUBLE_EQ(ValueJaccard(a, b, 4096), 1.0);
+}
+
+TEST(ValueJaccardTest, DisjointIsZero) {
+  Column a = Column::Int64s(Range(0, 30));
+  Column b = Column::Int64s(Range(100, 30));
+  EXPECT_DOUBLE_EQ(ValueJaccard(a, b, 4096), 0.0);
+}
+
+TEST(ValueJaccardTest, HalfOverlap) {
+  Column a = Column::Int64s(Range(0, 20));
+  Column b = Column::Int64s(Range(10, 20));
+  // |inter| = 10, |union| = 30.
+  EXPECT_NEAR(ValueJaccard(a, b, 4096), 10.0 / 30.0, 1e-12);
+}
+
+TEST(MatchByValueOverlapTest, NamesAreIgnored) {
+  Table a("a");
+  a.AddColumn("totally_unrelated_name", Column::Int64s(Range(0, 40)))
+      .Abort();
+  Table b("b");
+  b.AddColumn("other_name", Column::Int64s(Range(0, 40))).Abort();
+  auto matches = MatchByValueOverlap(a, b);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_GE(matches[0].score, 0.99);
+}
+
+TEST(MatchByValueOverlapTest, ContainmentFindsFkIntoPk) {
+  Table fk("fk");
+  fk.AddColumn("ref", Column::Int64s(Range(0, 20))).Abort();
+  Table pk("pk");
+  pk.AddColumn("id", Column::Int64s(Range(0, 200))).Abort();
+  // Jaccard is small (0.1) but containment is 1.0; the blended default
+  // (0.3 * J + 0.7 * C) crosses the threshold.
+  auto matches = MatchByValueOverlap(fk, pk);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_GT(matches[0].score, 0.7);
+}
+
+TEST(MatchByValueOverlapTest, ContinuousAndTinyColumnsSkipped) {
+  Table a("a");
+  a.AddColumn("measure", Column::Doubles({1.5, 2.5, 3.5})).Abort();
+  a.AddColumn("flag", Column::Int64s({0, 1, 0})).Abort();  // < min_distinct.
+  Table b("b");
+  b.AddColumn("key", Column::Int64s(Range(0, 40))).Abort();
+  EXPECT_TRUE(MatchByValueOverlap(a, b).empty());
+}
+
+TEST(BuildDrgWithMatcherTest, PluggableMatcherDrivesConstruction) {
+  datagen::LakeSpec spec;
+  spec.name = "plug";
+  spec.rows = 400;
+  spec.joinable_tables = 4;
+  spec.seed = 9;
+  auto built = datagen::BuildLake(spec);
+
+  auto jaccard_drg = BuildDrgWithMatcher(
+      built.lake, [](const Table& l, const Table& r) {
+        return MatchByValueOverlap(l, r);
+      });
+  ASSERT_TRUE(jaccard_drg.ok());
+  EXPECT_EQ(jaccard_drg->num_nodes(), built.lake.num_tables());
+  EXPECT_GT(jaccard_drg->num_edges(), 0u);
+
+  // A matcher that reports nothing yields an edgeless graph.
+  auto empty_drg = BuildDrgWithMatcher(
+      built.lake,
+      [](const Table&, const Table&) { return std::vector<ColumnMatch>{}; });
+  ASSERT_TRUE(empty_drg.ok());
+  EXPECT_EQ(empty_drg->num_edges(), 0u);
+}
+
+TEST(BuildDrgWithMatcherTest, InstanceMatcherFindsTrueLinks) {
+  datagen::LakeSpec spec;
+  spec.name = "inst";
+  spec.rows = 500;
+  spec.joinable_tables = 4;
+  spec.seed = 10;
+  auto built = datagen::BuildLake(spec);
+  auto drg = BuildDrgWithMatcher(
+      built.lake, [](const Table& l, const Table& r) {
+        return MatchByValueOverlap(l, r);
+      });
+  ASSERT_TRUE(drg.ok());
+  // Every true KFK link must be rediscovered (full value containment).
+  for (const auto& kfk : built.lake.kfk_constraints()) {
+    size_t a = *drg->NodeId(kfk.from_table);
+    size_t b = *drg->NodeId(kfk.to_table);
+    bool found = false;
+    for (const auto& e : drg->EdgesBetween(a, b)) {
+      if (e.from_column == kfk.from_column &&
+          e.to_column == kfk.to_column) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << kfk.from_table << "." << kfk.from_column << " -> "
+                       << kfk.to_table << "." << kfk.to_column;
+  }
+}
+
+}  // namespace
+}  // namespace autofeat

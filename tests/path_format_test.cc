@@ -1,0 +1,50 @@
+#include "graph/path_format.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+DatasetRelationGraph MakeGraph() {
+  DatasetRelationGraph g;
+  g.AddEdge("applicants", "applicant_id", "credit", "applicant_id", 1.0)
+      .Abort();
+  g.AddEdge("credit", "credit_score", "history", "credit_id", 0.7).Abort();
+  return g;
+}
+
+TEST(PathFormatTest, EmptyPath) {
+  auto g = MakeGraph();
+  EXPECT_EQ(FormatJoinPath(g, JoinPath{}), "<base>");
+}
+
+TEST(PathFormatTest, SingleStep) {
+  auto g = MakeGraph();
+  JoinPath p;
+  p.steps.push_back(JoinStep{*g.NodeId("applicants"), *g.NodeId("credit"),
+                             "applicant_id", "applicant_id", 1.0});
+  EXPECT_EQ(FormatJoinPath(g, p),
+            "applicants.applicant_id -> credit.applicant_id");
+}
+
+TEST(PathFormatTest, MultiHopMatchesPaperNotation) {
+  auto g = MakeGraph();
+  JoinPath p;
+  p.steps.push_back(JoinStep{*g.NodeId("applicants"), *g.NodeId("credit"),
+                             "applicant_id", "applicant_id", 1.0});
+  p.steps.push_back(JoinStep{*g.NodeId("credit"), *g.NodeId("history"),
+                             "credit_score", "credit_id", 0.7});
+  EXPECT_EQ(FormatJoinPath(g, p),
+            "applicants.applicant_id -> credit.credit_score -> "
+            "history.credit_id");
+}
+
+TEST(PathFormatTest, FormatStep) {
+  auto g = MakeGraph();
+  JoinStep s{*g.NodeId("credit"), *g.NodeId("history"), "credit_score",
+             "credit_id", 0.7};
+  EXPECT_EQ(FormatJoinStep(g, s), "credit.credit_score -> history.credit_id");
+}
+
+}  // namespace
+}  // namespace autofeat

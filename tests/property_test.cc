@@ -1,0 +1,315 @@
+// Cross-module property tests against reference implementations and
+// randomised inputs.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/autofeat.h"
+#include "datagen/lake_builder.h"
+#include "relational/join.h"
+#include "stats/correlation.h"
+#include "stats/information.h"
+#include "table/csv.h"
+#include "util/rng.h"
+
+namespace autofeat {
+namespace {
+
+// ---- Left join vs a naive nested-loop reference ----------------------------
+
+// Reference: for each left row, the set of right rows whose key matches.
+std::vector<std::vector<size_t>> NestedLoopMatches(const Column& left_key,
+                                                   const Column& right_key) {
+  std::vector<std::vector<size_t>> matches(left_key.size());
+  for (size_t l = 0; l < left_key.size(); ++l) {
+    if (left_key.IsNull(l)) continue;
+    for (size_t r = 0; r < right_key.size(); ++r) {
+      if (right_key.IsNull(r)) continue;
+      if (left_key.KeyAt(l) == right_key.KeyAt(r)) matches[l].push_back(r);
+    }
+  }
+  return matches;
+}
+
+class JoinReferenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinReferenceTest, HashJoinAgreesWithNestedLoop) {
+  Rng rng(GetParam());
+  size_t left_n = 40 + rng.UniformIndex(60);
+  size_t right_n = 30 + rng.UniformIndex(60);
+  int64_t key_space = 20;
+
+  Table left("l");
+  {
+    Column k(DataType::kInt64), v(DataType::kDouble);
+    for (size_t i = 0; i < left_n; ++i) {
+      if (rng.Bernoulli(0.1)) {
+        k.AppendNull();
+      } else {
+        k.AppendInt64(rng.UniformInt(0, key_space));
+      }
+      v.AppendDouble(rng.Normal(0, 1));
+    }
+    left.AddColumn("k", std::move(k)).Abort();
+    left.AddColumn("v", std::move(v)).Abort();
+  }
+  Table right("r");
+  {
+    Column k(DataType::kInt64), w(DataType::kInt64);
+    for (size_t i = 0; i < right_n; ++i) {
+      if (rng.Bernoulli(0.1)) {
+        k.AppendNull();
+      } else {
+        k.AppendInt64(rng.UniformInt(0, key_space));
+      }
+      w.AppendInt64(static_cast<int64_t>(i));
+    }
+    right.AddColumn("rk", std::move(k)).Abort();
+    right.AddColumn("w", std::move(w)).Abort();
+  }
+
+  Rng join_rng(7);
+  auto join = LeftJoin(left, "k", right, "rk", &join_rng);
+  ASSERT_TRUE(join.ok());
+  const Table& out = join->table;
+  ASSERT_EQ(out.num_rows(), left_n);
+
+  auto matches = NestedLoopMatches(*(*left.GetColumn("k")),
+                                   *(*right.GetColumn("rk")));
+  const Column& w_out = *(*out.GetColumn("w"));
+  const Column& w_src = *(*right.GetColumn("w"));
+  size_t matched = 0;
+  for (size_t l = 0; l < left_n; ++l) {
+    if (matches[l].empty()) {
+      EXPECT_TRUE(w_out.IsNull(l)) << "row " << l << " must not match";
+    } else {
+      ASSERT_FALSE(w_out.IsNull(l)) << "row " << l << " must match";
+      ++matched;
+      // The joined row must be one of the reference candidates
+      // (cardinality normalisation picks exactly one).
+      bool found = false;
+      for (size_t r : matches[l]) {
+        if (w_src.GetInt64(r) == w_out.GetInt64(l)) found = true;
+      }
+      EXPECT_TRUE(found) << "row " << l << " joined a non-matching row";
+    }
+  }
+  EXPECT_EQ(join->stats.matched_rows, matched);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinReferenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// Rows matched on the same key must all receive the same right row (the
+// normalisation picks one row per key, not per probe).
+TEST(JoinReferenceTest, SameKeySameRightRow) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({5, 5, 5, 5})).Abort();
+  Table right("r");
+  right.AddColumn("rk", Column::Int64s({5, 5, 5})).Abort();
+  right.AddColumn("w", Column::Int64s({10, 20, 30})).Abort();
+  Rng rng(3);
+  auto join = LeftJoin(left, "k", right, "rk", &rng);
+  ASSERT_TRUE(join.ok());
+  const Column& w = *(*join->table.GetColumn("w"));
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(w.GetInt64(i), w.GetInt64(0));
+  }
+}
+
+// ---- CSV randomised round trips ---------------------------------------------
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomTableSurvivesRoundTrip) {
+  Rng rng(GetParam());
+  size_t rows = 1 + rng.UniformIndex(50);
+  Table t("fuzz");
+  // One column of each type with random nulls and awkward content.
+  {
+    Column c(DataType::kInt64);
+    for (size_t i = 0; i < rows; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        c.AppendNull();
+      } else {
+        c.AppendInt64(rng.UniformInt(-1000000, 1000000));
+      }
+    }
+    t.AddColumn("ints", std::move(c)).Abort();
+  }
+  {
+    Column c(DataType::kDouble);
+    for (size_t i = 0; i < rows; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        c.AppendNull();
+      } else {
+        c.AppendDouble(rng.Normal(0, 1e6));
+      }
+    }
+    t.AddColumn("doubles", std::move(c)).Abort();
+  }
+  {
+    const char* tokens[] = {"plain", "with,comma", "with\"quote", "  spaced",
+                            "0x7f", "ümlaut"};
+    Column c(DataType::kString);
+    for (size_t i = 0; i < rows; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        c.AppendNull();
+      } else {
+        c.AppendString(tokens[rng.UniformIndex(6)]);
+      }
+    }
+    t.AddColumn("strings", std::move(c)).Abort();
+  }
+
+  std::string csv = WriteCsvString(t);
+  auto back = ReadCsvString(csv, "fuzz");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), rows);
+  // Int and double columns must round-trip exactly; strings too. The only
+  // permitted difference is column *type* when a column is all-null (an
+  // all-null column re-infers as int64).
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column& original = t.column(c);
+    const Column& parsed = back->column(c);
+    for (size_t r = 0; r < rows; ++r) {
+      ASSERT_EQ(original.IsNull(r), parsed.IsNull(r))
+          << "column " << c << " row " << r;
+      if (!original.IsNull(r)) {
+        EXPECT_EQ(original.ValueToString(r), parsed.ValueToString(r))
+            << "column " << c << " row " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---- Information-theory identities -------------------------------------------
+
+class MiIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiIdentityTest, ChainRuleAndBounds) {
+  Rng rng(GetParam());
+  size_t n = 500;
+  std::vector<int> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<int>(rng.UniformInt(0, 5));
+    y[i] = rng.Bernoulli(0.6) ? x[i] % 3 : static_cast<int>(rng.UniformInt(0, 2));
+  }
+  double hx = Entropy(x);
+  double hy = Entropy(y);
+  double hxy = JointEntropy(x, y);
+  double mi = MutualInformation(x, y);
+  // Identities: H(X,Y) = H(X) + H(Y) - I(X;Y); bounds.
+  EXPECT_NEAR(hxy, hx + hy - mi, 1e-9);
+  EXPECT_LE(hxy, hx + hy + 1e-12);
+  EXPECT_GE(hxy, std::max(hx, hy) - 1e-12);
+  EXPECT_LE(mi, std::min(hx, hy) + 1e-12);
+  // The Miller-Madow corrected estimate never exceeds plug-in by more
+  // than the correction terms allow and stays non-negative.
+  EXPECT_GE(MutualInformationCorrected(x, y), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiIdentityTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---- Spearman vs explicit rank-formula reference ----------------------------
+
+TEST(SpearmanReferenceTest, MatchesClassicFormulaWithoutTies) {
+  // Without ties: rho = 1 - 6*sum(d^2) / (n(n^2-1)).
+  Rng rng(4);
+  size_t n = 100;
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal(0, 1) + static_cast<double>(i) * 1e-9;  // No ties.
+    y[i] = rng.Normal(0, 1) + static_cast<double>(i) * 1e-9;
+  }
+  auto rx = FractionalRanks(x);
+  auto ry = FractionalRanks(y);
+  double d2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    d2 += (rx[i] - ry[i]) * (rx[i] - ry[i]);
+  }
+  double dn = static_cast<double>(n);
+  double reference = 1.0 - 6.0 * d2 / (dn * (dn * dn - 1.0));
+  EXPECT_NEAR(SpearmanCorrelation(x, y), reference, 1e-9);
+}
+
+// ---- Traversal-control equivalence on trees -----------------------------------
+
+TEST(TraversalEquivalenceTest, BeamAndDedupAreNoOpsOnKfkTrees) {
+  datagen::LakeSpec spec;
+  spec.name = "tree";
+  spec.rows = 500;
+  spec.joinable_tables = 6;
+  spec.total_features = 20;
+  spec.seed = 23;
+  auto built = datagen::BuildLake(spec);
+  auto drg = BuildDrgFromKfk(built.lake);
+  ASSERT_TRUE(drg.ok());
+
+  auto run = [&](size_t beam, bool dedup) {
+    AutoFeatConfig config;
+    config.sample_rows = 400;
+    config.beam_width = beam;
+    config.dedup_node_sets = dedup;
+    AutoFeat engine(&built.lake, &*drg, config);
+    return engine.DiscoverFeatures(built.base_table, built.label_column);
+  };
+  auto pruned = run(8, true);
+  auto pure = run(0, false);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(pure.ok());
+  // On a KFK tree there is exactly one path per table set, so the
+  // traversal controls must not change what is found.
+  EXPECT_EQ(pruned->paths_explored, pure->paths_explored);
+  ASSERT_EQ(pruned->ranked.size(), pure->ranked.size());
+  for (size_t i = 0; i < pruned->ranked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pruned->ranked[i].score, pure->ranked[i].score);
+    EXPECT_TRUE(pruned->ranked[i].path.steps == pure->ranked[i].path.steps);
+  }
+}
+
+// ---- Ranking-score accumulation -----------------------------------------------
+
+TEST(RankingMonotonicityTest, ExtendingAPathNeverLowersItsScore) {
+  datagen::LakeSpec spec;
+  spec.name = "mono";
+  spec.rows = 600;
+  spec.joinable_tables = 6;
+  spec.total_features = 24;
+  spec.seed = 31;
+  auto built = datagen::BuildLake(spec);
+  auto drg = BuildDrgFromKfk(built.lake);
+  ASSERT_TRUE(drg.ok());
+  AutoFeatConfig config;
+  config.sample_rows = 400;
+  AutoFeat engine(&built.lake, &*drg, config);
+  auto result = engine.DiscoverFeatures(built.base_table, built.label_column);
+  ASSERT_TRUE(result.ok());
+
+  // For every ranked path, any ranked prefix of it must have score <=
+  // the longer path (scores accumulate; batch scores are non-negative).
+  for (const auto& long_path : result->ranked) {
+    for (const auto& short_path : result->ranked) {
+      if (short_path.path.length() >= long_path.path.length()) continue;
+      bool is_prefix = true;
+      for (size_t i = 0; i < short_path.path.length(); ++i) {
+        if (!(short_path.path.steps[i] == long_path.path.steps[i])) {
+          is_prefix = false;
+          break;
+        }
+      }
+      if (is_prefix) {
+        EXPECT_LE(short_path.score, long_path.score + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,71 @@
+#include "stats/relief.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(ReliefTest, InformativeBeatsNoise) {
+  Rng rng(1);
+  size_t n = 200;
+  std::vector<int> labels(n);
+  std::vector<double> informative(n), noise(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    informative[i] = labels[i] == 1 ? rng.Normal(2, 0.5) : rng.Normal(-2, 0.5);
+    noise[i] = rng.Normal(0, 1);
+  }
+  Rng relief_rng(2);
+  auto w = ReliefScores({informative, noise}, labels, 100, &relief_rng);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[0], 0.1);
+  EXPECT_NEAR(w[1], 0.0, 0.15);
+}
+
+TEST(ReliefTest, EmptyInputs) {
+  Rng rng(1);
+  EXPECT_TRUE(ReliefScores({}, {0, 1}, 10, &rng).empty());
+  auto w = ReliefScores({{1.0}}, {0}, 10, &rng);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);  // Single row: no neighbours.
+}
+
+TEST(ReliefTest, SingleClassGivesZeroWeights) {
+  Rng rng(3);
+  std::vector<double> f{1, 2, 3, 4};
+  std::vector<int> labels{1, 1, 1, 1};
+  auto w = ReliefScores({f}, labels, 4, &rng);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);  // No misses exist.
+}
+
+TEST(ReliefTest, NanTreatedAsNeutral) {
+  Rng rng(4);
+  size_t n = 60;
+  std::vector<int> labels(n);
+  std::vector<double> feat(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    feat[i] = i % 7 == 0 ? std::nan("")
+                         : (labels[i] == 1 ? 1.0 : -1.0);
+  }
+  auto w = ReliefScores({feat}, labels, n, &rng);
+  EXPECT_GT(w[0], 0.0);  // Signal survives scattered NaNs.
+}
+
+TEST(ReliefTest, SamplingSubsetStillRanksCorrectly) {
+  Rng rng(5);
+  size_t n = 300;
+  std::vector<int> labels(n);
+  std::vector<double> good(n), bad(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    good[i] = labels[i] == 1 ? rng.Normal(1.5, 1) : rng.Normal(-1.5, 1);
+    bad[i] = rng.Normal(0, 1);
+  }
+  Rng relief_rng(6);
+  auto w = ReliefScores({bad, good}, labels, 40, &relief_rng);
+  EXPECT_GT(w[1], w[0]);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/lake_builder.h"
+
+namespace autofeat {
+namespace {
+
+struct Fixture {
+  datagen::BuiltLake built;
+  DatasetRelationGraph drg;
+  DiscoveryResult discovery;
+  AugmentationResult augmentation;
+
+  Fixture() {
+    datagen::LakeSpec spec;
+    spec.name = "rep";
+    spec.rows = 500;
+    spec.joinable_tables = 4;
+    spec.total_features = 16;
+    spec.seed = 17;
+    built = datagen::BuildLake(spec);
+    drg = BuildDrgFromKfk(built.lake).MoveValue();
+    AutoFeatConfig config;
+    config.sample_rows = 300;
+    AutoFeat engine(&built.lake, &drg, config);
+    discovery = engine.DiscoverFeatures(built.base_table, built.label_column)
+                    .MoveValue();
+    augmentation = engine.Augment(built.base_table, built.label_column,
+                                  ml::ModelKind::kKnn)
+                       .MoveValue();
+  }
+};
+
+TEST(ReportTest, DiscoveryReportMentionsCountsAndPaths) {
+  Fixture fix;
+  std::string report = FormatDiscoveryReport(fix.discovery, fix.drg);
+  EXPECT_NE(report.find("paths explored"), std::string::npos);
+  EXPECT_NE(report.find("feature selection"), std::string::npos);
+  if (!fix.discovery.ranked.empty()) {
+    EXPECT_NE(report.find("#1 score="), std::string::npos);
+    EXPECT_NE(report.find("rep_"), std::string::npos);  // Table names shown.
+  }
+}
+
+TEST(ReportTest, MaxPathsTruncates) {
+  Fixture fix;
+  ASSERT_GT(fix.discovery.ranked.size(), 1u);
+  std::string report = FormatDiscoveryReport(fix.discovery, fix.drg, 1);
+  EXPECT_NE(report.find("#1 score="), std::string::npos);
+  EXPECT_EQ(report.find("#2 score="), std::string::npos);
+  EXPECT_NE(report.find("more ranked paths"), std::string::npos);
+}
+
+TEST(ReportTest, AugmentationReportMentionsAccuracyAndBestPath) {
+  Fixture fix;
+  std::string report = FormatAugmentationReport(fix.augmentation, fix.drg);
+  EXPECT_NE(report.find("augmentation accuracy"), std::string::npos);
+  EXPECT_NE(report.find("best path"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyDiscoveryDoesNotCrash) {
+  Fixture fix;
+  DiscoveryResult empty;
+  std::string report = FormatDiscoveryReport(empty, fix.drg);
+  EXPECT_NE(report.find("0 paths explored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,137 @@
+#include "relational/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+Table MakeLabeled(size_t n, double positive_rate) {
+  Table t("labeled");
+  std::vector<int64_t> ids(n), labels(n);
+  size_t positives = static_cast<size_t>(positive_rate * n);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = static_cast<int64_t>(i);
+    labels[i] = i < positives ? 1 : 0;
+  }
+  t.AddColumn("id", Column::Int64s(std::move(ids))).Abort();
+  t.AddColumn("label", Column::Int64s(std::move(labels))).Abort();
+  return t;
+}
+
+TEST(SampleRowsTest, ReturnsRequestedCount) {
+  Table t = MakeLabeled(100, 0.5);
+  Rng rng(1);
+  EXPECT_EQ(SampleRows(t, 30, &rng).num_rows(), 30u);
+}
+
+TEST(SampleRowsTest, OversampleReturnsAll) {
+  Table t = MakeLabeled(10, 0.5);
+  Rng rng(1);
+  EXPECT_EQ(SampleRows(t, 100, &rng).num_rows(), 10u);
+}
+
+TEST(SampleRowsTest, NoDuplicates) {
+  Table t = MakeLabeled(100, 0.5);
+  Rng rng(5);
+  Table s = SampleRows(t, 50, &rng);
+  auto ids = *s.GetColumn("id");
+  std::unordered_set<int64_t> seen;
+  for (size_t i = 0; i < ids->size(); ++i) {
+    EXPECT_TRUE(seen.insert(ids->GetInt64(i)).second);
+  }
+}
+
+TEST(StratifiedSampleTest, PreservesClassProportions) {
+  Table t = MakeLabeled(1000, 0.2);
+  Rng rng(3);
+  auto s = StratifiedSample(t, "label", 200, &rng);
+  ASSERT_TRUE(s.ok());
+  auto labels = *s->GetColumn("label");
+  size_t positives = 0;
+  for (size_t i = 0; i < labels->size(); ++i) {
+    positives += labels->GetInt64(i);
+  }
+  double rate = static_cast<double>(positives) / labels->size();
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(StratifiedSampleTest, EveryClassKeepsAtLeastOneRow) {
+  Table t = MakeLabeled(1000, 0.001);  // One positive row.
+  Rng rng(3);
+  auto s = StratifiedSample(t, "label", 10, &rng);
+  ASSERT_TRUE(s.ok());
+  auto labels = *s->GetColumn("label");
+  bool has_positive = false;
+  for (size_t i = 0; i < labels->size(); ++i) {
+    if (labels->GetInt64(i) == 1) has_positive = true;
+  }
+  EXPECT_TRUE(has_positive);
+}
+
+TEST(StratifiedSampleTest, MissingLabelColumnFails) {
+  Table t = MakeLabeled(10, 0.5);
+  Rng rng(1);
+  EXPECT_FALSE(StratifiedSample(t, "nope", 5, &rng).ok());
+}
+
+TEST(TrainTestSplitTest, PartitionsAllRows) {
+  Table t = MakeLabeled(100, 0.3);
+  Rng rng(9);
+  auto split = TrainTestSplit(t, 0.2, "label", &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), 100u);
+  std::unordered_set<size_t> all(split->train.begin(), split->train.end());
+  for (size_t i : split->test) {
+    EXPECT_TRUE(all.insert(i).second) << "row in both splits: " << i;
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, StratifiedKeepsBothClassesInTrain) {
+  Table t = MakeLabeled(50, 0.1);
+  Rng rng(2);
+  auto split = TrainTestSplit(t, 0.2, "label", &rng);
+  ASSERT_TRUE(split.ok());
+  auto labels = *t.GetColumn("label");
+  size_t train_pos = 0;
+  for (size_t i : split->train) train_pos += labels->GetInt64(i);
+  EXPECT_GT(train_pos, 0u);
+}
+
+TEST(TrainTestSplitTest, UnstratifiedSplitSizes) {
+  Table t = MakeLabeled(100, 0.5);
+  Rng rng(2);
+  auto split = TrainTestSplit(t, 0.25, "", &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.size(), 25u);
+  EXPECT_EQ(split->train.size(), 75u);
+}
+
+TEST(TrainTestSplitTest, RejectsDegenerateFraction) {
+  Table t = MakeLabeled(10, 0.5);
+  Rng rng(2);
+  EXPECT_FALSE(TrainTestSplit(t, 0.0, "", &rng).ok());
+  EXPECT_FALSE(TrainTestSplit(t, 1.0, "", &rng).ok());
+}
+
+// Property: across fractions, the test share is within one row per stratum.
+class SplitFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionTest, TestShareApproximatesFraction) {
+  double fraction = GetParam();
+  Table t = MakeLabeled(400, 0.4);
+  Rng rng(11);
+  auto split = TrainTestSplit(t, fraction, "label", &rng);
+  ASSERT_TRUE(split.ok());
+  double share = static_cast<double>(split->test.size()) / 400.0;
+  EXPECT_NEAR(share, fraction, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionTest,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5));
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,143 @@
+#include "discovery/schema_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(NameSimilarityTest, ExactMatchIsOne) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("customer_id", "customer_id"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("ID", "id"), 1.0);  // Case-insensitive.
+}
+
+TEST(NameSimilarityTest, QualifiedNamesMatchOnColumnPart) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("orders.customer_id", "customer_id"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("a.key", "b.key"), 1.0);
+}
+
+TEST(NameSimilarityTest, SimilarBeatsDissimilar) {
+  EXPECT_GT(NameSimilarity("customer_id", "customer_key"),
+            NameSimilarity("customer_id", "temperature"));
+}
+
+TEST(ValueOverlapTest, ContainmentSemantics) {
+  Column small = Column::Int64s({1, 2, 3});
+  Column large = Column::Int64s({1, 2, 3, 4, 5, 6});
+  // The smaller set is fully contained -> 1.0.
+  EXPECT_DOUBLE_EQ(ValueOverlap(small, large, 100), 1.0);
+  Column disjoint = Column::Int64s({10, 11});
+  EXPECT_DOUBLE_EQ(ValueOverlap(small, disjoint, 100), 0.0);
+}
+
+TEST(ValueOverlapTest, CrossTypeNumericKeys) {
+  Column ints = Column::Int64s({1, 2, 3});
+  Column doubles = Column::Doubles({1.0, 2.0, 9.0});
+  EXPECT_NEAR(ValueOverlap(ints, doubles, 100), 2.0 / 3, 1e-12);
+}
+
+TEST(ValueOverlapTest, NullsIgnored) {
+  Column a = Column::Int64s({1, 2, 3}, {1, 0, 1});
+  Column b = Column::Int64s({1, 3});
+  EXPECT_DOUBLE_EQ(ValueOverlap(a, b, 100), 1.0);
+}
+
+TEST(ValueOverlapTest, EmptyColumnsScoreZero) {
+  Column empty(DataType::kInt64);
+  Column b = Column::Int64s({1});
+  EXPECT_DOUBLE_EQ(ValueOverlap(empty, b, 100), 0.0);
+}
+
+// Key columns carry >= 16 distinct values so their value overlap counts
+// as full evidence (see MatchOptions::min_distinct_for_overlap).
+std::vector<int64_t> KeyRange(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+Table MakeOrders() {
+  Table t("orders");
+  t.AddColumn("customer_id", Column::Int64s(KeyRange(24))).Abort();
+  std::vector<double> amounts(24);
+  for (size_t i = 0; i < 24; ++i) amounts[i] = static_cast<double>(i) * 1.5;
+  t.AddColumn("amount", Column::Doubles(std::move(amounts))).Abort();
+  return t;
+}
+
+Table MakeCustomers() {
+  Table t("customers");
+  t.AddColumn("customer_id", Column::Int64s(KeyRange(24))).Abort();
+  std::vector<double> ages(24);
+  for (size_t i = 0; i < 24; ++i) ages[i] = 30.0 + static_cast<double>(i);
+  t.AddColumn("age", Column::Doubles(std::move(ages))).Abort();
+  return t;
+}
+
+TEST(MatchSchemasTest, FindsKeyMatch) {
+  auto matches = MatchSchemas(MakeOrders(), MakeCustomers());
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].left_column, "customer_id");
+  EXPECT_EQ(matches[0].right_column, "customer_id");
+  EXPECT_GT(matches[0].score, 0.9);
+}
+
+TEST(MatchSchemasTest, KeyLikeAndContinuousDoNotPair) {
+  // int64 key vs double feature must never match even with similar names.
+  Table a("a");
+  a.AddColumn("value", Column::Int64s({1, 2, 3})).Abort();
+  Table b("b");
+  b.AddColumn("value", Column::Doubles({1.5, 2.5, 3.5})).Abort();
+  EXPECT_TRUE(MatchSchemas(a, b).empty());
+}
+
+TEST(MatchSchemasTest, ThresholdFilters) {
+  MatchOptions strict;
+  strict.threshold = 0.99;
+  Table a("a");
+  a.AddColumn("key_one", Column::Int64s({1, 2})).Abort();
+  Table b("b");
+  b.AddColumn("key_two", Column::Int64s({8, 9})).Abort();
+  EXPECT_TRUE(MatchSchemas(a, b, strict).empty());
+}
+
+TEST(MatchSchemasTest, SortedByScoreDescending) {
+  Table a("a");
+  a.AddColumn("id", Column::Int64s({1, 2, 3})).Abort();
+  a.AddColumn("zip", Column::Int64s({100, 200, 300})).Abort();
+  Table b("b");
+  b.AddColumn("id", Column::Int64s({1, 2, 3})).Abort();
+  b.AddColumn("zip", Column::Int64s({100, 999, 888})).Abort();
+  MatchOptions loose;
+  loose.threshold = 0.3;
+  auto matches = MatchSchemas(a, b, loose);
+  ASSERT_GE(matches.size(), 2u);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].score, matches[i].score);
+  }
+}
+
+TEST(MatchSchemasTest, SpuriousOverlapCreatesMatch) {
+  // Two unrelated surrogate-key columns over the same 0..n range with
+  // similar names: the "spurious but not irrelevant" connections of the
+  // data-lake setting.
+  Table a("a");
+  a.AddColumn("employee_nr", Column::Int64s(KeyRange(32))).Abort();
+  Table b("b");
+  b.AddColumn("employer_nr", Column::Int64s(KeyRange(32))).Abort();
+  auto matches = MatchSchemas(a, b);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_GE(matches[0].score, 0.55);
+}
+
+TEST(MatchSchemasTest, TinyCardinalityOverlapIsDiscounted) {
+  // A binary column (e.g. a label) is trivially contained in any key
+  // range; that containment must not produce a join edge on its own.
+  Table a("a");
+  a.AddColumn("flag", Column::Int64s({0, 1, 0, 1, 0, 1})).Abort();
+  Table b("b");
+  b.AddColumn("some_key", Column::Int64s(KeyRange(32))).Abort();
+  EXPECT_TRUE(MatchSchemas(a, b).empty());
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,101 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad x");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad x");
+}
+
+TEST(StatusTest, DistinctCodes) {
+  EXPECT_EQ(Status::KeyError("k").code(), StatusCode::kKeyError);
+  EXPECT_EQ(Status::IndexError("i").code(), StatusCode::kIndexError);
+  EXPECT_EQ(Status::TypeError("t").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("n").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::UnknownError("u").code(), StatusCode::kUnknownError);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(Status::CodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kKeyError), "KeyError");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kIOError), "IOError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::KeyError("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknownError);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status PropagatesWithMacro() {
+  AF_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  Status s = PropagatesWithMacro();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> MakeValue(bool ok) {
+  if (ok) return 7;
+  return Status::InvalidArgument("nope");
+}
+
+Status UsesAssignOrReturn(bool ok, int* out) {
+  AF_ASSIGN_OR_RETURN(*out, MakeValue(ok));
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnAssignsOnSuccess) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(true, &v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesOnFailure) {
+  int v = 0;
+  Status s = UsesAssignOrReturn(false, &v);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace autofeat

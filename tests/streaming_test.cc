@@ -1,0 +1,168 @@
+#include "fs/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace autofeat {
+namespace {
+
+// Base table with weak features; a "batch" table adding strong, duplicate
+// and noise features, mimicking one join step.
+struct Fixture {
+  Table base{"base"};
+  Table joined{"joined"};
+
+  explicit Fixture(size_t n = 800, uint64_t seed = 3) {
+    Rng rng(seed);
+    Column weak(DataType::kDouble), label(DataType::kInt64);
+    Column strong(DataType::kDouble), duplicate(DataType::kDouble),
+        noise(DataType::kDouble);
+    std::vector<double> strong_values;
+    for (size_t i = 0; i < n; ++i) {
+      int y = static_cast<int>(i % 2);
+      weak.AppendDouble(y == 1 ? rng.Normal(0.2, 1) : rng.Normal(-0.2, 1));
+      double s = y == 1 ? rng.Normal(1.5, 1) : rng.Normal(-1.5, 1);
+      strong.AppendDouble(s);
+      duplicate.AppendDouble(s + rng.Normal(0, 0.01));
+      noise.AppendDouble(rng.Normal(0, 1));
+      label.AppendInt64(y);
+    }
+    base.AddColumn("weak", std::move(weak)).Abort();
+    base.AddColumn("label", std::move(label)).Abort();
+
+    joined = base;
+    joined.AddColumn("strong", std::move(strong)).Abort();
+    joined.AddColumn("duplicate", std::move(duplicate)).Abort();
+    joined.AddColumn("noise", std::move(noise)).Abort();
+  }
+};
+
+StreamingFeatureSelector::Options DefaultOptions() {
+  StreamingFeatureSelector::Options o;
+  o.relevance.kind = RelevanceKind::kSpearman;
+  o.relevance.top_k = 10;
+  o.redundancy.kind = RedundancyKind::kMrmr;
+  return o;
+}
+
+TEST(StreamingTest, SeedingAddsAllBaseFeatures) {
+  Fixture fix;
+  StreamingFeatureSelector sel(DefaultOptions());
+  auto view = FeatureView::FromTable(fix.base, "label");
+  sel.SeedWithBaseFeatures(*view);
+  EXPECT_EQ(sel.selected().size(), 1u);
+  EXPECT_TRUE(sel.selected().Contains("weak"));
+}
+
+TEST(StreamingTest, BatchSelectsStrongRejectsDuplicateAndNoise) {
+  Fixture fix;
+  StreamingFeatureSelector sel(DefaultOptions());
+  auto base_view = FeatureView::FromTable(fix.base, "label");
+  sel.SeedWithBaseFeatures(*base_view);
+
+  auto batch_view = FeatureView::FromTable(
+      fix.joined, "label", {"strong", "duplicate", "noise"});
+  auto result = sel.ProcessBatch(*batch_view, {0, 1, 2});
+
+  // `strong` and `duplicate` are near-identical: whichever ranks first is
+  // accepted and must shut the other out (that is the redundancy
+  // invariant); noise must never carry a meaningful score.
+  ASSERT_FALSE(result.selected.empty());
+  bool has_strong = sel.selected().Contains("strong");
+  bool has_duplicate = sel.selected().Contains("duplicate");
+  EXPECT_NE(has_strong, has_duplicate)
+      << "exactly one of the near-duplicates may be selected";
+  for (const auto& fs : result.selected) {
+    if (fs.name == "noise") {
+      EXPECT_LT(fs.score, 0.01);
+    }
+  }
+}
+
+TEST(StreamingTest, AllIrrelevantBatch) {
+  Fixture fix;
+  StreamingFeatureSelector sel(DefaultOptions());
+  // Constant column: no relevance at all.
+  Table t = fix.base;
+  t.AddColumn("constant", Column::Doubles(std::vector<double>(
+                              fix.base.num_rows(), 1.0)))
+      .Abort();
+  auto view = FeatureView::FromTable(t, "label", {"constant"});
+  auto result = sel.ProcessBatch(*view, {0});
+  EXPECT_TRUE(result.AllIrrelevant());
+  EXPECT_FALSE(result.AllRedundant());
+}
+
+TEST(StreamingTest, AllRedundantBatch) {
+  Fixture fix;
+  StreamingFeatureSelector sel(DefaultOptions());
+  auto base_view = FeatureView::FromTable(fix.joined, "label",
+                                          {"strong"});
+  sel.SeedWithBaseFeatures(*base_view);
+  auto dup_view =
+      FeatureView::FromTable(fix.joined, "label", {"duplicate"});
+  auto result = sel.ProcessBatch(*dup_view, {0});
+  EXPECT_FALSE(result.AllIrrelevant());
+  EXPECT_TRUE(result.AllRedundant());
+}
+
+TEST(StreamingTest, TopKappaLimitsBatchSize) {
+  Fixture fix;
+  auto options = DefaultOptions();
+  options.relevance.top_k = 1;
+  StreamingFeatureSelector sel(options);
+  auto view = FeatureView::FromTable(fix.joined, "label",
+                                     {"strong", "duplicate", "noise"});
+  auto result = sel.ProcessBatch(*view, {0, 1, 2});
+  ASSERT_EQ(result.relevant.size(), 1u);
+  // The near-duplicates tie; either may win the single kappa slot.
+  EXPECT_TRUE(result.relevant[0].name == "strong" ||
+              result.relevant[0].name == "duplicate")
+      << result.relevant[0].name;
+}
+
+TEST(StreamingTest, RelevanceDisabledPassesAllThrough) {
+  Fixture fix;
+  auto options = DefaultOptions();
+  options.use_relevance = false;
+  StreamingFeatureSelector sel(options);
+  auto view = FeatureView::FromTable(fix.joined, "label",
+                                     {"strong", "duplicate", "noise"});
+  auto result = sel.ProcessBatch(*view, {0, 1, 2});
+  EXPECT_EQ(result.relevant.size(), 3u);
+  // Redundancy still screens: noise carries (near) zero J even if the
+  // estimator noise lets it sneak in.
+  for (const auto& fs : result.selected) {
+    if (fs.name == "noise") {
+      EXPECT_LT(fs.score, 0.01);
+    }
+  }
+}
+
+TEST(StreamingTest, RedundancyDisabledAcceptsAllRelevant) {
+  Fixture fix;
+  auto options = DefaultOptions();
+  options.use_redundancy = false;
+  StreamingFeatureSelector sel(options);
+  auto view = FeatureView::FromTable(fix.joined, "label",
+                                     {"strong", "duplicate"});
+  auto result = sel.ProcessBatch(*view, {0, 1});
+  // Both correlate with the label; without redundancy both are kept.
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(sel.selected().Contains("duplicate"));
+}
+
+TEST(StreamingTest, RepeatedBatchAddsNothing) {
+  Fixture fix;
+  StreamingFeatureSelector sel(DefaultOptions());
+  auto view = FeatureView::FromTable(fix.joined, "label", {"strong"});
+  auto first = sel.ProcessBatch(*view, {0});
+  EXPECT_EQ(first.selected.size(), 1u);
+  auto second = sel.ProcessBatch(*view, {0});
+  EXPECT_TRUE(second.selected.empty());
+  EXPECT_EQ(sel.selected().size(), 1u);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,113 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC_12"), "abc_12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\nz"), "z");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, "->"), "a->b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("table.column", "table."));
+  EXPECT_FALSE(StartsWith("tab", "table"));
+  EXPECT_TRUE(EndsWith("data.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "data.csv"));
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+// Property: Levenshtein is a metric (symmetry + triangle inequality) on a
+// sweep of word pairs.
+class LevenshteinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(LevenshteinPropertyTest, SymmetricAndBounded) {
+  const auto& [a, b] = GetParam();
+  size_t d_ab = LevenshteinDistance(a, b);
+  size_t d_ba = LevenshteinDistance(b, a);
+  EXPECT_EQ(d_ab, d_ba);
+  EXPECT_LE(d_ab, std::max(a.size(), b.size()));
+  size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  EXPECT_GE(d_ab, diff);
+}
+
+TEST_P(LevenshteinPropertyTest, TriangleViaEmpty) {
+  const auto& [a, b] = GetParam();
+  EXPECT_LE(LevenshteinDistance(a, b),
+            LevenshteinDistance(a, "") + LevenshteinDistance("", b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, LevenshteinPropertyTest,
+    ::testing::Values(std::make_tuple("customer_id", "customerid"),
+                      std::make_tuple("loan", "loans"),
+                      std::make_tuple("a", "abcdef"),
+                      std::make_tuple("credit_score", "score_credit"),
+                      std::make_tuple("", "x"),
+                      std::make_tuple("zip", "postal_code")));
+
+TEST(QGramTest, GramsArePadded) {
+  auto grams = QGrams("ab", 3);
+  // "##ab##" -> ##a, #ab, ab#, b##
+  EXPECT_EQ(grams.size(), 4u);
+}
+
+TEST(QGramTest, JaccardIdentity) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("name", "name"), 1.0);
+}
+
+TEST(QGramTest, JaccardDisjoint) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("aaa", "zzz"), 0.0);
+}
+
+TEST(QGramTest, JaccardSymmetric) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("credit_id", "credit_key"),
+                   QGramJaccard("credit_key", "credit_id"));
+}
+
+TEST(QGramTest, SimilarNamesScoreHigherThanDissimilar) {
+  EXPECT_GT(QGramJaccard("customer_id", "customer_key"),
+            QGramJaccard("customer_id", "property_value"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace autofeat

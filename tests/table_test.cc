@@ -1,0 +1,134 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+Table MakeSample() {
+  Table t("people");
+  t.AddColumn("id", Column::Int64s({1, 2, 3})).Abort();
+  t.AddColumn("name", Column::Strings({"ann", "bob", "cid"})).Abort();
+  t.AddColumn("score", Column::Doubles({0.5, 1.5, 2.5}, {1, 1, 0})).Abort();
+  return t;
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = MakeSample();
+  EXPECT_EQ(t.name(), "people");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.ColumnNames(),
+            (std::vector<std::string>{"id", "name", "score"}));
+}
+
+TEST(TableTest, AddColumnRejectsDuplicates) {
+  Table t = MakeSample();
+  Status s = t.AddColumn("id", Column::Int64s({9, 9, 9}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AddColumnRejectsLengthMismatch) {
+  Table t = MakeSample();
+  Status s = t.AddColumn("bad", Column::Int64s({1}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, GetColumnByName) {
+  Table t = MakeSample();
+  auto c = t.GetColumn("name");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)->GetString(1), "bob");
+  EXPECT_EQ(t.GetColumn("nope").status().code(), StatusCode::kKeyError);
+}
+
+TEST(TableTest, SetColumnReplacesAndRetypes) {
+  Table t = MakeSample();
+  ASSERT_TRUE(t.SetColumn("score", Column::Strings({"a", "b", "c"})).ok());
+  auto idx = t.schema().FieldIndex("score");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(t.schema().field(*idx).type, DataType::kString);
+}
+
+TEST(TableTest, DropColumn) {
+  Table t = MakeSample();
+  ASSERT_TRUE(t.DropColumn("name").ok());
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_FALSE(t.HasColumn("name"));
+  EXPECT_TRUE(t.HasColumn("score"));
+  EXPECT_EQ(t.DropColumn("name").code(), StatusCode::kKeyError);
+}
+
+TEST(TableTest, SelectColumnsReordersAndSubsets) {
+  Table t = MakeSample();
+  auto s = t.SelectColumns({"score", "id"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ColumnNames(), (std::vector<std::string>{"score", "id"}));
+  EXPECT_EQ(s->num_rows(), 3u);
+  EXPECT_EQ(t.SelectColumns({"missing"}).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(TableTest, TakeRows) {
+  Table t = MakeSample();
+  Table sub = t.TakeRows({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ((*sub.GetColumn("id"))->GetInt64(0), 3);
+  EXPECT_EQ((*sub.GetColumn("id"))->GetInt64(1), 1);
+}
+
+TEST(TableTest, RenameColumn) {
+  Table t = MakeSample();
+  ASSERT_TRUE(t.RenameColumn("score", "points").ok());
+  EXPECT_TRUE(t.HasColumn("points"));
+  EXPECT_FALSE(t.HasColumn("score"));
+  EXPECT_EQ(t.RenameColumn("gone", "x").code(), StatusCode::kKeyError);
+  EXPECT_EQ(t.RenameColumn("id", "name").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.RenameColumn("id", "id").ok());
+}
+
+TEST(TableTest, QualifiedNames) {
+  Table t = MakeSample();
+  Table q = t.WithQualifiedNames("people");
+  EXPECT_EQ(q.ColumnNames(),
+            (std::vector<std::string>{"people.id", "people.name",
+                                      "people.score"}));
+  // Idempotent: qualifying again does not double-prefix.
+  Table qq = q.WithQualifiedNames("people");
+  EXPECT_EQ(qq.ColumnNames(), q.ColumnNames());
+}
+
+TEST(TableTest, OverallNullRatio) {
+  Table t = MakeSample();
+  // 1 null out of 9 cells.
+  EXPECT_NEAR(t.OverallNullRatio(), 1.0 / 9, 1e-12);
+  Table empty;
+  EXPECT_DOUBLE_EQ(empty.OverallNullRatio(), 0.0);
+}
+
+TEST(TableTest, Equals) {
+  EXPECT_TRUE(MakeSample().Equals(MakeSample()));
+  Table other = MakeSample();
+  other.DropColumn("score").Abort();
+  EXPECT_FALSE(MakeSample().Equals(other));
+}
+
+TEST(SchemaTest, FieldIndexAndNames) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(*s.FieldIndex("b"), 1u);
+  EXPECT_FALSE(s.FieldIndex("z").has_value());
+  EXPECT_TRUE(s.HasField("a"));
+}
+
+TEST(SchemaTest, DuplicateFieldIgnored) {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"x", DataType::kDouble}));
+  EXPECT_FALSE(s.AddField({"x", DataType::kInt64}));
+  EXPECT_EQ(s.num_fields(), 1u);
+  EXPECT_EQ(s.field(0).type, DataType::kDouble);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,116 @@
+#include "ml/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace autofeat::ml {
+namespace {
+
+Table MakeSignalTable(size_t n, double separation, uint64_t seed) {
+  Rng rng(seed);
+  Table t("signal");
+  Column f(DataType::kDouble), label(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) {
+    int y = static_cast<int>(i % 2);
+    f.AppendDouble(y == 1 ? rng.Normal(separation, 1)
+                          : rng.Normal(-separation, 1));
+    label.AppendInt64(y);
+  }
+  t.AddColumn("f", std::move(f)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  return t;
+}
+
+class TrainerModelTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(TrainerModelTest, EveryModelLearnsSeparableData) {
+  Table t = MakeSignalTable(600, 2.0, 1);
+  auto result = TrainAndEvaluate(t, "label", GetParam());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.9) << result->model_name;
+  EXPECT_GT(result->auc, 0.9) << result->model_name;
+  EXPECT_GT(result->train_seconds, 0.0);
+  EXPECT_EQ(result->model_name, ModelKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TrainerModelTest,
+    ::testing::Values(ModelKind::kLightGbm, ModelKind::kRandomForest,
+                      ModelKind::kExtraTrees, ModelKind::kXgBoost,
+                      ModelKind::kKnn, ModelKind::kLogRegL1),
+    [](const auto& info) {
+      std::string name = ModelKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TrainerTest, ModelKindLists) {
+  EXPECT_EQ(TreeModelKinds().size(), 4u);
+  EXPECT_EQ(NonTreeModelKinds().size(), 2u);
+}
+
+TEST(TrainerTest, MakeClassifierProducesNamedModels) {
+  for (ModelKind kind : TreeModelKinds()) {
+    auto model = MakeClassifier(kind, 1);
+    ASSERT_NE(model, nullptr);
+  }
+}
+
+TEST(TrainerTest, MissingLabelFails) {
+  Table t = MakeSignalTable(50, 1.0, 2);
+  EXPECT_FALSE(TrainAndEvaluate(t, "ghost", ModelKind::kKnn).ok());
+}
+
+TEST(TrainerTest, AverageAccuracyAcrossKinds) {
+  Table t = MakeSignalTable(400, 2.0, 3);
+  auto avg = AverageAccuracy(t, "label",
+                             {ModelKind::kKnn, ModelKind::kLogRegL1});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_GT(*avg, 0.85);
+  EXPECT_FALSE(AverageAccuracy(t, "label", {}).ok());
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  Table t = MakeSignalTable(300, 0.8, 4);
+  TrainerOptions options;
+  options.seed = 17;
+  auto a = TrainAndEvaluate(t, "label", ModelKind::kLightGbm, options);
+  auto b = TrainAndEvaluate(t, "label", ModelKind::kLightGbm, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->accuracy, b->accuracy);
+  EXPECT_DOUBLE_EQ(a->auc, b->auc);
+}
+
+TEST(TrainerTest, HandlesStringFeaturesAndNulls) {
+  Rng rng(5);
+  Table t("dirty");
+  Column cat(DataType::kString), num(DataType::kDouble),
+      label(DataType::kInt64);
+  for (size_t i = 0; i < 300; ++i) {
+    int y = static_cast<int>(i % 2);
+    if (i % 11 == 0) {
+      cat.AppendNull();
+    } else {
+      cat.AppendString(y == 1 ? "yes" : "no");
+    }
+    if (i % 7 == 0) {
+      num.AppendNull();
+    } else {
+      num.AppendDouble(rng.Normal(0, 1));
+    }
+    label.AppendInt64(y);
+  }
+  t.AddColumn("cat", std::move(cat)).Abort();
+  t.AddColumn("num", std::move(num)).Abort();
+  t.AddColumn("label", std::move(label)).Abort();
+  auto result = TrainAndEvaluate(t, "label", ModelKind::kRandomForest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->accuracy, 0.85);  // `cat` is nearly the label.
+}
+
+}  // namespace
+}  // namespace autofeat::ml

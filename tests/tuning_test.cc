@@ -1,0 +1,113 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/lake_builder.h"
+
+namespace autofeat {
+namespace {
+
+struct Fixture {
+  datagen::BuiltLake built;
+  DatasetRelationGraph drg;
+
+  Fixture() {
+    datagen::LakeSpec spec;
+    spec.name = "tune";
+    spec.rows = 600;
+    spec.joinable_tables = 5;
+    spec.total_features = 20;
+    spec.seed = 13;
+    built = datagen::BuildLake(spec);
+    drg = BuildDrgFromKfk(built.lake).MoveValue();
+  }
+};
+
+TuningOptions FastOptions() {
+  TuningOptions options;
+  options.tau_grid = {0.5, 0.9};
+  options.kappa_grid = {3, 10};
+  options.sample_rows = 400;
+  return options;
+}
+
+TEST(TuningTest, SweepsFullGrid) {
+  Fixture fix;
+  auto result =
+      TuneHyperParameters(fix.built.lake, fix.drg, fix.built.base_table,
+                          fix.built.label_column, AutoFeatConfig{},
+                          FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->trials.size(), 4u);
+  for (const auto& trial : result->trials) {
+    EXPECT_GT(trial.accuracy, 0.0);
+    EXPECT_GT(trial.seconds, 0.0);
+  }
+}
+
+TEST(TuningTest, BestTrialIsArgmax) {
+  Fixture fix;
+  auto result =
+      TuneHyperParameters(fix.built.lake, fix.drg, fix.built.base_table,
+                          fix.built.label_column, AutoFeatConfig{},
+                          FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (const auto& trial : result->trials) {
+    EXPECT_LE(trial.accuracy, result->best_trial.accuracy);
+  }
+  EXPECT_DOUBLE_EQ(result->best_config.tau, result->best_trial.tau);
+  EXPECT_EQ(result->best_config.kappa, result->best_trial.kappa);
+}
+
+TEST(TuningTest, PreservesOtherConfigKnobs) {
+  Fixture fix;
+  AutoFeatConfig base;
+  base.max_hops = 2;
+  base.relevance = RelevanceKind::kPearson;
+  auto result =
+      TuneHyperParameters(fix.built.lake, fix.drg, fix.built.base_table,
+                          fix.built.label_column, base, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_config.max_hops, 2u);
+  EXPECT_EQ(result->best_config.relevance, RelevanceKind::kPearson);
+}
+
+TEST(TuningTest, TiesPreferSmallerKappaThenLargerTau) {
+  // With a degenerate grid on an empty-signal lake all accuracies tie;
+  // the tie-break should pick the smallest kappa and largest tau.
+  Fixture fix;
+  TuningOptions options = FastOptions();
+  options.tau_grid = {1.5, 2.0};  // Both prune everything -> same accuracy.
+  options.kappa_grid = {4, 9};
+  auto result =
+      TuneHyperParameters(fix.built.lake, fix.drg, fix.built.base_table,
+                          fix.built.label_column, AutoFeatConfig{}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_trial.kappa, 4u);
+  EXPECT_DOUBLE_EQ(result->best_trial.tau, 2.0);
+  for (const auto& trial : result->trials) {
+    EXPECT_FALSE(trial.produced_paths);
+  }
+}
+
+TEST(TuningTest, EmptyGridIsError) {
+  Fixture fix;
+  TuningOptions options;
+  options.tau_grid = {};
+  EXPECT_FALSE(TuneHyperParameters(fix.built.lake, fix.drg,
+                                   fix.built.base_table,
+                                   fix.built.label_column, AutoFeatConfig{},
+                                   options)
+                   .ok());
+}
+
+TEST(TuningTest, BadBaseTableIsError) {
+  Fixture fix;
+  EXPECT_FALSE(TuneHyperParameters(fix.built.lake, fix.drg, "ghost",
+                                   fix.built.label_column, AutoFeatConfig{},
+                                   FastOptions())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -1,0 +1,237 @@
+// autofeat_cli — run transitive feature discovery on a directory of CSVs.
+//
+// Usage:
+//   autofeat_cli --lake DIR --base TABLE --label COLUMN
+//                [--tau 0.65] [--kappa 15] [--top-k 4] [--max-hops 4]
+//                [--model lightgbm|rf|extratrees|xgboost|knn|logreg]
+//                [--threshold 0.55] [--tune] [--output augmented.csv]
+//
+// The joinability graph is discovered with the schema matcher (the
+// data-lake setting); declared KFK metadata does not survive CSV files.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "core/autofeat.h"
+#include "core/tuning.h"
+#include "discovery/data_lake.h"
+#include "graph/dot_export.h"
+#include "graph/path_format.h"
+#include "ml/trainer.h"
+#include "relational/describe.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace autofeat;
+
+struct CliOptions {
+  std::string lake_dir;
+  std::string base_table;
+  std::string label_column;
+  std::string output;
+  std::string dot_output;
+  std::string model = "lightgbm";
+  double tau = 0.65;
+  size_t kappa = 15;
+  size_t top_k = 4;
+  size_t max_hops = 4;
+  double threshold = 0.55;
+  bool tune = false;
+  bool describe = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: autofeat_cli --lake DIR --base TABLE --label COLUMN\n"
+      "                    [--tau F] [--kappa N] [--top-k N] [--max-hops N]\n"
+      "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
+      "                    [--threshold F] [--tune] [--describe]\n"
+      "                    [--output FILE.csv] [--dot FILE.dot]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--lake") {
+      const char* v = next();
+      if (!v) return false;
+      options->lake_dir = v;
+    } else if (arg == "--base") {
+      const char* v = next();
+      if (!v) return false;
+      options->base_table = v;
+    } else if (arg == "--label") {
+      const char* v = next();
+      if (!v) return false;
+      options->label_column = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (!v) return false;
+      options->output = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return false;
+      options->dot_output = v;
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      options->model = v;
+    } else if (arg == "--tau") {
+      const char* v = next();
+      if (!v) return false;
+      options->tau = std::atof(v);
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return false;
+      options->threshold = std::atof(v);
+    } else if (arg == "--kappa") {
+      const char* v = next();
+      if (!v) return false;
+      options->kappa = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--top-k") {
+      const char* v = next();
+      if (!v) return false;
+      options->top_k = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-hops") {
+      const char* v = next();
+      if (!v) return false;
+      options->max_hops = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--tune") {
+      options->tune = true;
+    } else if (arg == "--describe") {
+      options->describe = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->lake_dir.empty() && !options->base_table.empty() &&
+         !options->label_column.empty();
+}
+
+Result<ml::ModelKind> ParseModel(const std::string& name) {
+  if (name == "lightgbm") return ml::ModelKind::kLightGbm;
+  if (name == "rf") return ml::ModelKind::kRandomForest;
+  if (name == "extratrees") return ml::ModelKind::kExtraTrees;
+  if (name == "xgboost") return ml::ModelKind::kXgBoost;
+  if (name == "knn") return ml::ModelKind::kKnn;
+  if (name == "logreg") return ml::ModelKind::kLogRegL1;
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  auto model = ParseModel(options.model);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 2;
+  }
+
+  auto lake = DataLake::FromCsvDirectory(options.lake_dir);
+  lake.status().Abort("loading lake");
+  std::printf("loaded %zu tables from %s\n", lake->num_tables(),
+              options.lake_dir.c_str());
+  if (!lake->HasTable(options.base_table)) {
+    std::fprintf(stderr, "base table '%s' not found in lake\n",
+                 options.base_table.c_str());
+    return 2;
+  }
+
+  if (options.describe) {
+    for (const auto& table : lake->tables()) {
+      std::printf("\n%s", FormatTableDescription(table).c_str());
+    }
+    std::printf("\n");
+  }
+
+  MatchOptions match;
+  match.threshold = options.threshold;
+  auto drg = BuildDrgByDiscovery(*lake, match);
+  drg.status().Abort("discovering joinability");
+  std::printf("discovered DRG: %zu nodes, %zu edges (threshold %.2f)\n",
+              drg->num_nodes(), drg->num_edges(), options.threshold);
+  {
+    auto base_node = drg->NodeId(options.base_table);
+    base_node.status().Abort();
+    std::vector<size_t> isolated = drg->UnreachableFrom(*base_node);
+    if (!isolated.empty()) {
+      std::printf("warning: %zu table(s) unreachable from the base table:",
+                  isolated.size());
+      for (size_t node : isolated) {
+        std::printf(" %s", drg->NodeName(node).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  AutoFeatConfig config;
+  config.tau = options.tau;
+  config.kappa = options.kappa;
+  config.top_k_paths = options.top_k;
+  config.max_hops = options.max_hops;
+
+  if (options.tune) {
+    std::printf("tuning tau/kappa...\n");
+    auto tuned = TuneHyperParameters(*lake, *drg, options.base_table,
+                                     options.label_column, config);
+    tuned.status().Abort("tuning");
+    config = tuned->best_config;
+    std::printf("tuned: tau=%.2f kappa=%zu (validation accuracy %.3f)\n",
+                config.tau, config.kappa, tuned->best_trial.accuracy);
+  }
+
+  AutoFeat engine(&*lake, &*drg, config);
+  auto result =
+      engine.Augment(options.base_table, options.label_column, *model);
+  result.status().Abort("augmenting");
+
+  std::printf("\naccuracy (augmented, %s): %.3f\n", options.model.c_str(),
+              result->accuracy);
+  std::printf("paths explored: %zu | feature selection: %.3f s | total: "
+              "%.3f s\n",
+              result->discovery.paths_explored,
+              result->discovery.feature_selection_seconds,
+              result->total_seconds);
+  std::printf("best path: %s\n",
+              FormatJoinPath(*drg, result->best_path.path).c_str());
+  std::printf("selected features:\n");
+  for (const auto& fs : result->best_path.selected_features) {
+    std::printf("  %-28s %.4f\n", fs.name.c_str(), fs.score);
+  }
+
+  if (!options.dot_output.empty()) {
+    DotOptions dot_options;
+    dot_options.highlight_node = options.base_table;
+    dot_options.highlight_path = &result->best_path.path;
+    std::ofstream dot_file(options.dot_output);
+    dot_file << ExportDrgToDot(*drg, dot_options);
+    std::printf("DRG written to %s (render: dot -Tsvg %s -o drg.svg)\n",
+                options.dot_output.c_str(), options.dot_output.c_str());
+  }
+
+  if (!options.output.empty()) {
+    WriteCsvFile(result->augmented, options.output)
+        .Abort("writing augmented table");
+    std::printf("augmented table written to %s (%zu rows x %zu columns)\n",
+                options.output.c_str(), result->augmented.num_rows(),
+                result->augmented.num_columns());
+  }
+  return 0;
+}

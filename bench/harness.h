@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -128,6 +129,47 @@ inline std::vector<std::unique_ptr<baselines::Augmenter>> MakeMethods(
     methods.push_back(std::make_unique<baselines::JoinAll>(filtered));
   }
   return methods;
+}
+
+/// One machine-readable timing sample: wall seconds of one phase of one
+/// bench at a given thread count.
+struct BenchTiming {
+  std::string phase;
+  size_t threads = 1;
+  double seconds = 0.0;
+};
+
+/// Writes `BENCH_<name>.json` so the perf trajectory is tracked across PRs
+/// (one file per bench; later runs overwrite). Destination directory comes
+/// from AUTOFEAT_BENCH_JSON_DIR (default: current directory). Schema:
+/// {"bench": name, "mode": quick|full, "timings":
+///   [{"phase": ..., "threads": N, "seconds": S}, ...]}
+inline bool WriteBenchJson(const std::string& name,
+                           const std::vector<BenchTiming>& timings) {
+  const char* dir = std::getenv("AUTOFEAT_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"mode\": \""
+      << (FullMode() ? "full" : "quick") << "\",\n  \"timings\": [";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    if (i > 0) out << ",";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n    {\"phase\": \"%s\", \"threads\": %zu, "
+                  "\"seconds\": %.6f}",
+                  timings[i].phase.c_str(), timings[i].threads,
+                  timings[i].seconds);
+    out << buf;
+  }
+  out << "\n  ]\n}\n";
+  std::printf("timings written to %s\n", path.c_str());
+  return true;
 }
 
 inline void PrintRule(int width = 96) {

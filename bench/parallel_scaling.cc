@@ -1,0 +1,126 @@
+// Parallel-runtime scaling harness (not a paper figure).
+//
+// Times the three parallelised layers — DRG construction over the synthetic
+// data-lake registry, DiscoverFeatures, and end-to-end Augment — at one
+// thread and at full hardware concurrency, verifies the ranked output is
+// identical across thread counts, and emits BENCH_parallel_scaling.json so
+// the perf trajectory is tracked across PRs. On a single-core machine the
+// speedup is ~1x by construction; the determinism check still runs.
+
+#include <sstream>
+
+#include "harness.h"
+#include "core/autofeat.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace autofeat::benchx {
+namespace {
+
+struct RunResult {
+  double drg_seconds = 0.0;
+  double discover_seconds = 0.0;
+  double augment_seconds = 0.0;
+  std::string ranked_fingerprint;
+  double accuracy = 0.0;
+};
+
+std::string Fingerprint(const DiscoveryResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const RankedPath& rp : result.ranked) {
+    out << rp.score << "|";
+    for (const JoinStep& s : rp.path.steps) {
+      out << s.from_node << "." << s.from_column << ">" << s.to_node << ";";
+    }
+    for (const auto& fs : rp.selected_features) out << fs.name << ",";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
+                                   size_t num_threads) {
+  RunResult run;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  MatchOptions match;
+  match.threshold = 0.55;
+  Timer drg_timer;
+  AF_ASSIGN_OR_RETURN(DatasetRelationGraph drg,
+                      BuildDrgByDiscovery(built.lake, match, pool.get()));
+  run.drg_seconds = drg_timer.ElapsedSeconds();
+
+  AutoFeatConfig config;
+  config.num_threads = num_threads;
+  config.sample_rows = FullMode() ? 2000 : 1000;
+  config.max_paths = FullMode() ? 2000 : 600;
+  AutoFeat engine(&built.lake, &drg, config);
+
+  Timer discover_timer;
+  AF_ASSIGN_OR_RETURN(
+      DiscoveryResult discovery,
+      engine.DiscoverFeatures(built.base_table, built.label_column));
+  run.discover_seconds = discover_timer.ElapsedSeconds();
+  run.ranked_fingerprint = Fingerprint(discovery);
+
+  Timer augment_timer;
+  AF_ASSIGN_OR_RETURN(AugmentationResult augmented,
+                      engine.Augment(built.base_table, built.label_column,
+                                     ml::ModelKind::kRandomForest));
+  run.augment_seconds = augment_timer.ElapsedSeconds();
+  run.accuracy = augmented.accuracy;
+  return run;
+}
+
+}  // namespace
+}  // namespace autofeat::benchx
+
+int main() {
+  using namespace autofeat;
+  using namespace autofeat::benchx;
+
+  PrintModeBanner("parallel_scaling");
+  size_t hw = ResolveNumThreads(0);
+  std::printf("hardware threads: %zu\n\n", hw);
+
+  auto spec = ScaledSpec(*datagen::FindDataset("credit"));
+  auto built = datagen::BuildPaperLake(spec, 1);
+
+  auto sequential = RunAtThreadCount(built, 1);
+  sequential.status().Abort("sequential run");
+  auto parallel = RunAtThreadCount(built, 0);  // 0 = hardware concurrency
+  parallel.status().Abort("parallel run");
+
+  std::printf("%-22s %12s %12s %8s\n", "phase", "1 thread (s)",
+              "N threads (s)", "speedup");
+  PrintRule(58);
+  auto row = [&](const char* phase, double seq, double par) {
+    std::printf("%-22s %12.3f %12.3f %7.2fx\n", phase, seq, par,
+                par > 0 ? seq / par : 0.0);
+  };
+  row("drg_discovery", sequential->drg_seconds, parallel->drg_seconds);
+  row("discover_features", sequential->discover_seconds,
+      parallel->discover_seconds);
+  row("augment_end_to_end", sequential->augment_seconds,
+      parallel->augment_seconds);
+
+  bool identical =
+      sequential->ranked_fingerprint == parallel->ranked_fingerprint &&
+      sequential->accuracy == parallel->accuracy;
+  std::printf("\nranked output identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+
+  WriteBenchJson(
+      "parallel_scaling",
+      {{"drg_discovery", 1, sequential->drg_seconds},
+       {"drg_discovery", hw, parallel->drg_seconds},
+       {"discover_features", 1, sequential->discover_seconds},
+       {"discover_features", hw, parallel->discover_seconds},
+       {"augment_end_to_end", 1, sequential->augment_seconds},
+       {"augment_end_to_end", hw, parallel->augment_seconds}});
+  return identical ? 0 : 1;
+}

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "core/ranking.h"
 #include "fs/streaming.h"
@@ -102,6 +104,11 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
     return sig;
   };
 
+  // Monotone counter over evaluated candidate edges; every candidate's join
+  // draws from an RNG stream derived from (seed, counter) so the result does
+  // not depend on how many threads interleaved their draws.
+  uint64_t candidate_counter = 0;
+
   while (!frontier.empty() && result.paths_explored < config_.max_paths) {
     State state = std::move(frontier.front());
     frontier.pop_front();
@@ -131,6 +138,16 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       neighbors.resize(config_.beam_width);
     }
 
+    // Phase 1 — collect this state's candidate edges. The gates here are
+    // cheap but order-sensitive (dedup signatures, the max_paths budget), so
+    // they run sequentially, exactly as the legacy loop ordered them.
+    struct Candidate {
+      JoinStep edge;
+      size_t neighbor = 0;
+      const Table* right = nullptr;
+      uint64_t rng_seed = 0;
+    };
+    std::vector<Candidate> candidates;
     for (size_t neighbor : neighbors) {
       if (neighbor == base_node || state.path.ContainsNode(neighbor)) continue;
       auto table_result = lake_->GetTable(drg_->NodeName(neighbor));
@@ -160,55 +177,100 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
           ++result.paths_pruned_infeasible;
           continue;
         }
-        auto joined = LeftJoin(state.table, edge.from_column, *right,
-                               edge.to_column, &rng);
-        if (!joined.ok() || joined->stats.matched_rows == 0) {
-          ++result.paths_pruned_infeasible;
-          continue;
-        }
+        candidates.push_back(
+            Candidate{edge, neighbor, right,
+                      DeriveSeed(config_.seed, candidate_counter++)});
+      }
+    }
 
-        // Data-quality pruning: completeness of the appended columns must
-        // reach tau (§IV-C).
-        std::vector<std::string> new_columns =
-            AppendedColumns(state.table, joined->table);
-        double completeness = JoinCompleteness(joined->table, new_columns);
-        if (completeness < config_.tau) {
-          ++result.paths_pruned_quality;
-          continue;
-        }
+    // Phase 2 — evaluate every candidate concurrently: join, completeness,
+    // feature-view construction and the (stateless) relevance stage. Tasks
+    // only read shared state; each writes its own Eval slot.
+    struct Eval {
+      Status status;               // FeatureView failure, surfaced in order
+      bool infeasible = false;     // join failed or matched no rows
+      bool low_quality = false;    // completeness < tau
+      Table joined;
+      std::optional<FeatureView> view;
+      std::vector<FeatureScore> relevant;
+      double fs_seconds = 0.0;
+    };
+    std::vector<Eval> evals = ParallelMap<Eval>(
+        pool_.get(), candidates.size(), /*grain=*/1, [&](size_t c) {
+          const Candidate& cand = candidates[c];
+          Eval ev;
+          Rng task_rng(cand.rng_seed);
+          auto joined = LeftJoin(state.table, cand.edge.from_column,
+                                 *cand.right, cand.edge.to_column, &task_rng);
+          if (!joined.ok() || joined->stats.matched_rows == 0) {
+            ev.infeasible = true;
+            return ev;
+          }
+          // Data-quality pruning: completeness of the appended columns must
+          // reach tau (§IV-C).
+          std::vector<std::string> new_columns =
+              AppendedColumns(state.table, joined->table);
+          double completeness = JoinCompleteness(joined->table, new_columns);
+          if (completeness < config_.tau) {
+            ev.low_quality = true;
+            return ev;
+          }
+          Timer t;
+          auto view = FeatureView::FromTable(joined->table, label_column,
+                                             new_columns);
+          if (!view.ok()) {
+            ev.status = view.status();
+            return ev;
+          }
+          std::vector<size_t> all_indices(view->num_features());
+          for (size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
+          ev.relevant = selector.ScoreBatchRelevance(*view, all_indices);
+          ev.fs_seconds = t.ElapsedSeconds();
+          ev.view = std::move(*view);
+          ev.joined = std::move(joined->table);
+          return ev;
+        });
 
-        // Streaming feature selection over the appended feature batch.
-        Timer t;
-        auto view = FeatureView::FromTable(joined->table, label_column,
-                                           new_columns);
-        if (!view.ok()) return view.status();
-        std::vector<size_t> all_indices(view->num_features());
-        for (size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
-        StreamingFeatureSelector::BatchResult batch =
-            selector.ProcessBatch(*view, all_indices);
-        fs_seconds += t.ElapsedSeconds();
+    // Phase 3 — merge in candidate (edge) order. The redundancy stage
+    // mutates R_sel, so it stays sequential here; because the merge order
+    // equals the legacy evaluation order, the ranked output is identical.
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      Eval& ev = evals[c];
+      if (!ev.status.ok()) return ev.status;
+      if (ev.infeasible) {
+        ++result.paths_pruned_infeasible;
+        continue;
+      }
+      if (ev.low_quality) {
+        ++result.paths_pruned_quality;
+        continue;
+      }
+      fs_seconds += ev.fs_seconds;
+      Timer t;
+      StreamingFeatureSelector::BatchResult batch =
+          selector.CommitBatch(*ev.view, std::move(ev.relevant));
+      fs_seconds += t.ElapsedSeconds();
 
-        State next;
-        next.path = state.path.Extend(edge);
-        next.score =
-            state.score + ComputeRankingScore(batch.relevant, batch.selected);
-        next.selected = state.selected;
-        next.selected.insert(next.selected.end(), batch.selected.begin(),
-                             batch.selected.end());
-        // Paths whose batch was all-irrelevant or all-redundant are not
-        // ranked but stay in the frontier: they may be the gateway to
-        // relevant multi-hop features (§V-A).
-        if (!batch.selected.empty()) {
-          result.ranked.push_back(
-              RankedPath{next.path, next.score, next.selected});
-        }
-        node_visited[neighbor] = true;
-        // Leaf states (at the hop limit) can never expand; skip carrying
-        // their join result into the frontier.
-        if (next.path.length() < config_.max_hops) {
-          next.table = std::move(joined->table);
-          frontier.push_back(std::move(next));
-        }
+      State next;
+      next.path = state.path.Extend(candidates[c].edge);
+      next.score =
+          state.score + ComputeRankingScore(batch.relevant, batch.selected);
+      next.selected = state.selected;
+      next.selected.insert(next.selected.end(), batch.selected.begin(),
+                           batch.selected.end());
+      // Paths whose batch was all-irrelevant or all-redundant are not
+      // ranked but stay in the frontier: they may be the gateway to
+      // relevant multi-hop features (§V-A).
+      if (!batch.selected.empty()) {
+        result.ranked.push_back(
+            RankedPath{next.path, next.score, next.selected});
+      }
+      node_visited[candidates[c].neighbor] = true;
+      // Leaf states (at the hop limit) can never expand; skip carrying
+      // their join result into the frontier.
+      if (next.path.length() < config_.max_hops) {
+        next.table = std::move(ev.joined);
+        frontier.push_back(std::move(next));
       }
     }
   }
@@ -272,26 +334,59 @@ Result<AugmentationResult> AutoFeat::Augment(const std::string& base_table,
   trainer_options.seed = config_.seed;
 
   AF_ASSIGN_OR_RETURN(const Table* base, lake_->GetTable(base_table));
-  // Fallback: no rankable path found — the base table stands alone.
-  AF_ASSIGN_OR_RETURN(
-      ml::EvalResult base_eval,
-      ml::TrainAndEvaluate(*base, label_column, model, trainer_options));
-  out.augmented = *base;
-  out.accuracy = base_eval.accuracy;
-
   size_t k = std::min(config_.top_k_paths, out.discovery.ranked.size());
-  for (size_t i = 0; i < k; ++i) {
-    const RankedPath& candidate = out.discovery.ranked[i];
-    AF_ASSIGN_OR_RETURN(
-        Table augmented,
-        MaterializeAugmentedTable(base_table, candidate, label_column));
-    AF_ASSIGN_OR_RETURN(
-        ml::EvalResult eval,
-        ml::TrainAndEvaluate(augmented, label_column, model, trainer_options));
-    if (eval.accuracy > out.accuracy) {
-      out.accuracy = eval.accuracy;
-      out.augmented = std::move(augmented);
-      out.best_path = candidate;
+
+  // Task 0 trains on the bare base table (the fallback when no rankable
+  // path exists); task i > 0 materialises and trains ranked path i-1. The
+  // tasks share nothing mutable — every one builds its own tables and seeds
+  // its own generators — so they run concurrently and merge in index order.
+  struct PathEval {
+    Status status;
+    Table table;
+    double accuracy = 0.0;
+  };
+  std::vector<PathEval> evals = ParallelMap<PathEval>(
+      pool_.get(), k + 1, /*grain=*/1, [&](size_t i) {
+        PathEval ev;
+        if (i == 0) {
+          auto eval =
+              ml::TrainAndEvaluate(*base, label_column, model,
+                                   trainer_options);
+          if (!eval.ok()) {
+            ev.status = eval.status();
+            return ev;
+          }
+          ev.table = *base;
+          ev.accuracy = eval->accuracy;
+          return ev;
+        }
+        auto augmented = MaterializeAugmentedTable(
+            base_table, out.discovery.ranked[i - 1], label_column);
+        if (!augmented.ok()) {
+          ev.status = augmented.status();
+          return ev;
+        }
+        auto eval = ml::TrainAndEvaluate(*augmented, label_column, model,
+                                         trainer_options);
+        if (!eval.ok()) {
+          ev.status = eval.status();
+          return ev;
+        }
+        ev.table = std::move(*augmented);
+        ev.accuracy = eval->accuracy;
+        return ev;
+      });
+
+  for (const PathEval& ev : evals) {
+    if (!ev.status.ok()) return ev.status;
+  }
+  out.augmented = std::move(evals[0].table);
+  out.accuracy = evals[0].accuracy;
+  for (size_t i = 1; i < evals.size(); ++i) {
+    if (evals[i].accuracy > out.accuracy) {
+      out.accuracy = evals[i].accuracy;
+      out.augmented = std::move(evals[i].table);
+      out.best_path = out.discovery.ranked[i - 1];
     }
   }
   out.total_seconds = total_timer.ElapsedSeconds();

@@ -9,6 +9,7 @@
 #ifndef AUTOFEAT_CORE_AUTOFEAT_H_
 #define AUTOFEAT_CORE_AUTOFEAT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "ml/trainer.h"
 #include "table/table.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace autofeat {
 
@@ -60,12 +62,28 @@ struct AugmentationResult {
 };
 
 /// \brief The AutoFeat engine.
+///
+/// With config.num_threads != 1 the engine owns a worker pool and runs the
+/// hot loops — frontier-candidate evaluation during discovery and top-k
+/// path materialisation/training — concurrently. Parallelism is invisible
+/// in the results: candidates are merged in deterministic edge order and
+/// stochastic tasks use RNG streams derived from (seed, task_index), so
+/// ranked paths, selected features and accuracies are byte-identical at any
+/// thread count (including the sequential num_threads=1 path).
 class AutoFeat {
  public:
   /// `lake` and `drg` must outlive the engine.
   AutoFeat(const DataLake* lake, const DatasetRelationGraph* drg,
            AutoFeatConfig config)
-      : lake_(lake), drg_(drg), config_(config) {}
+      : lake_(lake), drg_(drg), config_(config) {
+    if (ResolveNumThreads(config_.num_threads) > 1) {
+      pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    }
+  }
+
+  /// The engine's worker pool (null on the sequential path). Exposed so
+  /// callers can reuse it for DRG construction with the same knob.
+  ThreadPool* thread_pool() const { return pool_.get(); }
 
   /// Algorithm 1: explores join paths from `base_table`, returns the ranked
   /// list. `label_column` must exist in the base table.
@@ -88,6 +106,7 @@ class AutoFeat {
   const DataLake* lake_;
   const DatasetRelationGraph* drg_;
   AutoFeatConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace autofeat

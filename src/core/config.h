@@ -53,6 +53,14 @@ struct AutoFeatConfig {
   /// (0 = use all rows). Model training always sees the full data (§VI).
   size_t sample_rows = 2000;
 
+  /// Worker threads for frontier expansion and top-k path evaluation:
+  /// 0 = one per hardware thread, 1 = legacy sequential path (no pool),
+  /// n = a fixed-size pool of n workers. Results are byte-identical at any
+  /// thread count: candidate edges are merged in deterministic edge order
+  /// and every stochastic task draws from an RNG stream derived from
+  /// (seed, task_index).
+  size_t num_threads = 1;
+
   uint64_t seed = 42;
 };
 

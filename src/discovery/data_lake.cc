@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <utility>
 
+#include "discovery/sketch_cache.h"
 #include "table/csv.h"
+#include "util/thread_pool.h"
 
 namespace autofeat {
 
@@ -86,31 +89,66 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake) {
   return drg;
 }
 
+namespace {
+
+// Fan the upper-triangle pair sweep out over `pool` and fold the matches
+// into a DRG sequentially in (i, j) order — edge insertion order (and thus
+// the graph) is independent of the thread count. `score_pair(i, j)` must be
+// safe to call concurrently for distinct pairs.
+Result<DatasetRelationGraph> BuildDrgFromPairScores(
+    const DataLake& lake, ThreadPool* pool,
+    const std::function<std::vector<ColumnMatch>(size_t, size_t)>&
+        score_pair) {
+  DatasetRelationGraph drg;
+  for (const auto& table : lake.tables()) drg.AddNode(table.name());
+  const auto& tables = lake.tables();
+
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(tables.size() * (tables.size() + 1) / 2);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<std::vector<ColumnMatch>> matches =
+      ParallelMap<std::vector<ColumnMatch>>(
+          pool, pairs.size(), /*grain=*/1, [&](size_t p) {
+            return score_pair(pairs[p].first, pairs[p].second);
+          });
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs[p];
+    for (const auto& match : matches[p]) {
+      AF_RETURN_NOT_OK(drg.AddEdge(tables[i].name(), match.left_column,
+                                   tables[j].name(), match.right_column,
+                                   match.score));
+    }
+  }
+  return drg;
+}
+
+}  // namespace
+
 Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
-                                                 const MatchOptions& options) {
-  return BuildDrgWithMatcher(
-      lake, [&options](const Table& left, const Table& right) {
-        return MatchSchemas(left, right, options);
-      });
+                                                 const MatchOptions& options,
+                                                 ThreadPool* pool) {
+  // Sketch every column once (in parallel over tables), then score pairs
+  // over the shared cache instead of re-scanning column values per pair.
+  LakeSketchCache cache =
+      LakeSketchCache::Build(lake, options.max_sample_values, pool);
+  const auto& tables = lake.tables();
+  return BuildDrgFromPairScores(lake, pool, [&](size_t i, size_t j) {
+    return MatchSchemas(tables[i], cache.table_sketches(i), tables[j],
+                        cache.table_sketches(j), options);
+  });
 }
 
 Result<DatasetRelationGraph> BuildDrgWithMatcher(
     const DataLake& lake,
     const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
-        matcher) {
-  DatasetRelationGraph drg;
-  for (const auto& table : lake.tables()) drg.AddNode(table.name());
+        matcher,
+    ThreadPool* pool) {
   const auto& tables = lake.tables();
-  for (size_t i = 0; i < tables.size(); ++i) {
-    for (size_t j = i + 1; j < tables.size(); ++j) {
-      for (const auto& match : matcher(tables[i], tables[j])) {
-        AF_RETURN_NOT_OK(drg.AddEdge(tables[i].name(), match.left_column,
-                                     tables[j].name(), match.right_column,
-                                     match.score));
-      }
-    }
-  }
-  return drg;
+  return BuildDrgFromPairScores(lake, pool, [&](size_t i, size_t j) {
+    return matcher(tables[i], tables[j]);
+  });
 }
 
 }  // namespace autofeat

@@ -21,6 +21,8 @@
 
 namespace autofeat {
 
+class ThreadPool;
+
 /// \brief A declared key/foreign-key relationship between two tables.
 struct KfkConstraint {
   std::string from_table;
@@ -67,16 +69,26 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake);
 /// Data-lake setting: ignores KFK metadata and runs the schema matcher over
 /// every table pair; matches at or above options.threshold become edges
 /// weighted by their similarity score.
+///
+/// Every column is sketched exactly once (LakeSketchCache) before the
+/// quadratic pair sweep. With a `pool`, sketching fans out over tables and
+/// pair scoring over table pairs; matches are folded into the DRG in
+/// deterministic (i, j) pair order, so the graph is byte-identical at any
+/// thread count.
 Result<DatasetRelationGraph> BuildDrgByDiscovery(
-    const DataLake& lake, const MatchOptions& options = {});
+    const DataLake& lake, const MatchOptions& options = {},
+    ThreadPool* pool = nullptr);
 
 /// Generic DRG construction with a pluggable matcher — "DRG construction is
 /// independent of the dataset discovery algorithm" (§IV). The matcher maps
 /// two tables to scored column pairs; every reported match becomes an edge.
+/// With a `pool`, pairs are matched concurrently (the matcher must be a
+/// pure function of its arguments) and merged in deterministic pair order.
 Result<DatasetRelationGraph> BuildDrgWithMatcher(
     const DataLake& lake,
     const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
-        matcher);
+        matcher,
+    ThreadPool* pool = nullptr);
 
 }  // namespace autofeat
 

@@ -1,82 +1,33 @@
 #include "discovery/overlap_matcher.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace autofeat {
 
-namespace {
-
-// Bottom-k-by-hash distinct sketch (consistent across columns; see
-// schema_matcher.cc for the rationale).
-std::unordered_set<std::string> Sketch(const Column& col, size_t max_sample) {
-  std::unordered_set<std::string> values;
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
-  }
-  if (values.size() <= max_sample) return values;
-  std::vector<std::pair<size_t, std::string>> hashed;
-  hashed.reserve(values.size());
-  std::hash<std::string> hasher;
-  for (auto& v : values) hashed.emplace_back(hasher(v), v);
-  std::nth_element(hashed.begin(),
-                   hashed.begin() + static_cast<ptrdiff_t>(max_sample),
-                   hashed.end());
-  std::unordered_set<std::string> sketch;
-  for (size_t i = 0; i < max_sample; ++i) {
-    sketch.insert(std::move(hashed[i].second));
-  }
-  return sketch;
-}
-
-size_t Intersection(const std::unordered_set<std::string>& a,
-                    const std::unordered_set<std::string>& b) {
-  const auto& small = a.size() <= b.size() ? a : b;
-  const auto& large = a.size() <= b.size() ? b : a;
-  size_t inter = 0;
-  for (const auto& v : small) inter += large.count(v);
-  return inter;
-}
-
-}  // namespace
-
 double ValueJaccard(const Column& a, const Column& b, size_t max_sample) {
-  auto sa = Sketch(a, max_sample);
-  auto sb = Sketch(b, max_sample);
-  if (sa.empty() && sb.empty()) return 0.0;
-  size_t inter = Intersection(sa, sb);
-  size_t uni = sa.size() + sb.size() - inter;
-  return uni == 0 ? 0.0
-                  : static_cast<double>(inter) / static_cast<double>(uni);
+  return SketchJaccard(BuildColumnSketch(a, max_sample),
+                       BuildColumnSketch(b, max_sample));
 }
 
 std::vector<ColumnMatch> MatchByValueOverlap(
-    const Table& left, const Table& right,
+    const Table& left, const std::vector<ColumnSketch>& left_sketches,
+    const Table& right, const std::vector<ColumnSketch>& right_sketches,
     const OverlapMatchOptions& options) {
   std::vector<ColumnMatch> matches;
   for (size_t lc = 0; lc < left.num_columns(); ++lc) {
     const Field& lf = left.schema().field(lc);
     if (lf.type == DataType::kDouble) continue;  // Keys only.
-    auto sl = Sketch(left.column(lc), options.max_sample_values);
-    if (sl.size() < options.min_distinct) continue;
+    const ColumnSketch& sl = left_sketches[lc];
+    if (sl.values.size() < options.min_distinct) continue;
     for (size_t rc = 0; rc < right.num_columns(); ++rc) {
       const Field& rf = right.schema().field(rc);
       if (rf.type == DataType::kDouble) continue;
-      auto sr = Sketch(right.column(rc), options.max_sample_values);
-      if (sr.size() < options.min_distinct) continue;
+      const ColumnSketch& sr = right_sketches[rc];
+      if (sr.values.size() < options.min_distinct) continue;
 
-      size_t inter = Intersection(sl, sr);
-      size_t uni = sl.size() + sr.size() - inter;
-      double jaccard =
-          uni == 0 ? 0.0
-                   : static_cast<double>(inter) / static_cast<double>(uni);
-      size_t smaller = std::min(sl.size(), sr.size());
-      double containment =
-          smaller == 0
-              ? 0.0
-              : static_cast<double>(inter) / static_cast<double>(smaller);
-      double score = options.jaccard_weight * jaccard +
-                     (1.0 - options.jaccard_weight) * containment;
+      double score = options.jaccard_weight * SketchJaccard(sl, sr) +
+                     (1.0 - options.jaccard_weight) *
+                         SketchContainment(sl, sr);
       if (score >= options.threshold) {
         matches.push_back(ColumnMatch{lf.name, rf.name, score});
       }
@@ -87,6 +38,24 @@ std::vector<ColumnMatch> MatchByValueOverlap(
                      return a.score > b.score;
                    });
   return matches;
+}
+
+std::vector<ColumnMatch> MatchByValueOverlap(
+    const Table& left, const Table& right,
+    const OverlapMatchOptions& options) {
+  // Sketch both sides once up front: the naive nested loop re-sketched every
+  // right column once per left column (O(L·R) column scans instead of L+R).
+  auto sketch_table = [&](const Table& t) {
+    std::vector<ColumnSketch> sketches;
+    sketches.reserve(t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      sketches.push_back(
+          BuildColumnSketch(t.column(c), options.max_sample_values));
+    }
+    return sketches;
+  };
+  return MatchByValueOverlap(left, sketch_table(left), right,
+                             sketch_table(right), options);
 }
 
 }  // namespace autofeat

@@ -42,6 +42,15 @@ std::vector<ColumnMatch> MatchByValueOverlap(
     const Table& left, const Table& right,
     const OverlapMatchOptions& options = {});
 
+/// MatchByValueOverlap over precomputed column sketches (aligned with the
+/// tables' column order, built with options.max_sample_values). Pure
+/// function of its arguments — safe to call concurrently for different
+/// pairs.
+std::vector<ColumnMatch> MatchByValueOverlap(
+    const Table& left, const std::vector<ColumnSketch>& left_sketches,
+    const Table& right, const std::vector<ColumnSketch>& right_sketches,
+    const OverlapMatchOptions& options = {});
+
 /// A pluggable matcher: anything that maps two tables to scored column
 /// pairs can drive DRG construction.
 using Matcher =

@@ -1,7 +1,6 @@
 #include "discovery/schema_matcher.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/string_utils.h"
 
@@ -22,65 +21,21 @@ double NameSimilarity(std::string_view a, std::string_view b) {
   return std::max(LevenshteinSimilarity(ca, cb), QGramJaccard(ca, cb));
 }
 
-namespace {
-
-// Distinct values of a column, capped at `max_sample` by keeping the
-// values with the smallest hashes (a bottom-k sketch). Hash-based
-// selection keeps the *same* values on both sides of a comparison, so the
-// containment estimate survives sampling — first-k sampling of two
-// differently ordered columns would destroy it.
-std::unordered_set<std::string> DistinctSketch(const Column& col,
-                                               size_t max_sample) {
-  std::unordered_set<std::string> values;
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
-  }
-  if (values.size() <= max_sample) return values;
-  std::vector<std::pair<size_t, std::string>> hashed;
-  hashed.reserve(values.size());
-  std::hash<std::string> hasher;
-  for (auto& v : values) hashed.emplace_back(hasher(v), v);
-  std::nth_element(hashed.begin(),
-                   hashed.begin() + static_cast<ptrdiff_t>(max_sample),
-                   hashed.end());
-  std::unordered_set<std::string> sketch;
-  for (size_t i = 0; i < max_sample; ++i) {
-    sketch.insert(std::move(hashed[i].second));
-  }
-  return sketch;
-}
-
-}  // namespace
-
 double ValueOverlap(const Column& a, const Column& b, size_t max_sample) {
-  std::unordered_set<std::string> sa = DistinctSketch(a, max_sample);
-  std::unordered_set<std::string> sb = DistinctSketch(b, max_sample);
-  if (sa.empty() || sb.empty()) return 0.0;
-  const auto& small = sa.size() <= sb.size() ? sa : sb;
-  const auto& large = sa.size() <= sb.size() ? sb : sa;
-  size_t inter = 0;
-  for (const auto& v : small) inter += large.count(v);
-  return static_cast<double>(inter) / static_cast<double>(small.size());
+  // One-shot convenience path: sketch both sides here. Batch callers build
+  // a LakeSketchCache instead so each column is sketched exactly once.
+  return SketchContainment(BuildColumnSketch(a, max_sample),
+                           BuildColumnSketch(b, max_sample));
 }
 
-namespace {
-
-// Distinct non-null values, counted up to `cap`.
-size_t DistinctCount(const Column& col, size_t cap) {
-  std::unordered_set<std::string> values;
-  for (size_t i = 0; i < col.size() && values.size() < cap; ++i) {
-    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
-  }
-  return values.size();
-}
-
-}  // namespace
-
-std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
-                                      const MatchOptions& options) {
+std::vector<ColumnMatch> MatchSchemas(
+    const Table& left, const std::vector<ColumnSketch>& left_sketches,
+    const Table& right, const std::vector<ColumnSketch>& right_sketches,
+    const MatchOptions& options) {
   std::vector<ColumnMatch> matches;
   for (size_t lc = 0; lc < left.num_columns(); ++lc) {
     const Field& lf = left.schema().field(lc);
+    const ColumnSketch& ls = left_sketches[lc];
     for (size_t rc = 0; rc < right.num_columns(); ++rc) {
       const Field& rf = right.schema().field(rc);
       // Join-plausibility filter: continuous doubles only pair with doubles;
@@ -88,17 +43,16 @@ std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
       bool l_key_like = lf.type != DataType::kDouble;
       bool r_key_like = rf.type != DataType::kDouble;
       if (l_key_like != r_key_like) continue;
+      const ColumnSketch& rs = right_sketches[rc];
 
       double name_sim = NameSimilarity(lf.name, rf.name);
-      double value_sim = ValueOverlap(left.column(lc), right.column(rc),
-                                      options.max_sample_values);
+      double value_sim = SketchContainment(ls, rs);
       // Containment of a tiny value set (binary flags, labels) inside a
       // large key range carries no join evidence; discount it.
       if (options.min_distinct_for_overlap > 1) {
         size_t distinct = std::min(
-            DistinctCount(left.column(lc), options.min_distinct_for_overlap),
-            DistinctCount(right.column(rc),
-                          options.min_distinct_for_overlap));
+            {ls.num_distinct, rs.num_distinct,
+             options.min_distinct_for_overlap});
         value_sim *= std::min(
             1.0, static_cast<double>(distinct) /
                      static_cast<double>(options.min_distinct_for_overlap));
@@ -115,6 +69,21 @@ std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
                      return a.score > b.score;
                    });
   return matches;
+}
+
+std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
+                                      const MatchOptions& options) {
+  auto sketch_table = [&](const Table& t) {
+    std::vector<ColumnSketch> sketches;
+    sketches.reserve(t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      sketches.push_back(
+          BuildColumnSketch(t.column(c), options.max_sample_values));
+    }
+    return sketches;
+  };
+  return MatchSchemas(left, sketch_table(left), right, sketch_table(right),
+                      options);
 }
 
 }  // namespace autofeat

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "discovery/sketch_cache.h"
 #include "table/table.h"
 
 namespace autofeat {
@@ -58,6 +59,16 @@ double ValueOverlap(const Column& a, const Column& b, size_t max_sample);
 /// are compared with each other only).
 std::vector<ColumnMatch> MatchSchemas(const Table& left, const Table& right,
                                       const MatchOptions& options = {});
+
+/// MatchSchemas over precomputed column sketches (one per column, aligned
+/// with the tables' column order, built with options.max_sample_values).
+/// All-pairs DRG construction sketches each column once and calls this per
+/// pair instead of re-scanning column values quadratically. Pure function of
+/// its arguments — safe to call concurrently for different pairs.
+std::vector<ColumnMatch> MatchSchemas(
+    const Table& left, const std::vector<ColumnSketch>& left_sketches,
+    const Table& right, const std::vector<ColumnSketch>& right_sketches,
+    const MatchOptions& options = {});
 
 }  // namespace autofeat
 

@@ -1,0 +1,85 @@
+#include "discovery/sketch_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "discovery/data_lake.h"
+#include "util/thread_pool.h"
+
+namespace autofeat {
+
+ColumnSketch BuildColumnSketch(const Column& col, size_t max_sample) {
+  ColumnSketch sketch;
+  std::unordered_set<std::string> values;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) values.insert(col.KeyAt(i));
+  }
+  sketch.num_distinct = values.size();
+  if (values.size() <= max_sample) {
+    sketch.values = std::move(values);
+    return sketch;
+  }
+  // Bottom-k by hash: the kept set is a deterministic function of the value
+  // set (ranking by (hash, value) has no ties across distinct values).
+  std::vector<std::pair<size_t, std::string>> hashed;
+  hashed.reserve(values.size());
+  std::hash<std::string> hasher;
+  for (auto& v : values) hashed.emplace_back(hasher(v), v);
+  std::nth_element(hashed.begin(),
+                   hashed.begin() + static_cast<ptrdiff_t>(max_sample),
+                   hashed.end());
+  for (size_t i = 0; i < max_sample; ++i) {
+    sketch.values.insert(std::move(hashed[i].second));
+  }
+  return sketch;
+}
+
+namespace {
+
+size_t SketchIntersection(const ColumnSketch& a, const ColumnSketch& b) {
+  const auto& small = a.values.size() <= b.values.size() ? a.values : b.values;
+  const auto& large = a.values.size() <= b.values.size() ? b.values : a.values;
+  size_t inter = 0;
+  for (const auto& v : small) inter += large.count(v);
+  return inter;
+}
+
+}  // namespace
+
+double SketchContainment(const ColumnSketch& a, const ColumnSketch& b) {
+  if (a.values.empty() || b.values.empty()) return 0.0;
+  size_t smaller = std::min(a.values.size(), b.values.size());
+  return static_cast<double>(SketchIntersection(a, b)) /
+         static_cast<double>(smaller);
+}
+
+double SketchJaccard(const ColumnSketch& a, const ColumnSketch& b) {
+  if (a.values.empty() && b.values.empty()) return 0.0;
+  size_t inter = SketchIntersection(a, b);
+  size_t uni = a.values.size() + b.values.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+LakeSketchCache LakeSketchCache::Build(const DataLake& lake,
+                                       size_t max_sample, ThreadPool* pool) {
+  LakeSketchCache cache;
+  cache.max_sample_ = max_sample;
+  const auto& tables = lake.tables();
+  cache.sketches_.resize(tables.size());
+  // One task per table (columns of a table share value scans' cache
+  // locality); each slot is written by exactly one task.
+  ParallelFor(pool, 0, tables.size(), /*grain=*/1, [&](size_t t) {
+    const Table& table = tables[t];
+    std::vector<ColumnSketch> sketches;
+    sketches.reserve(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      sketches.push_back(BuildColumnSketch(table.column(c), max_sample));
+    }
+    cache.sketches_[t] = std::move(sketches);
+  });
+  return cache;
+}
+
+}  // namespace autofeat

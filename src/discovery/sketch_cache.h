@@ -1,0 +1,67 @@
+// Precomputed distinct-value sketches for DRG construction.
+//
+// All-pairs joinability matching is quadratic in the number of tables, and
+// the naive formulation re-scans (and re-sketches) each column once per
+// table pair it participates in. A LakeSketchCache computes every column's
+// bottom-k-by-hash sketch exactly once — in parallel over tables when a
+// ThreadPool is given — so pair scoring degenerates to set intersections
+// over cached sketches. The sketch keeps the values with the smallest
+// hashes, so the *same* values survive on both sides of any comparison and
+// containment/Jaccard estimates are stable under sampling (see
+// schema_matcher.h).
+
+#ifndef AUTOFEAT_DISCOVERY_SKETCH_CACHE_H_
+#define AUTOFEAT_DISCOVERY_SKETCH_CACHE_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "table/table.h"
+
+namespace autofeat {
+
+class DataLake;
+class ThreadPool;
+
+/// \brief Distinct-value summary of one column.
+struct ColumnSketch {
+  /// Up to `max_sample` distinct non-null values (bottom-k by hash).
+  std::unordered_set<std::string> values;
+  /// Exact distinct non-null count before sampling (for the low-cardinality
+  /// evidence discount, which needs the true count, not the sample size).
+  size_t num_distinct = 0;
+};
+
+/// Builds the sketch of a single column.
+ColumnSketch BuildColumnSketch(const Column& col, size_t max_sample);
+
+/// Containment |A ∩ B| / min(|A|, |B|) of two sketches (0 if either empty).
+double SketchContainment(const ColumnSketch& a, const ColumnSketch& b);
+
+/// Jaccard |A ∩ B| / |A ∪ B| of two sketches (0 if both empty).
+double SketchJaccard(const ColumnSketch& a, const ColumnSketch& b);
+
+/// \brief Sketches of every column of every table of a lake, indexed by
+/// (table position, column position).
+class LakeSketchCache {
+ public:
+  /// Sketches all columns of all `lake` tables; table-level sketching fans
+  /// out over `pool` when given (results are identical at any thread count).
+  static LakeSketchCache Build(const DataLake& lake, size_t max_sample,
+                               ThreadPool* pool = nullptr);
+
+  const std::vector<ColumnSketch>& table_sketches(size_t table_index) const {
+    return sketches_[table_index];
+  }
+  size_t num_tables() const { return sketches_.size(); }
+  size_t max_sample() const { return max_sample_; }
+
+ private:
+  std::vector<std::vector<ColumnSketch>> sketches_;
+  size_t max_sample_ = 0;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_SKETCH_CACHE_H_

@@ -1,5 +1,7 @@
 #include "fs/streaming.h"
 
+#include <utility>
+
 namespace autofeat {
 
 void StreamingFeatureSelector::SeedWithBaseFeatures(const FeatureView& view) {
@@ -10,21 +12,28 @@ void StreamingFeatureSelector::SeedWithBaseFeatures(const FeatureView& view) {
   }
 }
 
-StreamingFeatureSelector::BatchResult StreamingFeatureSelector::ProcessBatch(
-    const FeatureView& view, const std::vector<size_t>& new_feature_indices) {
-  BatchResult result;
-
+std::vector<FeatureScore> StreamingFeatureSelector::ScoreBatchRelevance(
+    const FeatureView& view,
+    const std::vector<size_t>& new_feature_indices) const {
   // Relevance stage: rank the incoming features, keep the top-kappa.
   if (options_.use_relevance) {
     std::vector<FeatureScore> scores =
         ScoreRelevance(view, new_feature_indices, options_.relevance);
-    result.relevant = SelectKBest(std::move(scores), options_.relevance.top_k,
-                                  options_.relevance.min_score);
-  } else {
-    for (size_t f : new_feature_indices) {
-      result.relevant.push_back({view.name(f), 0.0});
-    }
+    return SelectKBest(std::move(scores), options_.relevance.top_k,
+                       options_.relevance.min_score);
   }
+  std::vector<FeatureScore> relevant;
+  relevant.reserve(new_feature_indices.size());
+  for (size_t f : new_feature_indices) {
+    relevant.push_back({view.name(f), 0.0});
+  }
+  return relevant;
+}
+
+StreamingFeatureSelector::BatchResult StreamingFeatureSelector::CommitBatch(
+    const FeatureView& view, std::vector<FeatureScore> relevant) {
+  BatchResult result;
+  result.relevant = std::move(relevant);
   if (result.relevant.empty()) return result;  // All irrelevant.
 
   // Redundancy stage: screen the relevant subset against R_sel.
@@ -47,6 +56,11 @@ StreamingFeatureSelector::BatchResult StreamingFeatureSelector::ProcessBatch(
     }
   }
   return result;
+}
+
+StreamingFeatureSelector::BatchResult StreamingFeatureSelector::ProcessBatch(
+    const FeatureView& view, const std::vector<size_t>& new_feature_indices) {
+  return CommitBatch(view, ScoreBatchRelevance(view, new_feature_indices));
 }
 
 }  // namespace autofeat

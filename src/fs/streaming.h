@@ -55,8 +55,24 @@ class StreamingFeatureSelector {
   void SeedWithBaseFeatures(const FeatureView& view);
 
   /// Runs the pipeline on the features of `view` at `new_feature_indices`.
+  /// Equivalent to CommitBatch(view, ScoreBatchRelevance(view, indices)).
   BatchResult ProcessBatch(const FeatureView& view,
                            const std::vector<size_t>& new_feature_indices);
+
+  /// Relevance stage alone: ranks the incoming features against the label
+  /// and keeps the top-kappa. Depends only on `view` and the options — not
+  /// on R_sel — so batches can be scored concurrently (const, thread-safe)
+  /// and committed later in deterministic order.
+  std::vector<FeatureScore> ScoreBatchRelevance(
+      const FeatureView& view,
+      const std::vector<size_t>& new_feature_indices) const;
+
+  /// Redundancy stage: screens an already-scored relevant set against R_sel
+  /// and commits the survivors to it. Order-sensitive and stateful — callers
+  /// parallelising the relevance stage must invoke this sequentially, in the
+  /// same batch order a sequential run would use.
+  BatchResult CommitBatch(const FeatureView& view,
+                          std::vector<FeatureScore> relevant);
 
   const SelectedFeatureSet& selected() const { return selected_; }
   SelectedFeatureSet* mutable_selected() { return &selected_; }

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "ml/metrics.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace autofeat::ml {
 
@@ -44,29 +46,52 @@ Result<CrossValidationResult> CrossValidate(
 
   CrossValidationResult result;
   result.model_name = ModelKindName(kind);
-  for (size_t fold = 0; fold < options.folds; ++fold) {
-    std::vector<size_t> train_rows, test_rows;
-    for (size_t r = 0; r < assignment.size(); ++r) {
-      (assignment[r] == fold ? test_rows : train_rows).push_back(r);
-    }
-    if (train_rows.empty() || test_rows.empty()) {
-      return Status::InvalidArgument(
-          "fold " + std::to_string(fold) + " is degenerate (" +
-          std::to_string(train_rows.size()) + " train / " +
-          std::to_string(test_rows.size()) + " test rows)");
-    }
-    Dataset train = full.TakeRows(train_rows);
-    Dataset test = full.TakeRows(test_rows);
-    std::unique_ptr<Classifier> model =
-        MakeClassifier(kind, options.seed + fold);
-    if (model == nullptr) {
-      return Status::InvalidArgument("unknown model kind");
-    }
-    AF_RETURN_NOT_OK(model->Fit(train));
-    std::vector<double> probabilities = model->PredictProbaAll(test);
-    result.fold_accuracies.push_back(
-        Accuracy(test.labels(), probabilities));
-    result.fold_aucs.push_back(RocAuc(test.labels(), probabilities));
+
+  // Folds are independent tasks: each trains a fresh model on its own row
+  // subset with a per-fold seed. Metrics are merged in fold order below, so
+  // the result is identical at any thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(options.num_threads) > 1 && options.folds > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  struct FoldEval {
+    Status status;
+    double accuracy = 0.0;
+    double auc = 0.0;
+  };
+  std::vector<FoldEval> evals = ParallelMap<FoldEval>(
+      pool.get(), options.folds, /*grain=*/1, [&](size_t fold) {
+        FoldEval ev;
+        std::vector<size_t> train_rows, test_rows;
+        for (size_t r = 0; r < assignment.size(); ++r) {
+          (assignment[r] == fold ? test_rows : train_rows).push_back(r);
+        }
+        if (train_rows.empty() || test_rows.empty()) {
+          ev.status = Status::InvalidArgument(
+              "fold " + std::to_string(fold) + " is degenerate (" +
+              std::to_string(train_rows.size()) + " train / " +
+              std::to_string(test_rows.size()) + " test rows)");
+          return ev;
+        }
+        Dataset train = full.TakeRows(train_rows);
+        Dataset test = full.TakeRows(test_rows);
+        std::unique_ptr<Classifier> model =
+            MakeClassifier(kind, options.seed + fold);
+        if (model == nullptr) {
+          ev.status = Status::InvalidArgument("unknown model kind");
+          return ev;
+        }
+        ev.status = model->Fit(train);
+        if (!ev.status.ok()) return ev;
+        std::vector<double> probabilities = model->PredictProbaAll(test);
+        ev.accuracy = Accuracy(test.labels(), probabilities);
+        ev.auc = RocAuc(test.labels(), probabilities);
+        return ev;
+      });
+  for (const FoldEval& ev : evals) {
+    AF_RETURN_NOT_OK(ev.status);
+    result.fold_accuracies.push_back(ev.accuracy);
+    result.fold_aucs.push_back(ev.auc);
   }
 
   double n = static_cast<double>(options.folds);

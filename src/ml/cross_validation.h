@@ -16,6 +16,11 @@ namespace autofeat::ml {
 struct CrossValidationOptions {
   size_t folds = 5;
   uint64_t seed = 42;
+  /// Worker threads for fold training (0 = hardware concurrency, 1 =
+  /// sequential). Folds are independent — each trains a fresh model seeded
+  /// by (seed + fold) — and per-fold metrics are merged in fold order, so
+  /// results are identical at any thread count.
+  size_t num_threads = 1;
 };
 
 struct CrossValidationResult {

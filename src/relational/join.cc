@@ -58,10 +58,14 @@ Result<JoinResult> Join(const Table& left, const std::string& left_key,
   JoinResult result;
   result.stats.right_distinct_keys = right_index.size();
 
-  // Probe: produce (left row, right row) output pairs.
+  // Probe: gather the output row indices per side directly — materialising
+  // (left, right) pairs first would allocate and traverse the same data
+  // twice just to re-split it into these two vectors.
   constexpr size_t kNoMatch = static_cast<size_t>(-1);
-  std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(left.num_rows());
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;  // kNoMatch where unmatched
+  left_rows.reserve(left.num_rows());
+  right_rows.reserve(left.num_rows());
   for (size_t i = 0; i < left.num_rows(); ++i) {
     const std::vector<size_t>* matches = nullptr;
     if (!lkey->IsNull(i)) {
@@ -70,19 +74,19 @@ Result<JoinResult> Join(const Table& left, const std::string& left_key,
     }
     if (matches != nullptr) {
       ++result.stats.matched_rows;
-      for (size_t r : *matches) pairs.emplace_back(i, r);
+      for (size_t r : *matches) {
+        left_rows.push_back(i);
+        right_rows.push_back(r);
+      }
     } else if (options.type == JoinType::kLeft) {
-      pairs.emplace_back(i, kNoMatch);
+      left_rows.push_back(i);
+      right_rows.push_back(kNoMatch);
     }
   }
-  result.stats.total_rows = pairs.size();
+  result.stats.total_rows = left_rows.size();
 
   // Materialise: left columns gathered by left index, right columns by
   // right index (null where unmatched).
-  std::vector<size_t> left_rows;
-  left_rows.reserve(pairs.size());
-  for (const auto& [l, r] : pairs) left_rows.push_back(l);
-
   Table out(left.name());
   for (size_t c = 0; c < left.num_columns(); ++c) {
     AF_RETURN_NOT_OK(out.AddColumn(left.schema().field(c).name,
@@ -91,8 +95,8 @@ Result<JoinResult> Join(const Table& left, const std::string& left_key,
   for (size_t c = 0; c < probe_side->num_columns(); ++c) {
     const Column& src = probe_side->column(c);
     Column gathered(src.type());
-    gathered.Reserve(pairs.size());
-    for (const auto& [l, r] : pairs) {
+    gathered.Reserve(right_rows.size());
+    for (size_t r : right_rows) {
       if (r == kNoMatch) {
         gathered.AppendNull();
       } else {

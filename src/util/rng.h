@@ -69,6 +69,17 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Derives a statistically independent seed for stream `stream` of a master
+/// `seed` (splitmix64 finaliser). Parallel call sites seed one Rng per task
+/// from (seed, task_index) so results do not depend on how many threads
+/// consumed a shared generator.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace autofeat
 
 #endif  // AUTOFEAT_UTIL_RNG_H_

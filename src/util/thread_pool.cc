@@ -1,0 +1,153 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace autofeat {
+
+size_t ResolveNumThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = ResolveNumThreads(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even when stopping: ParallelFor may still be
+      // waiting on their completion latch.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelFor invocation: chunks are claimed by an
+// atomic cursor (workers and the caller all pull from it) and completion is
+// tracked with a latch-style counter.
+struct ForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  size_t num_chunks = 0;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  size_t chunks_finished = 0;
+
+  // First exception by chunk index, so the propagated error does not depend
+  // on scheduling.
+  std::exception_ptr error;
+  size_t error_chunk = 0;
+
+  void RunChunks() {
+    for (;;) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      size_t lo = begin + chunk * grain;
+      size_t hi = std::min(end, lo + grain);
+      std::exception_ptr caught;
+      try {
+        for (size_t i = lo; i < hi; ++i) (*fn)(i);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (caught && (!error || chunk < error_chunk)) {
+        error = caught;
+        error_chunk = chunk;
+      }
+      if (++chunks_finished == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() <= 1 || range <= grain) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  ForState state;
+  state.begin = begin;
+  state.end = end;
+  state.grain = grain;
+  state.fn = &fn;
+  state.num_chunks = (range + grain - 1) / grain;
+
+  // One helper task per worker is enough: each claims chunks until the
+  // cursor runs dry. The caller participates too, so the pool being busy
+  // with other work never deadlocks this loop.
+  size_t helpers = std::min(pool->num_threads(), state.num_chunks - 1);
+  std::atomic<size_t> helpers_live{helpers};
+  std::mutex helper_mutex;
+  std::condition_variable helper_cv;
+  for (size_t t = 0; t < helpers; ++t) {
+    pool->Submit([&] {
+      state.RunChunks();
+      if (helpers_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(helper_mutex);
+        helper_cv.notify_all();
+      }
+    });
+  }
+  state.RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock,
+                       [&] { return state.chunks_finished == state.num_chunks; });
+  }
+  // All chunks are done, but helper lambdas may still be on their final
+  // instructions; don't let `state` leave scope under them.
+  {
+    std::unique_lock<std::mutex> lock(helper_mutex);
+    helper_cv.wait(lock, [&] {
+      return helpers_live.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace autofeat

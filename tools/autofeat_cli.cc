@@ -4,7 +4,8 @@
 //   autofeat_cli --lake DIR --base TABLE --label COLUMN
 //                [--tau 0.65] [--kappa 15] [--top-k 4] [--max-hops 4]
 //                [--model lightgbm|rf|extratrees|xgboost|knn|logreg]
-//                [--threshold 0.55] [--tune] [--output augmented.csv]
+//                [--threshold 0.55] [--threads 1] [--tune]
+//                [--output augmented.csv]
 //
 // The joinability graph is discovered with the schema matcher (the
 // data-lake setting); declared KFK metadata does not survive CSV files.
@@ -41,6 +42,8 @@ struct CliOptions {
   size_t top_k = 4;
   size_t max_hops = 4;
   double threshold = 0.55;
+  /// 0 = one worker per hardware thread, 1 = sequential.
+  size_t threads = 1;
   bool tune = false;
   bool describe = false;
 };
@@ -51,8 +54,11 @@ void PrintUsage() {
       "usage: autofeat_cli --lake DIR --base TABLE --label COLUMN\n"
       "                    [--tau F] [--kappa N] [--top-k N] [--max-hops N]\n"
       "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
-      "                    [--threshold F] [--tune] [--describe]\n"
-      "                    [--output FILE.csv] [--dot FILE.dot]\n");
+      "                    [--threshold F] [--threads N] [--tune]\n"
+      "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
+      "  --threads N   worker threads for discovery + evaluation\n"
+      "                (0 = all hardware threads, 1 = sequential; results\n"
+      "                are identical at any thread count)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -105,6 +111,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->max_hops = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      options->threads = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--tune") {
       options->tune = true;
     } else if (arg == "--describe") {
@@ -163,7 +173,11 @@ int main(int argc, char** argv) {
 
   MatchOptions match;
   match.threshold = options.threshold;
-  auto drg = BuildDrgByDiscovery(*lake, match);
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(options.threads) > 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+  auto drg = BuildDrgByDiscovery(*lake, match, pool.get());
   drg.status().Abort("discovering joinability");
   std::printf("discovered DRG: %zu nodes, %zu edges (threshold %.2f)\n",
               drg->num_nodes(), drg->num_edges(), options.threshold);
@@ -186,6 +200,7 @@ int main(int argc, char** argv) {
   config.kappa = options.kappa;
   config.top_k_paths = options.top_k;
   config.max_hops = options.max_hops;
+  config.num_threads = options.threads;
 
   if (options.tune) {
     std::printf("tuning tau/kappa...\n");

@@ -1,0 +1,187 @@
+// Candidate-edge evaluation speedup harness (not a paper figure).
+//
+// Times the full AutoFeat search over the synthetic lake twice at one
+// thread: once on the legacy execution path (string-keyed joins, every
+// candidate fully materialised) and once on the interned fast path
+// (KeyDictionary + JoinIndexCache + factorized scoring). The headline
+// number is the candidate-edge evaluation portion of discovery — total
+// discovery time minus the feature-selection share, which is identical
+// work on both paths. A micro section isolates the raw join kernels.
+// Emits BENCH_join_path.json so the perf trajectory is tracked across PRs.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "core/autofeat.h"
+#include "relational/join.h"
+#include "relational/join_index.h"
+#include "util/timer.h"
+
+namespace autofeat::benchx {
+namespace {
+
+struct DiscoverRun {
+  double total_seconds = 0.0;
+  double fs_seconds = 0.0;
+  double candidate_eval_seconds = 0.0;  // total - fs
+  size_t paths_explored = 0;
+  size_t ranked = 0;
+};
+
+Result<DiscoverRun> RunDiscovery(const datagen::BuiltLake& built,
+                                 const DatasetRelationGraph& drg,
+                                 bool fast_path) {
+  AutoFeatConfig config;
+  config.num_threads = 1;
+  config.sample_rows = FullMode() ? 2000 : 1000;
+  config.max_paths = FullMode() ? 2000 : 600;
+  config.join_fast_path = fast_path;
+  AutoFeat engine(&built.lake, &drg, config);
+
+  DiscoverRun run;
+  Timer timer;
+  AF_ASSIGN_OR_RETURN(
+      DiscoveryResult discovery,
+      engine.DiscoverFeatures(built.base_table, built.label_column));
+  run.total_seconds = timer.ElapsedSeconds();
+  run.fs_seconds = discovery.feature_selection_seconds;
+  run.candidate_eval_seconds = run.total_seconds - run.fs_seconds;
+  run.paths_explored = discovery.paths_explored;
+  run.ranked = discovery.ranked.size();
+  return run;
+}
+
+struct MicroJoin {
+  double string_keyed_seconds = 0.0;
+  double interned_seconds = 0.0;
+  double mapped_seconds = 0.0;  // prebuilt index + row mapping only
+};
+
+// Repeatedly joins the base table against its first DRG neighbour through
+// each kernel. The mapped variant is the steady-state cost discovery pays
+// per candidate once the cache owns the index.
+Result<MicroJoin> RunMicroJoins(const datagen::BuiltLake& built,
+                                const DatasetRelationGraph& drg,
+                                size_t reps) {
+  AF_ASSIGN_OR_RETURN(const Table* base, built.lake.GetTable(built.base_table));
+  AF_ASSIGN_OR_RETURN(size_t base_node, drg.NodeId(built.base_table));
+
+  const Table* right = nullptr;
+  JoinStep edge;
+  for (size_t neighbor : drg.Neighbors(base_node)) {
+    std::vector<JoinStep> edges = drg.BestEdgesBetween(base_node, neighbor);
+    if (edges.empty()) continue;
+    auto r = built.lake.GetTable(drg.NodeName(neighbor));
+    if (!r.ok()) continue;
+    if (!base->HasColumn(edges.front().from_column)) continue;
+    right = *r;
+    edge = edges.front();
+    break;
+  }
+  if (right == nullptr) {
+    return Status::InvalidArgument("no joinable neighbour for micro bench");
+  }
+
+  MicroJoin micro;
+  {
+    Timer t;
+    for (size_t i = 0; i < reps; ++i) {
+      Rng rng(42);
+      AF_RETURN_NOT_OK(JoinStringKeyed(*base, edge.from_column, *right,
+                                       edge.to_column, &rng)
+                           .status());
+    }
+    micro.string_keyed_seconds = t.ElapsedSeconds();
+  }
+  {
+    Timer t;
+    for (size_t i = 0; i < reps; ++i) {
+      Rng rng(42);
+      AF_RETURN_NOT_OK(
+          Join(*base, edge.from_column, *right, edge.to_column, &rng)
+              .status());
+    }
+    micro.interned_seconds = t.ElapsedSeconds();
+  }
+  {
+    AF_ASSIGN_OR_RETURN(const Column* rkey, right->GetColumn(edge.to_column));
+    JoinKeyIndex index = BuildJoinKeyIndex(*rkey, 42);
+    AF_ASSIGN_OR_RETURN(const Column* lkey, base->GetColumn(edge.from_column));
+    Timer t;
+    size_t matched = 0;
+    for (size_t i = 0; i < reps; ++i) {
+      JoinRowMap map = MapLeftJoin(*lkey, index);
+      matched += map.stats.matched_rows;
+    }
+    micro.mapped_seconds = t.ElapsedSeconds();
+    if (matched == 0) std::printf("note: micro join matched no rows\n");
+  }
+  return micro;
+}
+
+}  // namespace
+}  // namespace autofeat::benchx
+
+int main() {
+  using namespace autofeat;
+  using namespace autofeat::benchx;
+
+  PrintModeBanner("join_path_eval");
+
+  auto spec = ScaledSpec(*datagen::FindDataset("credit"));
+  auto built = datagen::BuildPaperLake(spec, 1);
+  MatchOptions match;
+  match.threshold = 0.55;
+  auto drg = BuildDrgByDiscovery(built.lake, match);
+  drg.status().Abort("drg discovery");
+
+  auto legacy = RunDiscovery(built, *drg, /*fast_path=*/false);
+  legacy.status().Abort("legacy discovery");
+  auto fast = RunDiscovery(built, *drg, /*fast_path=*/true);
+  fast.status().Abort("fast discovery");
+
+  std::printf("paths explored: legacy=%zu fast=%zu | ranked: legacy=%zu "
+              "fast=%zu\n\n",
+              legacy->paths_explored, fast->paths_explored, legacy->ranked,
+              fast->ranked);
+  std::printf("%-24s %12s %12s %8s\n", "phase", "legacy (s)", "fast (s)",
+              "speedup");
+  PrintRule(60);
+  auto row = [&](const char* phase, double before, double after) {
+    std::printf("%-24s %12.3f %12.3f %7.2fx\n", phase, before, after,
+                after > 0 ? before / after : 0.0);
+  };
+  row("discover_total", legacy->total_seconds, fast->total_seconds);
+  row("candidate_eval", legacy->candidate_eval_seconds,
+      fast->candidate_eval_seconds);
+  row("feature_selection", legacy->fs_seconds, fast->fs_seconds);
+
+  size_t reps = FullMode() ? 200 : 50;
+  auto micro = RunMicroJoins(built, *drg, reps);
+  micro.status().Abort("micro joins");
+  std::printf("\nmicro: %zu repeated base->satellite joins\n", reps);
+  PrintRule(60);
+  row("join_string_keyed", micro->string_keyed_seconds,
+      micro->string_keyed_seconds);
+  row("join_interned", micro->string_keyed_seconds, micro->interned_seconds);
+  row("join_mapped_cached", micro->string_keyed_seconds,
+      micro->mapped_seconds);
+
+  double speedup = fast->candidate_eval_seconds > 0
+                       ? legacy->candidate_eval_seconds /
+                             fast->candidate_eval_seconds
+                       : 0.0;
+  std::printf("\ncandidate-edge evaluation speedup: %.2fx (target: >= 2x)\n",
+              speedup);
+
+  WriteBenchJson(
+      "join_path",
+      {{"discover_total_legacy", 1, legacy->total_seconds},
+       {"discover_total_fast", 1, fast->total_seconds},
+       {"candidate_eval_legacy", 1, legacy->candidate_eval_seconds},
+       {"candidate_eval_fast", 1, fast->candidate_eval_seconds},
+       {"micro_join_string_keyed", 1, micro->string_keyed_seconds},
+       {"micro_join_interned", 1, micro->interned_seconds},
+       {"micro_join_mapped_cached", 1, micro->mapped_seconds}});
+  return 0;
+}

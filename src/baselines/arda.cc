@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "discovery/join_index_cache.h"
 #include "ml/forest.h"
 #include "ml/metrics.h"
 #include "relational/join.h"
+#include "relational/join_index.h"
 #include "relational/sampling.h"
 #include "util/timer.h"
 
@@ -36,6 +38,9 @@ Result<AugmenterResult> Arda::Augment(const DataLake& lake,
   AugmenterResult result;
   result.augmented = *base;
 
+  // Interned join-key indexes, built once per (table, column) target.
+  JoinIndexCache join_cache(&lake, options_.seed);
+
   // --- Star join: direct neighbours only (ARDA's single-hop limitation). ---
   for (size_t neighbor : drg.Neighbors(base_node)) {
     const Table* right = nullptr;
@@ -48,8 +53,11 @@ Result<AugmenterResult> Arda::Augment(const DataLake& lake,
     for (const JoinStep& edge : drg.BestEdgesBetween(base_node, neighbor)) {
       if (edge.from_column == label_column) continue;  // Label leakage.
       if (!result.augmented.HasColumn(edge.from_column)) continue;
-      auto join = LeftJoin(result.augmented, edge.from_column, *right,
-                           edge.to_column, &rng);
+      auto index = join_cache.GetOrBuild(drg.NodeName(neighbor),
+                                         edge.to_column);
+      if (!index.ok()) continue;
+      auto join = LeftJoinWithIndex(result.augmented, edge.from_column,
+                                    *right, **index);
       if (!join.ok() || join->stats.matched_rows == 0) continue;
       result.augmented = std::move(join->table);
       ++result.tables_joined;

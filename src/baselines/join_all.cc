@@ -3,9 +3,11 @@
 #include <deque>
 #include <unordered_set>
 
+#include "discovery/join_index_cache.h"
 #include "fs/feature_view.h"
 #include "fs/relevance.h"
 #include "relational/join.h"
+#include "relational/join_index.h"
 #include "util/timer.h"
 
 namespace autofeat::baselines {
@@ -17,10 +19,12 @@ Result<AugmenterResult> JoinAll::Augment(const DataLake& lake,
   Timer total_timer;
   AF_ASSIGN_OR_RETURN(const Table* base, lake.GetTable(base_table));
   AF_ASSIGN_OR_RETURN(size_t base_node, drg.NodeId(base_table));
-  Rng rng(options_.seed);
 
   AugmenterResult result;
   result.augmented = *base;
+
+  // Interned join-key indexes, built once per (table, column) target.
+  JoinIndexCache join_cache(&lake, options_.seed);
 
   // BFS join of every reachable table, each joined once, in level order.
   std::unordered_set<size_t> joined{base_node};
@@ -46,8 +50,11 @@ Result<AugmenterResult> JoinAll::Augment(const DataLake& lake,
       for (const JoinStep& edge : edges) {
         if (edge.from_column == label_column) continue;  // Label leakage.
         if (!result.augmented.HasColumn(edge.from_column)) continue;
-        auto join = LeftJoin(result.augmented, edge.from_column, *right,
-                             edge.to_column, &rng);
+        auto index = join_cache.GetOrBuild(drg.NodeName(neighbor),
+                                           edge.to_column);
+        if (!index.ok()) continue;
+        auto join = LeftJoinWithIndex(result.augmented, edge.from_column,
+                                      *right, **index);
         if (!join.ok() || join->stats.matched_rows == 0) continue;
         result.augmented = std::move(join->table);
         joined.insert(neighbor);

@@ -5,9 +5,11 @@
 #include <limits>
 #include <unordered_set>
 
+#include "discovery/join_index_cache.h"
 #include "ml/forest.h"
 #include "ml/metrics.h"
 #include "relational/join.h"
+#include "relational/join_index.h"
 #include "relational/sampling.h"
 #include "util/timer.h"
 
@@ -43,6 +45,9 @@ Result<AugmenterResult> Mab::Augment(const DataLake& lake,
 
   AugmenterResult result;
   result.augmented = *base;
+
+  // Interned join-key indexes, built once per (table, column) arm target.
+  JoinIndexCache join_cache(&lake, options_.seed);
 
   // Validation machinery: sampled rows, fixed split, reward = accuracy delta.
   auto evaluate = [&](const Table& table) -> Result<double> {
@@ -120,8 +125,12 @@ Result<AugmenterResult> Mab::Augment(const DataLake& lake,
     }
     if (right != nullptr && !right->HasColumn(label_column) &&
         result.augmented.HasColumn(arm.column)) {
-      auto join =
-          LeftJoin(result.augmented, arm.column, *right, arm.column, &rng);
+      auto join_index =
+          join_cache.GetOrBuild(drg.NodeName(arm.node), arm.column);
+      auto join = !join_index.ok()
+                      ? Result<JoinResult>(join_index.status())
+                      : LeftJoinWithIndex(result.augmented, arm.column,
+                                          *right, **join_index);
       if (join.ok() && join->stats.matched_rows > 0) {
         AF_ASSIGN_OR_RETURN(double new_accuracy, evaluate(join->table));
         reward = new_accuracy - current_accuracy;

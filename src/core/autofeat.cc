@@ -9,6 +9,7 @@
 #include "core/ranking.h"
 #include "fs/streaming.h"
 #include "relational/join.h"
+#include "relational/join_index.h"
 #include "relational/sampling.h"
 #include "util/timer.h"
 
@@ -52,6 +53,10 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
   AF_ASSIGN_OR_RETURN(size_t base_node, drg_->NodeId(base_table));
   Rng rng(config_.seed);
 
+  // Fast path: every (right table, key column) the DRG can reach is
+  // interned once up front, in parallel, and shared by all candidates.
+  if (join_cache_ != nullptr) join_cache_->Prewarm(*drg_, pool_.get());
+
   // Stratified sampling speeds up feature selection without biasing the
   // label distribution (§VI); model training later uses the full data.
   Table base_sampled = *base_full;
@@ -63,11 +68,17 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
 
   StreamingFeatureSelector selector(MakeSelectorOptions(config_));
   double fs_seconds = 0.0;
+  // Left joins preserve the base rows in order, so every candidate's view
+  // shares one label representation, prepared exactly once.
+  std::vector<double> label_numeric;
+  std::vector<int> label_codes;
   {
     Timer t;
     AF_ASSIGN_OR_RETURN(FeatureView base_view,
                         FeatureView::FromTable(base_sampled, label_column));
     selector.SeedWithBaseFeatures(base_view);
+    label_numeric = base_view.label_numeric();
+    label_codes = base_view.label_codes();
     fs_seconds += t.ElapsedSeconds();
   }
 
@@ -186,11 +197,20 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
     // Phase 2 — evaluate every candidate concurrently: join, completeness,
     // feature-view construction and the (stateless) relevance stage. Tasks
     // only read shared state; each writes its own Eval slot.
+    //
+    // With the join fast path the candidate is never materialised here: the
+    // cached key index yields a left-row -> right-row mapping, and
+    // completeness + the relevance view are computed through gathered views
+    // of only the appended columns. The legacy path (join_fast_path off)
+    // keeps the pre-interning string-keyed join + full materialisation as
+    // the differential baseline for bench/join_path_eval.
     struct Eval {
       Status status;               // FeatureView failure, surfaced in order
       bool infeasible = false;     // join failed or matched no rows
       bool low_quality = false;    // completeness < tau
-      Table joined;
+      Table joined;                        // legacy path only
+      std::vector<uint32_t> right_rows;    // fast path: composed row mapping
+      std::vector<std::string> appended;   // fast path: resolved new names
       std::optional<FeatureView> view;
       std::vector<FeatureScore> relevant;
       double fs_seconds = 0.0;
@@ -199,9 +219,63 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
         pool_.get(), candidates.size(), /*grain=*/1, [&](size_t c) {
           const Candidate& cand = candidates[c];
           Eval ev;
+          if (join_cache_ != nullptr) {
+            auto index = join_cache_->GetOrBuild(
+                drg_->NodeName(cand.neighbor), cand.edge.to_column);
+            auto lkey = state.table.GetColumn(cand.edge.from_column);
+            if (!index.ok() || !lkey.ok()) {
+              ev.infeasible = true;
+              return ev;
+            }
+            JoinRowMap map = MapLeftJoin(**lkey, **index);
+            if (map.stats.matched_rows == 0) {
+              ev.infeasible = true;
+              return ev;
+            }
+            // Data-quality pruning straight through the mapping (§IV-C):
+            // a null in an appended column is an unmatched left row or a
+            // right-side null.
+            ev.appended = ResolveAppendedNames(state.table, *cand.right);
+            size_t cells = ev.appended.size() * map.right_rows.size();
+            size_t nulls = 0;
+            for (size_t col = 0; col < cand.right->num_columns(); ++col) {
+              nulls += GatherNullCount(cand.right->column(col),
+                                       map.right_rows);
+            }
+            double completeness =
+                cells == 0 ? 1.0
+                           : 1.0 - static_cast<double>(nulls) /
+                                       static_cast<double>(cells);
+            if (completeness < config_.tau) {
+              ev.low_quality = true;
+              return ev;
+            }
+            Timer t;
+            std::vector<std::vector<double>> numeric;
+            numeric.reserve(cand.right->num_columns());
+            for (size_t col = 0; col < cand.right->num_columns(); ++col) {
+              numeric.push_back(
+                  GatherNumeric(cand.right->column(col), map.right_rows));
+            }
+            auto view = FeatureView::FromColumns(ev.appended,
+                                                 std::move(numeric),
+                                                 label_numeric, label_codes);
+            if (!view.ok()) {
+              ev.status = view.status();
+              return ev;
+            }
+            std::vector<size_t> all_indices(view->num_features());
+            for (size_t i = 0; i < all_indices.size(); ++i) all_indices[i] = i;
+            ev.relevant = selector.ScoreBatchRelevance(*view, all_indices);
+            ev.fs_seconds = t.ElapsedSeconds();
+            ev.view = std::move(*view);
+            ev.right_rows = std::move(map.right_rows);
+            return ev;
+          }
           Rng task_rng(cand.rng_seed);
-          auto joined = LeftJoin(state.table, cand.edge.from_column,
-                                 *cand.right, cand.edge.to_column, &task_rng);
+          auto joined =
+              JoinStringKeyed(state.table, cand.edge.from_column, *cand.right,
+                              cand.edge.to_column, &task_rng);
           if (!joined.ok() || joined->stats.matched_rows == 0) {
             ev.infeasible = true;
             return ev;
@@ -210,8 +284,12 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
           // reach tau (§IV-C).
           std::vector<std::string> new_columns =
               AppendedColumns(state.table, joined->table);
-          double completeness = JoinCompleteness(joined->table, new_columns);
-          if (completeness < config_.tau) {
+          auto completeness = JoinCompleteness(joined->table, new_columns);
+          if (!completeness.ok()) {
+            ev.status = completeness.status();
+            return ev;
+          }
+          if (*completeness < config_.tau) {
             ev.low_quality = true;
             return ev;
           }
@@ -267,9 +345,22 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       }
       node_visited[candidates[c].neighbor] = true;
       // Leaf states (at the hop limit) can never expand; skip carrying
-      // their join result into the frontier.
+      // their join result into the frontier. Late materialisation: on the
+      // fast path this is the only place a candidate's join becomes a real
+      // Table — pruned candidates and hop-limit leaves never pay for one.
       if (next.path.length() < config_.max_hops) {
-        next.table = std::move(ev.joined);
+        if (join_cache_ != nullptr) {
+          Table joined = state.table;
+          const Table& right = *candidates[c].right;
+          for (size_t col = 0; col < right.num_columns(); ++col) {
+            AF_RETURN_NOT_OK(joined.AddColumn(
+                ev.appended[col],
+                GatherColumn(right.column(col), ev.right_rows)));
+          }
+          next.table = std::move(joined);
+        } else {
+          next.table = std::move(ev.joined);
+        }
         frontier.push_back(std::move(next));
       }
     }
@@ -297,15 +388,25 @@ Result<Table> AutoFeat::MaterializeAugmentedTable(
 
   Table current = *base;
   for (const JoinStep& step : ranked.path.steps) {
-    AF_ASSIGN_OR_RETURN(const Table* right,
-                        lake_->GetTable(drg_->NodeName(step.to_node)));
+    const std::string& right_name = drg_->NodeName(step.to_node);
+    AF_ASSIGN_OR_RETURN(const Table* right, lake_->GetTable(right_name));
     if (!current.HasColumn(step.from_column)) {
       return Status::KeyError("join column vanished during materialisation: " +
                               step.from_column);
     }
-    AF_ASSIGN_OR_RETURN(
-        JoinResult joined,
-        LeftJoin(current, step.from_column, *right, step.to_column, &rng));
+    JoinResult joined;
+    if (join_cache_ != nullptr) {
+      // The shared cache means the full-data materialisation picks the same
+      // per-key representatives the discovery phase scored.
+      AF_ASSIGN_OR_RETURN(const JoinKeyIndex* index,
+                          join_cache_->GetOrBuild(right_name, step.to_column));
+      AF_ASSIGN_OR_RETURN(
+          joined, LeftJoinWithIndex(current, step.from_column, *right, *index));
+    } else {
+      AF_ASSIGN_OR_RETURN(joined, JoinStringKeyed(current, step.from_column,
+                                                  *right, step.to_column,
+                                                  &rng));
+    }
     current = std::move(joined.table);
   }
 

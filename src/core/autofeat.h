@@ -15,6 +15,7 @@
 
 #include "core/config.h"
 #include "discovery/data_lake.h"
+#include "discovery/join_index_cache.h"
 #include "graph/drg.h"
 #include "graph/join_path.h"
 #include "ml/trainer.h"
@@ -79,11 +80,19 @@ class AutoFeat {
     if (ResolveNumThreads(config_.num_threads) > 1) {
       pool_ = std::make_unique<ThreadPool>(config_.num_threads);
     }
+    if (config_.join_fast_path) {
+      join_cache_ = std::make_unique<JoinIndexCache>(lake_, config_.seed);
+    }
   }
 
   /// The engine's worker pool (null on the sequential path). Exposed so
   /// callers can reuse it for DRG construction with the same knob.
   ThreadPool* thread_pool() const { return pool_.get(); }
+
+  /// The engine's join-index cache (null when config.join_fast_path is
+  /// off). Shared by discovery, top-k materialisation and any caller that
+  /// wants to join against the same lake with consistent representatives.
+  JoinIndexCache* join_index_cache() const { return join_cache_.get(); }
 
   /// Algorithm 1: explores join paths from `base_table`, returns the ranked
   /// list. `label_column` must exist in the base table.
@@ -107,6 +116,7 @@ class AutoFeat {
   const DatasetRelationGraph* drg_;
   AutoFeatConfig config_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<JoinIndexCache> join_cache_;
 };
 
 }  // namespace autofeat

@@ -1,0 +1,90 @@
+#include "discovery/join_index_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "discovery/data_lake.h"
+#include "graph/drg.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace autofeat {
+
+namespace {
+
+// FNV-1a over "table\0column": a stable per-entry stream id, so the
+// representative draws do not depend on which caller builds an entry first.
+uint64_t EntryStream(const std::string& table, const std::string& column) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001B3ULL;
+    }
+    h ^= 0;  // the '\0' separator
+    h *= 0x100000001B3ULL;
+  };
+  mix(table);
+  mix(column);
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<JoinIndexCache::Entry> JoinIndexCache::EntryFor(
+    const std::string& table, const std::string& column) {
+  std::string key = table + '\0' + column;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<Entry>& slot = entries_[std::move(key)];
+  if (slot == nullptr) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
+    const std::string& table, const std::string& column) {
+  std::shared_ptr<Entry> entry = EntryFor(table, column);
+  std::call_once(entry->once, [&] {
+    auto table_result = lake_->GetTable(table);
+    if (!table_result.ok()) {
+      entry->status = table_result.status();
+      return;
+    }
+    auto column_result = (*table_result)->GetColumn(column);
+    if (!column_result.ok()) {
+      entry->status = column_result.status();
+      return;
+    }
+    entry->index = BuildJoinKeyIndex(
+        **column_result, DeriveSeed(seed_, EntryStream(table, column)));
+  });
+  if (!entry->status.ok()) return entry->status;
+  return &entry->index;
+}
+
+void JoinIndexCache::Prewarm(const DatasetRelationGraph& drg,
+                             ThreadPool* pool) {
+  // Every (to_node, to_column) of every oriented edge is a potential join
+  // target; neighbour lists are symmetric, so this covers both directions.
+  std::vector<std::pair<std::string, std::string>> targets;
+  for (size_t node = 0; node < drg.num_nodes(); ++node) {
+    for (size_t neighbor : drg.Neighbors(node)) {
+      for (const JoinStep& edge : drg.EdgesBetween(node, neighbor)) {
+        targets.emplace_back(drg.NodeName(edge.to_node), edge.to_column);
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  ParallelFor(pool, 0, targets.size(), /*grain=*/1, [&](size_t i) {
+    // Failures surface (again) at join time; prewarm just drops them.
+    GetOrBuild(targets[i].first, targets[i].second).status();
+  });
+}
+
+size_t JoinIndexCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace autofeat

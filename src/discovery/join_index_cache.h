@@ -1,0 +1,76 @@
+// Lake-wide cache of interned join-key indexes.
+//
+// Every BFS candidate edge, top-k materialisation and baseline join probes
+// some lake table on some key column. Before this cache each probe re-hashed
+// the right key column from scratch; now the dictionary + CSR index + the
+// deterministic cardinality-normalisation representative for a given
+// (table, key column) pair are built exactly once and shared — across the
+// discovery frontier, the ML evaluation stage and the ARDA/MAB/JoinAll
+// baselines, and across threads (sibling of LakeSketchCache, which plays
+// the same role for DRG construction).
+//
+// Thread safety: GetOrBuild may be called concurrently from pool workers;
+// each entry is built exactly once (std::call_once) with the map mutex
+// released during the build. Entry contents are a pure function of
+// (table contents, column, seed), never of build interleaving, so cached
+// joins keep the runtime's byte-identical-at-any-thread-count contract.
+
+#ifndef AUTOFEAT_DISCOVERY_JOIN_INDEX_CACHE_H_
+#define AUTOFEAT_DISCOVERY_JOIN_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "relational/join_index.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+class DataLake;
+class DatasetRelationGraph;
+class ThreadPool;
+
+/// \brief Thread-safe (table, key column) -> JoinKeyIndex cache over a lake.
+class JoinIndexCache {
+ public:
+  /// `lake` must outlive the cache. `seed` fixes the representative-row
+  /// draws; two caches with the same seed over the same lake are identical.
+  JoinIndexCache(const DataLake* lake, uint64_t seed)
+      : lake_(lake), seed_(seed) {}
+
+  /// The index of `table`.`column`, built on first request. The pointer
+  /// stays valid for the cache's lifetime. Fails if the table or column
+  /// does not exist.
+  Result<const JoinKeyIndex*> GetOrBuild(const std::string& table,
+                                         const std::string& column);
+
+  /// Builds the index of every join target (to_node, to_column) reachable
+  /// through `drg` up front, fanning out over `pool` when given. Purely an
+  /// optimisation — lazy GetOrBuild fills any entry Prewarm missed.
+  void Prewarm(const DatasetRelationGraph& drg, ThreadPool* pool = nullptr);
+
+  /// Entries created so far (built or in flight).
+  size_t num_entries() const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Status status;
+    JoinKeyIndex index;
+  };
+
+  std::shared_ptr<Entry> EntryFor(const std::string& table,
+                                  const std::string& column);
+
+  const DataLake* lake_;
+  uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_JOIN_INDEX_CACHE_H_

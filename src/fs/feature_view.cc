@@ -52,4 +52,29 @@ Result<FeatureView> FeatureView::FromTable(
   return view;
 }
 
+Result<FeatureView> FeatureView::FromColumns(
+    std::vector<std::string> names, std::vector<std::vector<double>> numeric,
+    std::vector<double> label_numeric, std::vector<int> label_codes) {
+  if (names.size() != numeric.size()) {
+    return Status::InvalidArgument("FromColumns: name/vector count mismatch");
+  }
+  if (label_codes.size() != label_numeric.size()) {
+    return Status::InvalidArgument("FromColumns: label codes/values mismatch");
+  }
+  FeatureView view;
+  view.label_numeric_ = std::move(label_numeric);
+  view.label_codes_ = std::move(label_codes);
+  for (size_t f = 0; f < names.size(); ++f) {
+    if (numeric[f].size() != view.label_numeric_.size()) {
+      return Status::InvalidArgument("FromColumns: feature '" + names[f] +
+                                     "' length mismatch");
+    }
+    view.index_[names[f]] = view.names_.size();
+    view.codes_.push_back(DiscretizeFeature(numeric[f]));
+    view.numeric_.push_back(std::move(numeric[f]));
+    view.names_.push_back(std::move(names[f]));
+  }
+  return view;
+}
+
 }  // namespace autofeat

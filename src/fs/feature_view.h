@@ -29,6 +29,17 @@ class FeatureView {
       const Table& table, const std::string& label_column,
       std::vector<std::string> feature_names = {});
 
+  /// Builds a view directly from numeric feature vectors plus a prepared
+  /// label — the late-materialization path: callers that already hold
+  /// gathered numeric views of joined columns (relational/join_index.h)
+  /// skip the Table round-trip entirely. Discretisation matches FromTable,
+  /// so the view is identical to FromTable over the materialised join.
+  /// `label_codes` must be CodesFromValues(label_numeric).
+  static Result<FeatureView> FromColumns(std::vector<std::string> names,
+                                         std::vector<std::vector<double>> numeric,
+                                         std::vector<double> label_numeric,
+                                         std::vector<int> label_codes);
+
   size_t num_features() const { return names_.size(); }
   size_t num_rows() const { return label_codes_.size(); }
 

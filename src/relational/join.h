@@ -83,11 +83,22 @@ inline Result<JoinResult> LeftJoin(const Table& left,
   return Join(left, left_key, right, right_key, rng, JoinOptions{});
 }
 
+/// Reference implementation of Join that compares keys as KeyAt strings and
+/// hashes the right side per call — the pre-interning execution path. Kept
+/// for differential testing against the dictionary-encoded Join and as the
+/// baseline side of bench/join_path_eval; not for production use.
+Result<JoinResult> JoinStringKeyed(const Table& left,
+                                   const std::string& left_key,
+                                   const Table& right,
+                                   const std::string& right_key, Rng* rng,
+                                   const JoinOptions& options = {});
+
 /// Completeness (non-null fraction) of the columns that `join` appended,
 /// i.e. the data-quality score compared against the threshold tau (§IV-C).
-/// `appended_columns` are the names of the newly added right-side columns.
-double JoinCompleteness(const Table& joined,
-                        const std::vector<std::string>& appended_columns);
+/// `appended_columns` are the names of the newly added right-side columns;
+/// naming a column `joined` does not have is a KeyError, not a silent skip.
+Result<double> JoinCompleteness(
+    const Table& joined, const std::vector<std::string>& appended_columns);
 
 }  // namespace autofeat
 

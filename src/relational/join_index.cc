@@ -1,0 +1,146 @@
+#include "relational/join_index.h"
+
+#include <cmath>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace autofeat {
+
+JoinKeyIndex BuildJoinKeyIndex(const Column& key, uint64_t rep_seed) {
+  JoinKeyIndex index;
+  index.dict = KeyDictionary::Build(key);
+  uint32_t num_keys = index.dict.num_keys();
+  index.representative.resize(num_keys);
+  Rng rng(rep_seed);
+  for (uint32_t id = 0; id < num_keys; ++id) {
+    const uint32_t* rows = index.dict.rows_begin(id);
+    size_t count = index.dict.rows_count(id);
+    index.representative[id] =
+        count == 1 ? rows[0] : rows[rng.UniformIndex(count)];
+  }
+  return index;
+}
+
+JoinRowMap MapLeftJoin(const Column& left_key, const JoinKeyIndex& index) {
+  JoinRowMap map;
+  size_t n = left_key.size();
+  map.right_rows.resize(n);
+  map.stats.total_rows = n;
+  map.stats.right_distinct_keys = index.num_distinct_keys();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t id = index.dict.Lookup(left_key, i);
+    if (id == KeyDictionary::kNoKey) {
+      map.right_rows[i] = kNoMatchRow;
+    } else {
+      map.right_rows[i] = index.representative[id];
+      ++map.stats.matched_rows;
+    }
+  }
+  return map;
+}
+
+Column GatherColumn(const Column& src, const std::vector<uint32_t>& rows) {
+  Column out(src.type());
+  out.Reserve(rows.size());
+  for (uint32_t r : rows) {
+    if (r == kNoMatchRow) {
+      out.AppendNull();
+    } else {
+      out.AppendFrom(src, r);
+    }
+  }
+  return out;
+}
+
+size_t GatherNullCount(const Column& src, const std::vector<uint32_t>& rows) {
+  size_t nulls = 0;
+  for (uint32_t r : rows) {
+    if (r == kNoMatchRow || src.IsNull(r)) ++nulls;
+  }
+  return nulls;
+}
+
+std::vector<double> GatherNumeric(const Column& src,
+                                  const std::vector<uint32_t>& rows) {
+  std::vector<double> out(rows.size());
+  if (src.type() == DataType::kString) {
+    // First-occurrence ordinal codes in output order — identical to
+    // materialising the gathered column and calling ToNumeric on it.
+    std::unordered_map<std::string_view, double> codes;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint32_t r = rows[i];
+      if (r == kNoMatchRow || src.IsNull(r)) {
+        out[i] = std::nan("");
+        continue;
+      }
+      auto [it, inserted] = codes.try_emplace(
+          std::string_view(src.GetString(r)),
+          static_cast<double>(codes.size()));
+      out[i] = it->second;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint32_t r = rows[i];
+    out[i] = (r == kNoMatchRow || src.IsNull(r)) ? std::nan("")
+                                                 : src.NumericAt(r);
+  }
+  return out;
+}
+
+std::vector<std::string> ResolveAppendedNames(const Table& left,
+                                              const Table& right) {
+  std::unordered_set<std::string> used;
+  used.reserve(left.num_columns() + right.num_columns());
+  for (const auto& name : left.ColumnNames()) used.insert(name);
+
+  std::vector<std::string> out;
+  out.reserve(right.num_columns());
+  // Per-base suffix counters avoid the quadratic rescan of candidate names
+  // while producing exactly the suffixes the old HasColumn loop chose.
+  std::unordered_map<std::string, int> next_suffix;
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    std::string name = right.schema().field(c).name;
+    if (used.count(name) > 0) {
+      int& suffix = next_suffix.try_emplace(name, 2).first->second;
+      std::string candidate;
+      do {
+        candidate = name + "#" + std::to_string(suffix);
+        ++suffix;
+      } while (used.count(candidate) > 0);
+      name = std::move(candidate);
+    }
+    used.insert(name);
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+Result<JoinResult> LeftJoinWithIndex(const Table& left,
+                                     const std::string& left_key,
+                                     const Table& right,
+                                     const JoinKeyIndex& index) {
+  AF_ASSIGN_OR_RETURN(const Column* lkey, left.GetColumn(left_key));
+  JoinRowMap map = MapLeftJoin(*lkey, index);
+
+  JoinResult result;
+  result.stats = map.stats;
+
+  Table out(left.name());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    AF_RETURN_NOT_OK(
+        out.AddColumn(left.schema().field(c).name, left.column(c)));
+  }
+  std::vector<std::string> names = ResolveAppendedNames(left, right);
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    AF_RETURN_NOT_OK(
+        out.AddColumn(names[c], GatherColumn(right.column(c), map.right_rows)));
+  }
+  result.table = std::move(out);
+  return result;
+}
+
+}  // namespace autofeat

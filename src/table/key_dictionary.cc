@@ -1,0 +1,131 @@
+#include "table/key_dictionary.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace autofeat {
+
+namespace {
+
+// %.17g rendering of a double key that is not integer-representable — the
+// same format KeyAt uses, so string-space keys line up across types.
+std::string_view FormatDoubleKey(double v, char (&buf)[64]) {
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string_view(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::optional<int64_t> CanonicalIntKey(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  size_t digits_at = s[0] == '-' ? 1 : 0;
+  if (digits_at >= s.size()) return std::nullopt;
+  // std::to_string never emits leading zeros or "-0".
+  if (s[digits_at] == '0' && (s.size() > digits_at + 1 || digits_at == 1)) {
+    return std::nullopt;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+bool IntegralDoubleKey(double v, int64_t* out) {
+  if (!(std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.0e15)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+uint32_t KeyDictionary::InternInt(int64_t v) {
+  uint32_t next = static_cast<uint32_t>(int_ids_.size() + str_ids_.size());
+  return int_ids_.try_emplace(v, next).first->second;
+}
+
+uint32_t KeyDictionary::InternString(std::string_view s) {
+  auto it = str_ids_.find(s);
+  if (it != str_ids_.end()) return it->second;
+  uint32_t next = static_cast<uint32_t>(int_ids_.size() + str_ids_.size());
+  return str_ids_.emplace(std::string(s), next).first->second;
+}
+
+uint32_t KeyDictionary::FindInt(int64_t v) const {
+  auto it = int_ids_.find(v);
+  return it == int_ids_.end() ? kNoKey : it->second;
+}
+
+uint32_t KeyDictionary::FindString(std::string_view s) const {
+  auto it = str_ids_.find(s);
+  return it == str_ids_.end() ? kNoKey : it->second;
+}
+
+uint32_t KeyDictionary::InternAt(const Column& key, size_t row) {
+  switch (key.type()) {
+    case DataType::kInt64:
+      return InternInt(key.GetInt64(row));
+    case DataType::kDouble: {
+      int64_t as_int;
+      if (IntegralDoubleKey(key.GetDouble(row), &as_int)) {
+        return InternInt(as_int);
+      }
+      char buf[64];
+      return InternString(FormatDoubleKey(key.GetDouble(row), buf));
+    }
+    case DataType::kString: {
+      const std::string& s = key.GetString(row);
+      if (auto as_int = CanonicalIntKey(s)) return InternInt(*as_int);
+      return InternString(s);
+    }
+  }
+  return kNoKey;
+}
+
+KeyDictionary KeyDictionary::Build(const Column& key) {
+  KeyDictionary dict;
+  size_t n = key.size();
+  dict.row_ids_.assign(n, kNoKey);
+  for (size_t i = 0; i < n; ++i) {
+    if (!key.IsNull(i)) dict.row_ids_[i] = dict.InternAt(key, i);
+  }
+
+  size_t num_keys = dict.int_ids_.size() + dict.str_ids_.size();
+  dict.offsets_.assign(num_keys + 1, 0);
+  for (uint32_t id : dict.row_ids_) {
+    if (id != kNoKey) ++dict.offsets_[id + 1];
+  }
+  for (size_t k = 0; k < num_keys; ++k) dict.offsets_[k + 1] += dict.offsets_[k];
+  dict.rows_.resize(dict.offsets_[num_keys]);
+  std::vector<uint32_t> cursor(dict.offsets_.begin(),
+                               dict.offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t id = dict.row_ids_[i];
+    if (id != kNoKey) dict.rows_[cursor[id]++] = static_cast<uint32_t>(i);
+  }
+  return dict;
+}
+
+uint32_t KeyDictionary::Lookup(const Column& probe, size_t row) const {
+  if (probe.IsNull(row)) return kNoKey;
+  switch (probe.type()) {
+    case DataType::kInt64:
+      return FindInt(probe.GetInt64(row));
+    case DataType::kDouble: {
+      int64_t as_int;
+      if (IntegralDoubleKey(probe.GetDouble(row), &as_int)) {
+        return FindInt(as_int);
+      }
+      char buf[64];
+      return FindString(FormatDoubleKey(probe.GetDouble(row), buf));
+    }
+    case DataType::kString: {
+      const std::string& s = probe.GetString(row);
+      if (auto as_int = CanonicalIntKey(s)) return FindInt(*as_int);
+      return FindString(s);
+    }
+  }
+  return kNoKey;
+}
+
+}  // namespace autofeat

@@ -1,0 +1,97 @@
+// Interned join keys: dictionary-encoding of a key column into dense ids.
+//
+// Joins used to compare keys through Column::KeyAt, which allocates a
+// std::string per row per probe. A KeyDictionary canonicalises each key once
+// into a typed key space — int64 for integer-representable values (int64
+// columns, integral doubles, and strings in canonical decimal form) and
+// std::string for everything else — and assigns dense uint32_t ids in
+// first-seen row order. The id -> row-list index is stored in CSR layout
+// (offsets + flat row array) so duplicate-key groups are contiguous and
+// allocation-free to traverse.
+//
+// The canonical key space preserves KeyAt's cross-type semantics exactly:
+// int64 7, double 7.0 and string "7" intern to the same key; string "07"
+// does not (KeyAt compares against std::to_string(7) == "7").
+
+#ifndef AUTOFEAT_TABLE_KEY_DICTIONARY_H_
+#define AUTOFEAT_TABLE_KEY_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "table/column.h"
+
+namespace autofeat {
+
+/// Parses `s` as a canonically formatted int64 — succeeds iff
+/// s == std::to_string(n) for some int64 n (no leading zeros, no '+', no
+/// "-0"). Strings that fail stay in the string key space, matching KeyAt.
+std::optional<int64_t> CanonicalIntKey(std::string_view s);
+
+/// True iff `v` is exactly representable as an int64 join key under KeyAt's
+/// canonicalisation rule (finite, integral, |v| < 9e15); writes the value.
+bool IntegralDoubleKey(double v, int64_t* out);
+
+/// \brief Dense-id dictionary over one key column, with a CSR id -> rows
+/// index.
+///
+/// Ids are assigned in first-seen row order (the deterministic group order
+/// joins and cardinality normalisation rely on); each id's row list is in
+/// ascending row order.
+class KeyDictionary {
+ public:
+  /// Sentinel id for null rows and probe misses.
+  static constexpr uint32_t kNoKey = static_cast<uint32_t>(-1);
+
+  /// Builds the dictionary over every non-null row of `key`.
+  static KeyDictionary Build(const Column& key);
+
+  /// Number of distinct (non-null) keys.
+  uint32_t num_keys() const { return static_cast<uint32_t>(offsets_.size() - 1); }
+
+  /// Per source row: the row's key id, kNoKey for nulls.
+  const std::vector<uint32_t>& row_ids() const { return row_ids_; }
+
+  /// CSR row list of key `id`, ascending source-row order.
+  const uint32_t* rows_begin(uint32_t id) const {
+    return rows_.data() + offsets_[id];
+  }
+  size_t rows_count(uint32_t id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// Id of row `row` of `probe` under this dictionary, kNoKey when the row
+  /// is null or its key was never interned. Int64 and integral-double keys
+  /// never touch a std::string.
+  uint32_t Lookup(const Column& probe, size_t row) const;
+
+ private:
+  // Heterogeneous lookup so double-formatted probes use a stack buffer.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  uint32_t InternInt(int64_t v);
+  uint32_t InternString(std::string_view s);
+  uint32_t FindInt(int64_t v) const;
+  uint32_t FindString(std::string_view s) const;
+  uint32_t InternAt(const Column& key, size_t row);
+
+  std::unordered_map<int64_t, uint32_t> int_ids_;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      str_ids_;
+  std::vector<uint32_t> row_ids_;
+  std::vector<uint32_t> offsets_{0};  // size num_keys + 1
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_KEY_DICTIONARY_H_

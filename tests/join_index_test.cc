@@ -1,0 +1,310 @@
+#include "relational/join_index.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "discovery/data_lake.h"
+#include "discovery/join_index_cache.h"
+#include "relational/join.h"
+#include "util/thread_pool.h"
+
+namespace autofeat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential tests: the interned-key Join must be byte-identical to the
+// string-keyed reference path for every key type and option combination.
+// ---------------------------------------------------------------------------
+
+void ExpectJoinsAgree(const Table& left, const std::string& lkey,
+                      const Table& right, const std::string& rkey,
+                      const JoinOptions& options) {
+  Rng rng_fast(17), rng_ref(17);
+  auto fast = Join(left, lkey, right, rkey, &rng_fast, options);
+  auto ref = JoinStringKeyed(left, lkey, right, rkey, &rng_ref, options);
+  ASSERT_EQ(fast.ok(), ref.ok());
+  if (!fast.ok()) return;
+  EXPECT_EQ(fast->stats.matched_rows, ref->stats.matched_rows);
+  EXPECT_EQ(fast->stats.total_rows, ref->stats.total_rows);
+  EXPECT_EQ(fast->stats.right_distinct_keys, ref->stats.right_distinct_keys);
+  EXPECT_TRUE(fast->table.Equals(ref->table))
+      << "interned join diverged from string-keyed join";
+}
+
+void ExpectJoinsAgreeAllOptions(const Table& left, const std::string& lkey,
+                                const Table& right, const std::string& rkey) {
+  for (bool normalize : {true, false}) {
+    JoinOptions options;
+    options.normalize_cardinality = normalize;
+    ExpectJoinsAgree(left, lkey, right, rkey, options);
+  }
+}
+
+TEST(JoinDifferentialTest, Int64Keys) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({1, 2, 3, 4, 2})).Abort();
+  left.AddColumn("x", Column::Doubles({1, 2, 3, 4, 5})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Int64s({2, 3, 3, 5, 2, 2})).Abort();
+  right.AddColumn("v", Column::Doubles({10, 20, 30, 40, 50, 60})).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, DoubleKeys) {
+  Table left("l");
+  left.AddColumn("k", Column::Doubles({1.0, 2.5, 3.0, 4.25})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Doubles({2.5, 3.0, 3.0, 4.25})).Abort();
+  right.AddColumn("v", Column::Strings({"a", "b", "c", "d"})).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, StringKeys) {
+  Table left("l");
+  left.AddColumn("k", Column::Strings({"u", "v", "07", "7"})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Strings({"v", "v", "7", "w"})).Abort();
+  right.AddColumn("v", Column::Doubles({1, 2, 3, 4})).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, CrossTypeKeys) {
+  // int64 left against a string right holding canonical and non-canonical
+  // numerals; only the canonical forms may match.
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({7, 8, 9})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Strings({"7", "07", "8.0", "9"})).Abort();
+  right.AddColumn("v", Column::Doubles({1, 2, 3, 4})).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, NullKeys) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({1, 2, 3}, {1, 0, 1})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Int64s({1, 2, 3}, {0, 1, 1})).Abort();
+  right.AddColumn("v", Column::Doubles({10, 20, 30})).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, DuplicateRightKeysManyGroups) {
+  Table left("l");
+  std::vector<int64_t> lk;
+  for (int64_t i = 0; i < 40; ++i) lk.push_back(i % 11);
+  left.AddColumn("k", Column::Int64s(lk)).Abort();
+  Table right("r");
+  std::vector<int64_t> rk;
+  std::vector<double> rv;
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t d = 0; d <= i % 4; ++d) {
+      rk.push_back(i);
+      rv.push_back(static_cast<double>(i * 100 + d));
+    }
+  }
+  right.AddColumn("k2", Column::Int64s(rk)).Abort();
+  right.AddColumn("v", Column::Doubles(rv)).Abort();
+  ExpectJoinsAgreeAllOptions(left, "k", right, "k2");
+}
+
+TEST(JoinDifferentialTest, InnerJoinAndCollidingNames) {
+  Table left("l");
+  left.AddColumn("id", Column::Int64s({1, 2, 3})).Abort();
+  left.AddColumn("x", Column::Doubles({1, 2, 3})).Abort();
+  Table right("r");
+  right.AddColumn("id", Column::Int64s({2, 3, 4})).Abort();
+  right.AddColumn("x", Column::Doubles({20, 30, 40})).Abort();
+  for (JoinType type : {JoinType::kLeft, JoinType::kInner}) {
+    JoinOptions options;
+    options.type = type;
+    ExpectJoinsAgree(left, "id", right, "id", options);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factorized primitives.
+// ---------------------------------------------------------------------------
+
+// Element-wise equality with NaN == NaN (unmatched rows surface as NaN in
+// numeric views, and NaN never compares equal to itself).
+void ExpectNumericViewsEqual(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    EXPECT_EQ(a[i], b[i]) << "at index " << i;
+  }
+}
+
+Table DupRight() {
+  Table t("r");
+  t.AddColumn("k2", Column::Int64s({2, 2, 3, 5, 3})).Abort();
+  t.AddColumn("v", Column::Doubles({21, 22, 31, 51, 32})).Abort();
+  t.AddColumn("s", Column::Strings({"b1", "b2", "c1", "e1", "c2"})).Abort();
+  return t;
+}
+
+TEST(JoinKeyIndexTest, UniqueKeysEqualLeftJoin) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({1, 2, 3, 4})).Abort();
+  Table right("r");
+  right.AddColumn("k2", Column::Int64s({2, 3, 5})).Abort();
+  right.AddColumn("v", Column::Doubles({20, 30, 50})).Abort();
+
+  JoinKeyIndex index = BuildJoinKeyIndex(**right.GetColumn("k2"), 99);
+  auto via_index = LeftJoinWithIndex(left, "k", right, index);
+  ASSERT_TRUE(via_index.ok());
+  // With unique right keys the representative draw never fires, so the
+  // rng-driven reference join is bitwise identical.
+  Rng rng(1);
+  auto ref = LeftJoin(left, "k", right, "k2", &rng);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(via_index->table.Equals(ref->table));
+  EXPECT_EQ(via_index->stats.matched_rows, ref->stats.matched_rows);
+}
+
+TEST(JoinKeyIndexTest, DuplicateKeysPickOneRowOfTheGroup) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({2, 3, 4})).Abort();
+  Table right = DupRight();
+  JoinKeyIndex index = BuildJoinKeyIndex(**right.GetColumn("k2"), 7);
+  EXPECT_EQ(index.num_distinct_keys(), 3u);
+  auto r = LeftJoinWithIndex(left, "k", right, index);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 3u);
+  EXPECT_EQ(r->stats.matched_rows, 2u);
+  const Column* v = *r->table.GetColumn("v");
+  // Whatever representative was drawn, it comes from the right group.
+  EXPECT_TRUE(v->GetDouble(0) == 21 || v->GetDouble(0) == 22);
+  EXPECT_TRUE(v->GetDouble(1) == 31 || v->GetDouble(1) == 32);
+  EXPECT_TRUE(v->IsNull(2));
+}
+
+TEST(JoinKeyIndexTest, SameSeedSameRepresentatives) {
+  Table right = DupRight();
+  JoinKeyIndex a = BuildJoinKeyIndex(**right.GetColumn("k2"), 42);
+  JoinKeyIndex b = BuildJoinKeyIndex(**right.GetColumn("k2"), 42);
+  EXPECT_EQ(a.representative, b.representative);
+}
+
+TEST(MapLeftJoinTest, GathersMatchLeftJoinWithIndex) {
+  Table left("l");
+  left.AddColumn("k", Column::Int64s({2, 9, 3, 2})).Abort();
+  Table right = DupRight();
+  JoinKeyIndex index = BuildJoinKeyIndex(**right.GetColumn("k2"), 5);
+
+  JoinRowMap map = MapLeftJoin(**left.GetColumn("k"), index);
+  ASSERT_EQ(map.right_rows.size(), 4u);
+  EXPECT_EQ(map.stats.matched_rows, 3u);
+  EXPECT_EQ(map.right_rows[1], kNoMatchRow);
+
+  auto materialized = LeftJoinWithIndex(left, "k", right, index);
+  ASSERT_TRUE(materialized.ok());
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    Column gathered = GatherColumn(right.column(c), map.right_rows);
+    const Column& from_join =
+        materialized->table.column(left.num_columns() + c);
+    // Null counts and numeric views line up with the materialised columns.
+    EXPECT_EQ(GatherNullCount(right.column(c), map.right_rows),
+              from_join.null_count());
+    EXPECT_EQ(gathered.null_count(), from_join.null_count());
+    ExpectNumericViewsEqual(GatherNumeric(right.column(c), map.right_rows),
+                            gathered.ToNumeric());
+    ExpectNumericViewsEqual(gathered.ToNumeric(), from_join.ToNumeric());
+  }
+}
+
+TEST(ResolveAppendedNamesTest, MatchesJoinNaming) {
+  Table left("l");
+  left.AddColumn("id", Column::Int64s({1})).Abort();
+  left.AddColumn("x", Column::Doubles({1})).Abort();
+  left.AddColumn("x#2", Column::Doubles({1})).Abort();  // pre-existing suffix
+  Table right("r");
+  right.AddColumn("id", Column::Int64s({1})).Abort();
+  right.AddColumn("x", Column::Doubles({9})).Abort();
+  right.AddColumn("y", Column::Doubles({9})).Abort();
+
+  std::vector<std::string> names = ResolveAppendedNames(left, right);
+  Rng rng(1);
+  auto joined = Join(left, "id", right, "id", &rng);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(names.size(), right.num_columns());
+  std::vector<std::string> joined_names = joined->table.ColumnNames();
+  for (size_t c = 0; c < names.size(); ++c) {
+    EXPECT_EQ(names[c], joined_names[left.num_columns() + c]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JoinIndexCache.
+// ---------------------------------------------------------------------------
+
+DataLake MakeLake() {
+  DataLake lake;
+  Table orders("orders");
+  orders.AddColumn("cust", Column::Int64s({1, 2, 2, 3, 1})).Abort();
+  orders.AddColumn("amount", Column::Doubles({10, 20, 21, 30, 11})).Abort();
+  lake.AddTable(std::move(orders)).Abort();
+  Table customers("customers");
+  customers.AddColumn("cust", Column::Int64s({1, 2, 3})).Abort();
+  customers.AddColumn("age", Column::Doubles({31, 42, 53})).Abort();
+  lake.AddTable(std::move(customers)).Abort();
+  return lake;
+}
+
+TEST(JoinIndexCacheTest, BuildsOnceAndReturnsStablePointer) {
+  DataLake lake = MakeLake();
+  JoinIndexCache cache(&lake, 11);
+  auto a = cache.GetOrBuild("orders", "cust");
+  ASSERT_TRUE(a.ok());
+  auto b = cache.GetOrBuild("orders", "cust");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // same entry, not a rebuild
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ((*a)->num_distinct_keys(), 3u);
+}
+
+TEST(JoinIndexCacheTest, MissingTableOrColumnFails) {
+  DataLake lake = MakeLake();
+  JoinIndexCache cache(&lake, 11);
+  EXPECT_FALSE(cache.GetOrBuild("nope", "cust").ok());
+  EXPECT_FALSE(cache.GetOrBuild("orders", "nope").ok());
+  // The failed entries do not poison later valid requests.
+  EXPECT_TRUE(cache.GetOrBuild("orders", "cust").ok());
+}
+
+TEST(JoinIndexCacheTest, SameSeedCachesAreInterchangeable) {
+  DataLake lake = MakeLake();
+  JoinIndexCache cache_a(&lake, 23);
+  JoinIndexCache cache_b(&lake, 23);
+  auto a = cache_a.GetOrBuild("orders", "cust");
+  auto b = cache_b.GetOrBuild("orders", "cust");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->representative, (*b)->representative);
+}
+
+TEST(JoinIndexCacheTest, ConcurrentGetOrBuildIsSafeAndConsistent) {
+  DataLake lake = MakeLake();
+  JoinIndexCache cache(&lake, 5);
+  ThreadPool pool(8);
+  std::vector<const JoinKeyIndex*> seen(64, nullptr);
+  ParallelFor(&pool, 0, seen.size(), 1, [&](size_t i) {
+    const char* table = (i % 2 == 0) ? "orders" : "customers";
+    auto r = cache.GetOrBuild(table, "cust");
+    if (r.ok()) seen[i] = *r;
+  });
+  EXPECT_EQ(cache.num_entries(), 2u);
+  std::unordered_set<const JoinKeyIndex*> distinct(seen.begin(), seen.end());
+  distinct.erase(nullptr);
+  // Every thread observed one of exactly two built entries.
+  EXPECT_EQ(distinct.size(), 2u);
+  for (const JoinKeyIndex* p : seen) EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -185,10 +185,26 @@ TEST(JoinCompletenessTest, MeasuresAppendedColumnsOnly) {
   auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
   ASSERT_TRUE(r.ok());
   // rid/y each have 2 nulls out of 4 rows -> completeness 0.5.
-  EXPECT_NEAR(JoinCompleteness(r->table, {"rid", "y"}), 0.5, 1e-12);
+  auto appended = JoinCompleteness(r->table, {"rid", "y"});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_NEAR(*appended, 0.5, 1e-12);
   // Left columns are complete.
-  EXPECT_DOUBLE_EQ(JoinCompleteness(r->table, {"id", "x"}), 1.0);
-  EXPECT_DOUBLE_EQ(JoinCompleteness(r->table, {}), 1.0);
+  auto left_cols = JoinCompleteness(r->table, {"id", "x"});
+  ASSERT_TRUE(left_cols.ok());
+  EXPECT_DOUBLE_EQ(*left_cols, 1.0);
+  auto empty = JoinCompleteness(r->table, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(*empty, 1.0);
+}
+
+TEST(JoinCompletenessTest, MissingAppendedColumnIsAnError) {
+  Rng rng(1);
+  auto r = LeftJoin(MakeLeft(), "id", MakeRight(), "rid", &rng);
+  ASSERT_TRUE(r.ok());
+  // A column name that never made it into the joined table must surface as
+  // a status, not silently skew the ratio toward the surviving columns.
+  auto missing = JoinCompleteness(r->table, {"rid", "no_such_column"});
+  EXPECT_FALSE(missing.ok());
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#include "table/key_dictionary.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace autofeat {
+namespace {
+
+TEST(CanonicalIntKeyTest, AcceptsCanonicalDecimals) {
+  EXPECT_EQ(CanonicalIntKey("0"), 0);
+  EXPECT_EQ(CanonicalIntKey("7"), 7);
+  EXPECT_EQ(CanonicalIntKey("-3"), -3);
+  EXPECT_EQ(CanonicalIntKey("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(CanonicalIntKey("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(CanonicalIntKeyTest, RejectsNonCanonicalForms) {
+  // Everything here would NOT equal std::to_string(n) for any n, so it must
+  // stay in the string key space (KeyAt semantics).
+  EXPECT_EQ(CanonicalIntKey(""), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("07"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("-0"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("+7"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("7.0"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("7 "), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey(" 7"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("abc"), std::nullopt);
+  EXPECT_EQ(CanonicalIntKey("9223372036854775808"), std::nullopt);  // overflow
+  EXPECT_EQ(CanonicalIntKey("99999999999999999999"), std::nullopt);
+}
+
+TEST(IntegralDoubleKeyTest, ClassifiesDoubles) {
+  int64_t out = 0;
+  EXPECT_TRUE(IntegralDoubleKey(7.0, &out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(IntegralDoubleKey(-2.0, &out));
+  EXPECT_EQ(out, -2);
+  EXPECT_TRUE(IntegralDoubleKey(0.0, &out));
+  EXPECT_EQ(out, 0);
+
+  EXPECT_FALSE(IntegralDoubleKey(2.5, &out));
+  EXPECT_FALSE(IntegralDoubleKey(std::nan(""), &out));
+  EXPECT_FALSE(IntegralDoubleKey(std::numeric_limits<double>::infinity(),
+                                 &out));
+  EXPECT_FALSE(IntegralDoubleKey(1e16, &out));  // beyond the KeyAt cutoff
+}
+
+TEST(KeyDictionaryTest, AssignsIdsInFirstSeenOrder) {
+  Column keys = Column::Int64s({5, 3, 5, 9, 3, 5});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+  ASSERT_EQ(dict.num_keys(), 3u);
+  // First-seen order: 5 -> 0, 3 -> 1, 9 -> 2.
+  const auto& ids = dict.row_ids();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[2], 0u);
+  EXPECT_EQ(ids[3], 2u);
+  EXPECT_EQ(ids[4], 1u);
+  EXPECT_EQ(ids[5], 0u);
+}
+
+TEST(KeyDictionaryTest, CsrGroupsAreAscendingRowLists) {
+  Column keys = Column::Int64s({5, 3, 5, 9, 3, 5});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+  ASSERT_EQ(dict.rows_count(0), 3u);  // key 5 at rows 0, 2, 5
+  EXPECT_EQ(dict.rows_begin(0)[0], 0u);
+  EXPECT_EQ(dict.rows_begin(0)[1], 2u);
+  EXPECT_EQ(dict.rows_begin(0)[2], 5u);
+  ASSERT_EQ(dict.rows_count(1), 2u);  // key 3 at rows 1, 4
+  EXPECT_EQ(dict.rows_begin(1)[0], 1u);
+  EXPECT_EQ(dict.rows_begin(1)[1], 4u);
+  ASSERT_EQ(dict.rows_count(2), 1u);  // key 9 at row 3
+  EXPECT_EQ(dict.rows_begin(2)[0], 3u);
+}
+
+TEST(KeyDictionaryTest, NullRowsAreNotInterned) {
+  Column keys = Column::Int64s({1, 2, 3}, {1, 0, 1});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+  EXPECT_EQ(dict.num_keys(), 2u);
+  EXPECT_EQ(dict.row_ids()[0], 0u);
+  EXPECT_EQ(dict.row_ids()[1], KeyDictionary::kNoKey);
+  EXPECT_EQ(dict.row_ids()[2], 1u);
+  // A null probe row misses too.
+  EXPECT_EQ(dict.Lookup(keys, 1), KeyDictionary::kNoKey);
+}
+
+TEST(KeyDictionaryTest, CrossTypeLookupMatchesKeyAtSemantics) {
+  Column keys = Column::Int64s({7, 8});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+
+  Column doubles = Column::Doubles({7.0, 8.5});
+  EXPECT_EQ(dict.Lookup(doubles, 0), 0u);  // double 7.0 == int64 7
+  EXPECT_EQ(dict.Lookup(doubles, 1), KeyDictionary::kNoKey);
+
+  Column strings = Column::Strings({"7", "07", "8"});
+  EXPECT_EQ(dict.Lookup(strings, 0), 0u);  // "7" is canonical
+  EXPECT_EQ(dict.Lookup(strings, 1), KeyDictionary::kNoKey);  // "07" is not
+  EXPECT_EQ(dict.Lookup(strings, 2), 1u);
+}
+
+TEST(KeyDictionaryTest, StringDictionaryProbedByNumbers) {
+  Column keys = Column::Strings({"7", "x", "2.5"});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+  EXPECT_EQ(dict.num_keys(), 3u);
+
+  Column ints = Column::Int64s({7});
+  EXPECT_EQ(dict.Lookup(ints, 0), 0u);
+
+  // Non-integral doubles format with %.17g; "2.5" is exactly that form.
+  Column doubles = Column::Doubles({2.5, 7.0});
+  EXPECT_EQ(dict.Lookup(doubles, 0), 2u);
+  EXPECT_EQ(dict.Lookup(doubles, 1), 0u);
+}
+
+TEST(KeyDictionaryTest, LookupOfUnseenKeyMisses) {
+  Column keys = Column::Int64s({1, 2});
+  KeyDictionary dict = KeyDictionary::Build(keys);
+  Column probe = Column::Int64s({3});
+  EXPECT_EQ(dict.Lookup(probe, 0), KeyDictionary::kNoKey);
+}
+
+}  // namespace
+}  // namespace autofeat

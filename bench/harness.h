@@ -24,6 +24,8 @@
 #include "datagen/registry.h"
 #include "discovery/data_lake.h"
 #include "ml/trainer.h"
+#include "obs/report.h"
+#include "util/string_utils.h"
 
 namespace autofeat::benchx {
 
@@ -143,9 +145,15 @@ struct BenchTiming {
 /// (one file per bench; later runs overwrite). Destination directory comes
 /// from AUTOFEAT_BENCH_JSON_DIR (default: current directory). Schema:
 /// {"bench": name, "mode": quick|full, "timings":
-///   [{"phase": ..., "threads": N, "seconds": S}, ...]}
+///   [{"phase": ..., "threads": N, "seconds": S}, ...],
+///  "metrics": {...}}
+/// The metrics block is the obs report of an (untimed) instrumented run —
+/// `{}` when the bench did not attach a registry — so counter trajectories
+/// (cache hits, candidates scored) ride along with the timings. All strings
+/// are JSON-escaped; names with quotes/backslashes survive a round trip.
 inline bool WriteBenchJson(const std::string& name,
-                           const std::vector<BenchTiming>& timings) {
+                           const std::vector<BenchTiming>& timings,
+                           const obs::MetricsRegistry* metrics = nullptr) {
   const char* dir = std::getenv("AUTOFEAT_BENCH_JSON_DIR");
   std::string path = (dir != nullptr && *dir != '\0')
                          ? std::string(dir) + "/BENCH_" + name + ".json"
@@ -155,19 +163,23 @@ inline bool WriteBenchJson(const std::string& name,
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return false;
   }
-  out << "{\n  \"bench\": \"" << name << "\",\n  \"mode\": \""
+  out << "{\n  \"bench\": \"" << JsonEscape(name) << "\",\n  \"mode\": \""
       << (FullMode() ? "full" : "quick") << "\",\n  \"timings\": [";
   for (size_t i = 0; i < timings.size(); ++i) {
     if (i > 0) out << ",";
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "\n    {\"phase\": \"%s\", \"threads\": %zu, "
-                  "\"seconds\": %.6f}",
-                  timings[i].phase.c_str(), timings[i].threads,
-                  timings[i].seconds);
-    out << buf;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"threads\": %zu, \"seconds\": %.6f}",
+                  timings[i].threads, timings[i].seconds);
+    out << "\n    {\"phase\": \"" << JsonEscape(timings[i].phase) << "\", "
+        << buf;
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n  \"metrics\": ";
+  if (metrics != nullptr) {
+    out << obs::JsonReport(*metrics, /*tracer=*/nullptr);
+  } else {
+    out << "{}";
+  }
+  out << "\n}\n";
   std::printf("timings written to %s\n", path.c_str());
   return true;
 }

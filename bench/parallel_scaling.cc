@@ -7,10 +7,14 @@
 // the perf trajectory is tracked across PRs. On a single-core machine the
 // speedup is ~1x by construction; the determinism check still runs.
 
+#include <memory>
 #include <sstream>
 
 #include "harness.h"
 #include "core/autofeat.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -23,6 +27,10 @@ struct RunResult {
   double augment_seconds = 0.0;
   std::string ranked_fingerprint;
   double accuracy = 0.0;
+  /// Deterministic-metric digest of the run; must match across thread
+  /// counts (scheduling-dependent thread_pool.* metrics are excluded).
+  std::string metrics_digest;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
 };
 
 std::string Fingerprint(const DiscoveryResult& result) {
@@ -42,22 +50,31 @@ std::string Fingerprint(const DiscoveryResult& result) {
 Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
                                    size_t num_threads) {
   RunResult run;
+  // Both thread counts run with identical instrumentation, so metric
+  // overhead cancels out of the speedup and the digests are comparable.
+  run.metrics = std::make_unique<obs::MetricsRegistry>();
+  auto tracer = std::make_unique<obs::Tracer>();
 
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(num_threads) > 1) {
     pool = std::make_unique<ThreadPool>(num_threads);
+    pool->set_metrics(run.metrics.get());
   }
   MatchOptions match;
   match.threshold = 0.55;
   Timer drg_timer;
   AF_ASSIGN_OR_RETURN(DatasetRelationGraph drg,
-                      BuildDrgByDiscovery(built.lake, match, pool.get()));
+                      BuildDrgByDiscovery(built.lake, match, pool.get(),
+                                          run.metrics.get()));
   run.drg_seconds = drg_timer.ElapsedSeconds();
 
   AutoFeatConfig config;
   config.num_threads = num_threads;
   config.sample_rows = FullMode() ? 2000 : 1000;
   config.max_paths = FullMode() ? 2000 : 600;
+  config.metrics_enabled = true;
+  config.metrics = run.metrics.get();
+  config.tracer = tracer.get();
   AutoFeat engine(&built.lake, &drg, config);
 
   Timer discover_timer;
@@ -73,6 +90,7 @@ Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
                                      ml::ModelKind::kRandomForest));
   run.augment_seconds = augment_timer.ElapsedSeconds();
   run.accuracy = augmented.accuracy;
+  run.metrics_digest = obs::DeterministicDigest(*run.metrics, tracer.get());
   return run;
 }
 
@@ -110,9 +128,13 @@ int main() {
 
   bool identical =
       sequential->ranked_fingerprint == parallel->ranked_fingerprint &&
-      sequential->accuracy == parallel->accuracy;
+      sequential->accuracy == parallel->accuracy &&
+      sequential->metrics_digest == parallel->metrics_digest;
   std::printf("\nranked output identical across thread counts: %s\n",
               identical ? "yes" : "NO — BUG");
+  std::printf("metrics digest: %s (1 thread) vs %s (%zu threads)\n",
+              sequential->metrics_digest.c_str(),
+              parallel->metrics_digest.c_str(), hw);
 
   WriteBenchJson(
       "parallel_scaling",
@@ -121,6 +143,7 @@ int main() {
        {"discover_features", 1, sequential->discover_seconds},
        {"discover_features", hw, parallel->discover_seconds},
        {"augment_end_to_end", 1, sequential->augment_seconds},
-       {"augment_end_to_end", hw, parallel->augment_seconds}});
+       {"augment_end_to_end", hw, parallel->augment_seconds}},
+      parallel->metrics.get());
   return identical ? 0 : 1;
 }

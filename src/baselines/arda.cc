@@ -39,7 +39,7 @@ Result<AugmenterResult> Arda::Augment(const DataLake& lake,
   result.augmented = *base;
 
   // Interned join-key indexes, built once per (table, column) target.
-  JoinIndexCache join_cache(&lake, options_.seed);
+  JoinIndexCache join_cache(&lake, options_.seed, options_.metrics);
 
   // --- Star join: direct neighbours only (ARDA's single-hop limitation). ---
   for (size_t neighbor : drg.Neighbors(base_node)) {

@@ -19,6 +19,10 @@
 
 #include "baselines/augmenter.h"
 
+namespace autofeat::obs {
+class MetricsRegistry;
+}  // namespace autofeat::obs
+
 namespace autofeat::baselines {
 
 struct ArdaOptions {
@@ -35,6 +39,9 @@ struct ArdaOptions {
   /// Rows sampled for the internal model training.
   size_t sample_rows = 2000;
   uint64_t seed = 42;
+  /// Optional observability sink, shared with the baseline's join-index
+  /// cache (`join_index_cache.*` counters).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Arda final : public Augmenter {

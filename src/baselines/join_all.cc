@@ -24,7 +24,7 @@ Result<AugmenterResult> JoinAll::Augment(const DataLake& lake,
   result.augmented = *base;
 
   // Interned join-key indexes, built once per (table, column) target.
-  JoinIndexCache join_cache(&lake, options_.seed);
+  JoinIndexCache join_cache(&lake, options_.seed, options_.metrics);
 
   // BFS join of every reachable table, each joined once, in level order.
   std::unordered_set<size_t> joined{base_node};

@@ -14,6 +14,10 @@
 
 #include "baselines/augmenter.h"
 
+namespace autofeat::obs {
+class MetricsRegistry;
+}  // namespace autofeat::obs
+
 namespace autofeat::baselines {
 
 struct JoinAllOptions {
@@ -24,6 +28,9 @@ struct JoinAllOptions {
   /// Safety bound on joins (the harness skips infeasible configs anyway).
   size_t max_tables = 64;
   uint64_t seed = 42;
+  /// Optional observability sink, shared with the baseline's join-index
+  /// cache (`join_index_cache.*` counters).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class JoinAll final : public Augmenter {

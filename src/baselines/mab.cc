@@ -47,7 +47,7 @@ Result<AugmenterResult> Mab::Augment(const DataLake& lake,
   result.augmented = *base;
 
   // Interned join-key indexes, built once per (table, column) arm target.
-  JoinIndexCache join_cache(&lake, options_.seed);
+  JoinIndexCache join_cache(&lake, options_.seed, options_.metrics);
 
   // Validation machinery: sampled rows, fixed split, reward = accuracy delta.
   auto evaluate = [&](const Table& table) -> Result<double> {

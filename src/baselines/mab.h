@@ -15,6 +15,10 @@
 
 #include "baselines/augmenter.h"
 
+namespace autofeat::obs {
+class MetricsRegistry;
+}  // namespace autofeat::obs
+
 namespace autofeat::baselines {
 
 struct MabOptions {
@@ -26,6 +30,9 @@ struct MabOptions {
   /// Rows sampled for internal reward evaluation.
   size_t sample_rows = 1500;
   uint64_t seed = 42;
+  /// Optional observability sink, shared with the baseline's join-index
+  /// cache (`join_index_cache.*` counters).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Mab final : public Augmenter {

@@ -45,6 +45,28 @@ StreamingFeatureSelector::Options MakeSelectorOptions(
 Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
     const std::string& base_table, const std::string& label_column) {
   Timer total_timer;
+  obs::ScopedSpan discover_span(tracer_, "discover");
+  // All discovery counters are incremented from the coordinating thread
+  // (phases 1 and 3, never inside ParallelMap workers), so their values —
+  // and the deterministic digest — are identical at any thread count.
+  obs::Counter* m_candidates =
+      obs::GetCounter(metrics_, "discovery.candidates_scored");
+  obs::Counter* m_materialised =
+      obs::GetCounter(metrics_, "discovery.states_materialised");
+  obs::Counter* m_view_scored =
+      obs::GetCounter(metrics_, "discovery.view_scored");
+  obs::Counter* m_pruned_infeasible =
+      obs::GetCounter(metrics_, "discovery.pruned_infeasible");
+  obs::Counter* m_pruned_quality =
+      obs::GetCounter(metrics_, "discovery.pruned_quality");
+  obs::Counter* m_pruned_redundant =
+      obs::GetCounter(metrics_, "discovery.pruned_redundant");
+  obs::Counter* m_ranked = obs::GetCounter(metrics_, "discovery.ranked_paths");
+  obs::Histogram* m_frontier =
+      obs::GetHistogram(metrics_, "discovery.frontier_size");
+  obs::Gauge* m_frontier_peak =
+      obs::GetGauge(metrics_, "discovery.frontier_peak");
+
   AF_ASSIGN_OR_RETURN(const Table* base_full, lake_->GetTable(base_table));
   if (!base_full->HasColumn(label_column)) {
     return Status::KeyError("label column '" + label_column +
@@ -55,12 +77,16 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
 
   // Fast path: every (right table, key column) the DRG can reach is
   // interned once up front, in parallel, and shared by all candidates.
-  if (join_cache_ != nullptr) join_cache_->Prewarm(*drg_, pool_.get());
+  if (join_cache_ != nullptr) {
+    obs::ScopedSpan span(tracer_, "discover.prewarm");
+    join_cache_->Prewarm(*drg_, pool_.get());
+  }
 
   // Stratified sampling speeds up feature selection without biasing the
   // label distribution (§VI); model training later uses the full data.
   Table base_sampled = *base_full;
   if (config_.sample_rows > 0 && base_full->num_rows() > config_.sample_rows) {
+    obs::ScopedSpan span(tracer_, "discover.stratified_sample");
     AF_ASSIGN_OR_RETURN(
         base_sampled,
         StratifiedSample(*base_full, label_column, config_.sample_rows, &rng));
@@ -73,6 +99,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
   std::vector<double> label_numeric;
   std::vector<int> label_codes;
   {
+    obs::ScopedSpan span(tracer_, "discover.seed_base_features");
     Timer t;
     AF_ASSIGN_OR_RETURN(FeatureView base_view,
                         FeatureView::FromTable(base_sampled, label_column));
@@ -81,6 +108,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
     label_codes = base_view.label_codes();
     fs_seconds += t.ElapsedSeconds();
   }
+  obs::ScopedSpan bfs_span(tracer_, "discover.bfs");
 
   // BFS frontier of partial join paths, each carrying its (sampled) join
   // result so transitive joins extend the intermediate table (§IV-B).
@@ -121,6 +149,8 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
   uint64_t candidate_counter = 0;
 
   while (!frontier.empty() && result.paths_explored < config_.max_paths) {
+    obs::Record(m_frontier, frontier.size());
+    obs::UpdateMax(m_frontier_peak, frontier.size());
     State state = std::move(frontier.front());
     frontier.pop_front();
     if (state.path.length() >= config_.max_hops) continue;
@@ -186,6 +216,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
 
         if (!state.table.HasColumn(edge.from_column)) {
           ++result.paths_pruned_infeasible;
+          obs::Increment(m_pruned_infeasible);
           continue;
         }
         candidates.push_back(
@@ -312,17 +343,21 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
     // Phase 3 — merge in candidate (edge) order. The redundancy stage
     // mutates R_sel, so it stays sequential here; because the merge order
     // equals the legacy evaluation order, the ranked output is identical.
+    obs::Increment(m_candidates, candidates.size());
     for (size_t c = 0; c < candidates.size(); ++c) {
       Eval& ev = evals[c];
       if (!ev.status.ok()) return ev.status;
       if (ev.infeasible) {
         ++result.paths_pruned_infeasible;
+        obs::Increment(m_pruned_infeasible);
         continue;
       }
       if (ev.low_quality) {
         ++result.paths_pruned_quality;
+        obs::Increment(m_pruned_quality);
         continue;
       }
+      obs::Increment(m_view_scored);
       fs_seconds += ev.fs_seconds;
       Timer t;
       StreamingFeatureSelector::BatchResult batch =
@@ -342,6 +377,9 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       if (!batch.selected.empty()) {
         result.ranked.push_back(
             RankedPath{next.path, next.score, next.selected});
+        obs::Increment(m_ranked);
+      } else {
+        obs::Increment(m_pruned_redundant);
       }
       node_visited[candidates[c].neighbor] = true;
       // Leaf states (at the hop limit) can never expand; skip carrying
@@ -349,6 +387,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       // fast path this is the only place a candidate's join becomes a real
       // Table — pruned candidates and hop-limit leaves never pay for one.
       if (next.path.length() < config_.max_hops) {
+        obs::Increment(m_materialised);
         if (join_cache_ != nullptr) {
           Table joined = state.table;
           const Table& right = *candidates[c].right;
@@ -427,15 +466,20 @@ Result<AugmentationResult> AutoFeat::Augment(const std::string& base_table,
                                              const std::string& label_column,
                                              ml::ModelKind model) {
   Timer total_timer;
+  obs::ScopedSpan augment_span(tracer_, "augment");
   AugmentationResult out;
   AF_ASSIGN_OR_RETURN(out.discovery,
                       DiscoverFeatures(base_table, label_column));
+  obs::ScopedSpan eval_span(tracer_, "augment.evaluate");
 
   ml::TrainerOptions trainer_options;
   trainer_options.seed = config_.seed;
 
   AF_ASSIGN_OR_RETURN(const Table* base, lake_->GetTable(base_table));
   size_t k = std::min(config_.top_k_paths, out.discovery.ranked.size());
+  obs::Increment(obs::GetCounter(metrics_, "evaluation.paths_evaluated"), k);
+  obs::Increment(obs::GetCounter(metrics_, "evaluation.models_trained"),
+                 k + 1);
 
   // Task 0 trains on the bare base table (the fallback when no rankable
   // path exists); task i > 0 materialises and trains ranked path i-1. The

@@ -19,6 +19,8 @@
 #include "graph/drg.h"
 #include "graph/join_path.h"
 #include "ml/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/table.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -77,11 +79,27 @@ class AutoFeat {
   AutoFeat(const DataLake* lake, const DatasetRelationGraph* drg,
            AutoFeatConfig config)
       : lake_(lake), drg_(drg), config_(config) {
+    if (config_.metrics_enabled) {
+      // External sinks win (one shared report across phases); otherwise the
+      // engine owns private ones, reachable via metrics() / tracer().
+      metrics_ = config_.metrics;
+      tracer_ = config_.tracer;
+      if (metrics_ == nullptr) {
+        owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+      }
+      if (tracer_ == nullptr) {
+        owned_tracer_ = std::make_unique<obs::Tracer>();
+        tracer_ = owned_tracer_.get();
+      }
+    }
     if (ResolveNumThreads(config_.num_threads) > 1) {
       pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+      if (metrics_ != nullptr) pool_->set_metrics(metrics_);
     }
     if (config_.join_fast_path) {
-      join_cache_ = std::make_unique<JoinIndexCache>(lake_, config_.seed);
+      join_cache_ =
+          std::make_unique<JoinIndexCache>(lake_, config_.seed, metrics_);
     }
   }
 
@@ -93,6 +111,12 @@ class AutoFeat {
   /// off). Shared by discovery, top-k materialisation and any caller that
   /// wants to join against the same lake with consistent representatives.
   JoinIndexCache* join_index_cache() const { return join_cache_.get(); }
+
+  /// The engine's metrics registry / tracer (null unless
+  /// config.metrics_enabled). Points at config.metrics / config.tracer when
+  /// those external sinks were supplied, else at engine-owned instances.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Algorithm 1: explores join paths from `base_table`, returns the ranked
   /// list. `label_column` must exist in the base table.
@@ -115,6 +139,10 @@ class AutoFeat {
   const DataLake* lake_;
   const DatasetRelationGraph* drg_;
   AutoFeatConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<JoinIndexCache> join_cache_;
 };

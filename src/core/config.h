@@ -11,6 +11,11 @@
 
 namespace autofeat {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// \brief Configuration of the AutoFeat discovery algorithm.
 struct AutoFeatConfig {
   /// Data-quality (completeness) threshold tau: joins whose appended
@@ -71,6 +76,20 @@ struct AutoFeatConfig {
   /// and every stochastic task draws from an RNG stream derived from
   /// (seed, task_index).
   size_t num_threads = 1;
+
+  /// Observability: when true the engine records counters/histograms and
+  /// hierarchical phase spans (src/obs/) across DRG caches, the BFS
+  /// traversal, joins and evaluation. When false (default) every
+  /// instrumentation point degenerates to one untaken branch — the hot
+  /// paths stay within noise of the uninstrumented build.
+  bool metrics_enabled = false;
+  /// Optional external sinks. When metrics_enabled and left null the engine
+  /// owns a private registry/tracer (reachable via AutoFeat::metrics() /
+  /// tracer()); pass non-null sinks to share one report across DRG
+  /// construction, the engine and baselines (as autofeat_cli does for
+  /// --metrics-out). Ignored when metrics_enabled is false.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   uint64_t seed = 42;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "discovery/sketch_cache.h"
+#include "obs/metrics.h"
 #include "table/csv.h"
 #include "util/thread_pool.h"
 
@@ -67,7 +68,9 @@ Result<DataLake> DataLake::FromCsvDirectory(const std::string& directory) {
   return lake;
 }
 
-Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake) {
+Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake,
+                                             obs::MetricsRegistry* metrics) {
+  obs::Counter* edges_added = obs::GetCounter(metrics, "drg.edges_added");
   DatasetRelationGraph drg;
   for (const auto& table : lake.tables()) drg.AddNode(table.name());
   for (const auto& kfk : lake.kfk_constraints()) {
@@ -85,6 +88,7 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake) {
     AF_RETURN_NOT_OK(drg.AddEdge(kfk.from_table, kfk.from_column,
                                  kfk.to_table, kfk.to_column,
                                  /*weight=*/1.0));
+    obs::Increment(edges_added);
   }
   return drg;
 }
@@ -96,9 +100,12 @@ namespace {
 // the graph) is independent of the thread count. `score_pair(i, j)` must be
 // safe to call concurrently for distinct pairs.
 Result<DatasetRelationGraph> BuildDrgFromPairScores(
-    const DataLake& lake, ThreadPool* pool,
+    const DataLake& lake, ThreadPool* pool, obs::MetricsRegistry* metrics,
     const std::function<std::vector<ColumnMatch>(size_t, size_t)>&
         score_pair) {
+  obs::Counter* pairs_scored = obs::GetCounter(metrics, "drg.pairs_scored");
+  obs::Counter* pairs_matched = obs::GetCounter(metrics, "drg.pairs_matched");
+  obs::Counter* edges_added = obs::GetCounter(metrics, "drg.edges_added");
   DatasetRelationGraph drg;
   for (const auto& table : lake.tables()) drg.AddNode(table.name());
   const auto& tables = lake.tables();
@@ -113,12 +120,15 @@ Result<DatasetRelationGraph> BuildDrgFromPairScores(
           pool, pairs.size(), /*grain=*/1, [&](size_t p) {
             return score_pair(pairs[p].first, pairs[p].second);
           });
+  obs::Increment(pairs_scored, pairs.size());
   for (size_t p = 0; p < pairs.size(); ++p) {
     const auto& [i, j] = pairs[p];
+    if (!matches[p].empty()) obs::Increment(pairs_matched);
     for (const auto& match : matches[p]) {
       AF_RETURN_NOT_OK(drg.AddEdge(tables[i].name(), match.left_column,
                                    tables[j].name(), match.right_column,
                                    match.score));
+      obs::Increment(edges_added);
     }
   }
   return drg;
@@ -128,13 +138,19 @@ Result<DatasetRelationGraph> BuildDrgFromPairScores(
 
 Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
                                                  const MatchOptions& options,
-                                                 ThreadPool* pool) {
+                                                 ThreadPool* pool,
+                                                 obs::MetricsRegistry* metrics) {
   // Sketch every column once (in parallel over tables), then score pairs
   // over the shared cache instead of re-scanning column values per pair.
   LakeSketchCache cache =
-      LakeSketchCache::Build(lake, options.max_sample_values, pool);
+      LakeSketchCache::Build(lake, options.max_sample_values, pool, metrics);
+  // Each pair served from the cache would have re-sketched both tables'
+  // columns under the naive formulation — that saved work is the hit count.
+  obs::Counter* sketch_hits = obs::GetCounter(metrics, "sketch_cache.hits");
   const auto& tables = lake.tables();
-  return BuildDrgFromPairScores(lake, pool, [&](size_t i, size_t j) {
+  return BuildDrgFromPairScores(lake, pool, metrics, [&](size_t i, size_t j) {
+    obs::Increment(sketch_hits,
+                   tables[i].num_columns() + tables[j].num_columns());
     return MatchSchemas(tables[i], cache.table_sketches(i), tables[j],
                         cache.table_sketches(j), options);
   });
@@ -144,9 +160,9 @@ Result<DatasetRelationGraph> BuildDrgWithMatcher(
     const DataLake& lake,
     const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
         matcher,
-    ThreadPool* pool) {
+    ThreadPool* pool, obs::MetricsRegistry* metrics) {
   const auto& tables = lake.tables();
-  return BuildDrgFromPairScores(lake, pool, [&](size_t i, size_t j) {
+  return BuildDrgFromPairScores(lake, pool, metrics, [&](size_t i, size_t j) {
     return matcher(tables[i], tables[j]);
   });
 }

@@ -23,6 +23,10 @@ namespace autofeat {
 
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief A declared key/foreign-key relationship between two tables.
 struct KfkConstraint {
   std::string from_table;
@@ -63,8 +67,10 @@ class DataLake {
 };
 
 /// Benchmark setting: DRG whose edges are exactly the declared KFK
-/// constraints with weight 1.
-Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake);
+/// constraints with weight 1. A non-null `metrics` counts
+/// `drg.edges_added`.
+Result<DatasetRelationGraph> BuildDrgFromKfk(
+    const DataLake& lake, obs::MetricsRegistry* metrics = nullptr);
 
 /// Data-lake setting: ignores KFK metadata and runs the schema matcher over
 /// every table pair; matches at or above options.threshold become edges
@@ -75,9 +81,14 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake);
 /// pair scoring over table pairs; matches are folded into the DRG in
 /// deterministic (i, j) pair order, so the graph is byte-identical at any
 /// thread count.
+///
+/// A non-null `metrics` records the DRG-construction counters:
+/// `sketch_cache.builds` (sketches computed once), `sketch_cache.hits`
+/// (sketch reuses the per-pair formulation would have recomputed),
+/// `drg.pairs_scored`, `drg.pairs_matched`, `drg.edges_added`.
 Result<DatasetRelationGraph> BuildDrgByDiscovery(
     const DataLake& lake, const MatchOptions& options = {},
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 /// Generic DRG construction with a pluggable matcher — "DRG construction is
 /// independent of the dataset discovery algorithm" (§IV). The matcher maps
@@ -88,7 +99,7 @@ Result<DatasetRelationGraph> BuildDrgWithMatcher(
     const DataLake& lake,
     const std::function<std::vector<ColumnMatch>(const Table&, const Table&)>&
         matcher,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace autofeat
 

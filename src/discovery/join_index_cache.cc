@@ -43,8 +43,12 @@ std::shared_ptr<JoinIndexCache::Entry> JoinIndexCache::EntryFor(
 
 Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
     const std::string& table, const std::string& column) {
+  obs::Increment(requests_);
   std::shared_ptr<Entry> entry = EntryFor(table, column);
+  bool built_here = false;
   std::call_once(entry->once, [&] {
+    built_here = true;
+    obs::Increment(builds_);
     auto table_result = lake_->GetTable(table);
     if (!table_result.ok()) {
       entry->status = table_result.status();
@@ -57,7 +61,9 @@ Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
     }
     entry->index = BuildJoinKeyIndex(
         **column_result, DeriveSeed(seed_, EntryStream(table, column)));
+    obs::Record(key_cardinality_, entry->index.num_distinct_keys());
   });
+  if (!built_here) obs::Increment(hits_);
   if (!entry->status.ok()) return entry->status;
   return &entry->index;
 }

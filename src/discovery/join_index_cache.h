@@ -24,6 +24,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "relational/join_index.h"
 #include "util/status.h"
 
@@ -38,8 +39,19 @@ class JoinIndexCache {
  public:
   /// `lake` must outlive the cache. `seed` fixes the representative-row
   /// draws; two caches with the same seed over the same lake are identical.
-  JoinIndexCache(const DataLake* lake, uint64_t seed)
-      : lake_(lake), seed_(seed) {}
+  /// A non-null `metrics` records `join_index_cache.requests` /
+  /// `.builds` / `.hits` counters and the `join_index_cache.key_cardinality`
+  /// histogram (distinct interned keys per built entry); all are
+  /// deterministic for a fixed workload regardless of thread count.
+  JoinIndexCache(const DataLake* lake, uint64_t seed,
+                 obs::MetricsRegistry* metrics = nullptr)
+      : lake_(lake),
+        seed_(seed),
+        requests_(obs::GetCounter(metrics, "join_index_cache.requests")),
+        builds_(obs::GetCounter(metrics, "join_index_cache.builds")),
+        hits_(obs::GetCounter(metrics, "join_index_cache.hits")),
+        key_cardinality_(
+            obs::GetHistogram(metrics, "join_index_cache.key_cardinality")) {}
 
   /// The index of `table`.`column`, built on first request. The pointer
   /// stays valid for the cache's lifetime. Fails if the table or column
@@ -67,6 +79,10 @@ class JoinIndexCache {
 
   const DataLake* lake_;
   uint64_t seed_;
+  obs::Counter* requests_;
+  obs::Counter* builds_;
+  obs::Counter* hits_;
+  obs::Histogram* key_cardinality_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "discovery/data_lake.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
@@ -63,9 +64,11 @@ double SketchJaccard(const ColumnSketch& a, const ColumnSketch& b) {
 }
 
 LakeSketchCache LakeSketchCache::Build(const DataLake& lake,
-                                       size_t max_sample, ThreadPool* pool) {
+                                       size_t max_sample, ThreadPool* pool,
+                                       obs::MetricsRegistry* metrics) {
   LakeSketchCache cache;
   cache.max_sample_ = max_sample;
+  obs::Counter* builds = obs::GetCounter(metrics, "sketch_cache.builds");
   const auto& tables = lake.tables();
   cache.sketches_.resize(tables.size());
   // One task per table (columns of a table share value scans' cache
@@ -77,6 +80,7 @@ LakeSketchCache LakeSketchCache::Build(const DataLake& lake,
     for (size_t c = 0; c < table.num_columns(); ++c) {
       sketches.push_back(BuildColumnSketch(table.column(c), max_sample));
     }
+    obs::Increment(builds, table.num_columns());
     cache.sketches_[t] = std::move(sketches);
   });
   return cache;

@@ -24,6 +24,10 @@ namespace autofeat {
 class DataLake;
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Distinct-value summary of one column.
 struct ColumnSketch {
   /// Up to `max_sample` distinct non-null values (bottom-k by hash).
@@ -48,8 +52,11 @@ class LakeSketchCache {
  public:
   /// Sketches all columns of all `lake` tables; table-level sketching fans
   /// out over `pool` when given (results are identical at any thread count).
+  /// A non-null `metrics` counts `sketch_cache.builds` (column sketches
+  /// computed — the cache misses of the naive per-pair formulation).
   static LakeSketchCache Build(const DataLake& lake, size_t max_sample,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool = nullptr,
+                               obs::MetricsRegistry* metrics = nullptr);
 
   const std::vector<ColumnSketch>& table_sketches(size_t table_index) const {
     return sketches_[table_index];

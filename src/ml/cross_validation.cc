@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +47,15 @@ Result<CrossValidationResult> CrossValidate(
 
   CrossValidationResult result;
   result.model_name = ModelKindName(kind);
+
+  obs::Increment(obs::GetCounter(options.metrics, "cv.runs"));
+  obs::Histogram* fold_test_rows =
+      obs::GetHistogram(options.metrics, "cv.fold_test_rows");
+  if (fold_test_rows != nullptr) {
+    std::vector<uint64_t> per_fold(options.folds, 0);
+    for (size_t f : assignment) ++per_fold[f];
+    for (uint64_t rows : per_fold) obs::Record(fold_test_rows, rows);
+  }
 
   // Folds are independent tasks: each trains a fresh model on its own row
   // subset with a per-fold seed. Metrics are merged in fold order below, so
@@ -93,6 +103,8 @@ Result<CrossValidationResult> CrossValidate(
     result.fold_accuracies.push_back(ev.accuracy);
     result.fold_aucs.push_back(ev.auc);
   }
+  obs::Increment(obs::GetCounter(options.metrics, "cv.folds_trained"),
+                 options.folds);
 
   double n = static_cast<double>(options.folds);
   for (double a : result.fold_accuracies) result.mean_accuracy += a;

@@ -11,6 +11,10 @@
 
 #include "ml/trainer.h"
 
+namespace autofeat::obs {
+class MetricsRegistry;
+}  // namespace autofeat::obs
+
 namespace autofeat::ml {
 
 struct CrossValidationOptions {
@@ -21,6 +25,10 @@ struct CrossValidationOptions {
   /// by (seed + fold) — and per-fold metrics are merged in fold order, so
   /// results are identical at any thread count.
   size_t num_threads = 1;
+  /// Optional observability sink: records `cv.runs`, `cv.folds_trained`
+  /// and the `cv.fold_test_rows` histogram (all deterministic — fold
+  /// assignment is a pure function of the seed).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CrossValidationResult {

@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace autofeat::obs {
+
+size_t Histogram::BucketOf(uint64_t v) {
+  return v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricKind::kCounter;
+    entry.deterministic = deterministic;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.kind == MetricKind::kCounter ? entry.counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricKind::kGauge;
+    entry.deterministic = deterministic;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.kind == MetricKind::kGauge ? entry.gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricKind::kHistogram;
+    entry.deterministic = deterministic;
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  return entry.kind == MetricKind::kHistogram ? entry.histogram.get()
+                                              : nullptr;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.gauge == nullptr) return 0;
+  return it->second.gauge->value();
+}
+
+uint64_t MetricsRegistry::HistogramCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.histogram == nullptr) return 0;
+  return it->second.histogram->count();
+}
+
+uint64_t MetricsRegistry::HistogramSum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.histogram == nullptr) return 0;
+  return it->second.histogram->sum();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.counters.push_back(
+            CounterSample{name, entry.deterministic, entry.counter->value()});
+        break;
+      case MetricKind::kGauge:
+        snap.gauges.push_back(
+            GaugeSample{name, entry.deterministic, entry.gauge->value()});
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSample sample;
+        sample.name = name;
+        sample.deterministic = entry.deterministic;
+        sample.count = h.count();
+        sample.sum = h.sum();
+        sample.min = h.min();
+        sample.max = h.max();
+        for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          uint64_t c = h.bucket(b);
+          if (c > 0) sample.buckets.emplace_back(b, c);
+        }
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace autofeat::obs

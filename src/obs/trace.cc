@@ -1,0 +1,52 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace autofeat::obs {
+
+size_t Tracer::BeginSpan(std::string name) {
+  std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = thread_ids_.emplace(tid, thread_ids_.size());
+  std::vector<size_t>& stack = open_stacks_[tid];
+
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent = stack.empty() ? 0 : stack.back();
+  span.name = std::move(name);
+  span.thread = it->second;
+  span.start_seconds = clock_.ElapsedSeconds();
+  stack.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(size_t id) {
+  std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].end_seconds = clock_.ElapsedSeconds();
+  auto stack_it = open_stacks_.find(tid);
+  if (stack_it == open_stacks_.end()) return;
+  // Well-nested callers pop the top; a mismatched EndSpan (a bug upstream)
+  // still closes the named span without corrupting siblings.
+  std::vector<size_t>& stack = stack_it->second;
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1] == id) {
+      stack.erase(stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+}  // namespace autofeat::obs

@@ -1,0 +1,90 @@
+// Hierarchical phase tracing.
+//
+// A Tracer records begin/end spans with parent links, so a run decomposes
+// into a tree: augment -> discover -> {prewarm, stratified_sample,
+// seed_base_features, bfs} -> ... Parentage is tracked per *thread* (the
+// calling thread's innermost open span is the parent), which matches how the
+// engine uses spans: orchestration phases open/close on the coordinating
+// thread while ParallelFor workers never open spans of their own — so the
+// span tree (names, nesting, order) is identical at any thread count and is
+// part of the report's deterministic digest. Wall-clock timestamps and
+// thread ids are recorded too, but excluded from the digest (see
+// obs/report.h).
+//
+// Thread safety: Begin/End/Snapshot may be called concurrently; a span
+// begun on one thread must be ended on the same thread (ScopedSpan
+// guarantees this).
+
+#ifndef AUTOFEAT_OBS_TRACE_H_
+#define AUTOFEAT_OBS_TRACE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace autofeat::obs {
+
+/// \brief One recorded phase span. Ids are 1-based begin order; parent 0
+/// means root. Thread ids are dense (first-seen order), not OS ids.
+struct SpanRecord {
+  size_t id = 0;
+  size_t parent = 0;
+  std::string name;
+  size_t thread = 0;
+  /// Seconds since the tracer was constructed; end < 0 while still open.
+  double start_seconds = 0.0;
+  double end_seconds = -1.0;
+};
+
+/// \brief Thread-safe hierarchical span recorder.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span under the calling thread's innermost open span (or the
+  /// root). Returns the span id for EndSpan.
+  size_t BeginSpan(std::string name);
+
+  /// Closes the span; must be the calling thread's innermost open span.
+  void EndSpan(size_t id);
+
+  size_t num_spans() const;
+
+  /// Copy of every span in begin order.
+  std::vector<SpanRecord> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Timer clock_;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<std::thread::id, std::vector<size_t>> open_stacks_;
+  std::unordered_map<std::thread::id, size_t> thread_ids_;
+};
+
+/// \brief RAII span; null-safe (a null tracer records nothing).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  size_t id_ = 0;
+};
+
+}  // namespace autofeat::obs
+
+#endif  // AUTOFEAT_OBS_TRACE_H_

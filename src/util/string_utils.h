@@ -43,6 +43,11 @@ double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
 /// Formats a double with fixed precision (for table printers).
 std::string FormatDouble(double v, int precision = 3);
 
+/// Escapes `s` for embedding inside a JSON string literal: backslash,
+/// double quote, and control characters (\b \f \n \r \t, \u00XX for the
+/// rest). Other bytes pass through unchanged.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace autofeat
 
 #endif  // AUTOFEAT_UTIL_STRING_UTILS_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace autofeat {
 
 size_t ResolveNumThreads(size_t num_threads) {
@@ -30,16 +32,34 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  obs::Counter* submitted;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    submitted = tasks_submitted_;
   }
+  obs::Increment(submitted);
   wake_.notify_one();
+}
+
+void ThreadPool::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  tasks_submitted_ = obs::GetCounter(metrics, "thread_pool.tasks_submitted",
+                                     /*deterministic=*/false);
+  tasks_executed_ = obs::GetCounter(metrics, "thread_pool.tasks_executed",
+                                    /*deterministic=*/false);
+}
+
+obs::MetricsRegistry* ThreadPool::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    obs::Counter* executed;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -48,8 +68,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      executed = tasks_executed_;
     }
     task();
+    obs::Increment(executed);
   }
 }
 
@@ -76,10 +98,14 @@ struct ForState {
   std::exception_ptr error;
   size_t error_chunk = 0;
 
-  void RunChunks() {
+  // Claims and runs chunks until the cursor runs dry; returns how many this
+  // lane executed (feeds the caller-vs-helper work-split stats).
+  size_t RunChunks() {
+    size_t ran = 0;
     for (;;) {
       size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= num_chunks) return;
+      if (chunk >= num_chunks) return ran;
+      ++ran;
       size_t lo = begin + chunk * grain;
       size_t hi = std::min(end, lo + grain);
       std::exception_ptr caught;
@@ -117,6 +143,17 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   state.fn = &fn;
   state.num_chunks = (range + grain - 1) / grain;
 
+  obs::MetricsRegistry* metrics = pool->metrics();
+  obs::Counter* pf_calls = obs::GetCounter(
+      metrics, "thread_pool.parallel_for.calls", /*deterministic=*/false);
+  obs::Counter* chunks_caller = obs::GetCounter(
+      metrics, "thread_pool.parallel_for.chunks_caller",
+      /*deterministic=*/false);
+  obs::Counter* chunks_helper = obs::GetCounter(
+      metrics, "thread_pool.parallel_for.chunks_helper",
+      /*deterministic=*/false);
+  obs::Increment(pf_calls);
+
   // One helper task per worker is enough: each claims chunks until the
   // cursor runs dry. The caller participates too, so the pool being busy
   // with other work never deadlocks this loop.
@@ -126,14 +163,14 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   std::condition_variable helper_cv;
   for (size_t t = 0; t < helpers; ++t) {
     pool->Submit([&] {
-      state.RunChunks();
+      obs::Increment(chunks_helper, state.RunChunks());
       if (helpers_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(helper_mutex);
         helper_cv.notify_all();
       }
     });
   }
-  state.RunChunks();
+  obs::Increment(chunks_caller, state.RunChunks());
   {
     std::unique_lock<std::mutex> lock(state.mutex);
     state.done_cv.wait(lock,

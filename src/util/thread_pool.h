@@ -19,6 +19,11 @@
 
 namespace autofeat {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Resolves a `num_threads` config knob: 0 = hardware concurrency
 /// (at least 1), anything else is taken literally.
 size_t ResolveNumThreads(size_t num_threads);
@@ -42,14 +47,25 @@ class ThreadPool {
   /// Enqueues a task; runs as soon as a worker is free.
   void Submit(std::function<void()> task);
 
+  /// Attaches a metrics sink (null detaches). Queue/execution stats are
+  /// scheduling-dependent, so they register as non-deterministic metrics:
+  /// `thread_pool.tasks_submitted`, `thread_pool.tasks_executed`,
+  /// `thread_pool.parallel_for.{calls,chunks_caller,chunks_helper}`.
+  /// Call before submitting work (the engine attaches at construction).
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_executed_ = nullptr;
 };
 
 /// Runs `fn(i)` for every i in [begin, end), chunked by `grain` (minimum

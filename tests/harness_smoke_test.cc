@@ -5,6 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
 namespace autofeat::benchx {
 namespace {
 
@@ -43,6 +51,46 @@ TEST(HarnessTest, MethodLineup) {
   EXPECT_EQ(with_joinall[1]->name(), "AutoFeat");
   EXPECT_EQ(with_joinall[4]->name(), "JoinAll");
   EXPECT_EQ(with_joinall[5]->name(), "JoinAll+F");
+}
+
+// Regression: the JSON emitter used to print phase strings through a raw
+// %s, so a quote or backslash in a phase name produced an invalid file.
+TEST(HarnessTest, WriteBenchJsonEscapesHostileNamesAndRoundTrips) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "autofeat_harness_json_test";
+  fs::create_directories(dir);
+  ASSERT_EQ(setenv("AUTOFEAT_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+
+  obs::MetricsRegistry metrics;
+  metrics.GetCounter("smoke.count")->Increment(5);
+  std::string hostile = "phase \"quoted\" back\\slash\nnewline\ttab";
+  ASSERT_TRUE(WriteBenchJson("hostile_smoke",
+                             {{hostile, 2, 0.125}, {"plain", 1, 1.5}},
+                             &metrics));
+
+  std::ifstream in(dir / "BENCH_hostile_smoke.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  std::string json = content.str();
+  unsetenv("AUTOFEAT_BENCH_JSON_DIR");
+
+  EXPECT_TRUE(obs::JsonIsValid(json)) << json;
+  // The hostile characters were escaped, not emitted raw.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+  // The metrics block rode along.
+  EXPECT_NE(json.find("\"smoke.count\": 5"), std::string::npos);
+  // Without a registry the block degrades to an empty object, still valid.
+  ASSERT_EQ(setenv("AUTOFEAT_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  ASSERT_TRUE(WriteBenchJson("hostile_smoke", {{"p", 1, 0.5}}));
+  std::ifstream in2(dir / "BENCH_hostile_smoke.json");
+  std::ostringstream content2;
+  content2 << in2.rdbuf();
+  unsetenv("AUTOFEAT_BENCH_JSON_DIR");
+  EXPECT_TRUE(obs::JsonIsValid(content2.str()));
+  EXPECT_NE(content2.str().find("\"metrics\": {}"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST(HarnessTest, RunMethodProducesSaneRow) {

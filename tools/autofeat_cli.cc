@@ -23,6 +23,7 @@
 #include "graph/dot_export.h"
 #include "graph/path_format.h"
 #include "ml/trainer.h"
+#include "obs/report.h"
 #include "relational/describe.h"
 #include "table/csv.h"
 
@@ -36,6 +37,7 @@ struct CliOptions {
   std::string label_column;
   std::string output;
   std::string dot_output;
+  std::string metrics_output;
   std::string model = "lightgbm";
   double tau = 0.65;
   size_t kappa = 15;
@@ -56,9 +58,15 @@ void PrintUsage() {
       "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
       "                    [--threshold F] [--threads N] [--tune]\n"
       "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
+      "                    [--metrics-out FILE.json]\n"
       "  --threads N   worker threads for discovery + evaluation\n"
       "                (0 = all hardware threads, 1 = sequential; results\n"
-      "                are identical at any thread count)\n");
+      "                are identical at any thread count)\n"
+      "  --metrics-out FILE.json\n"
+      "                write an observability report (counters, histograms,\n"
+      "                phase spans) covering DRG discovery and the engine;\n"
+      "                the report's deterministic digest is identical at any\n"
+      "                --threads value\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -87,6 +95,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->dot_output = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      options->metrics_output = v;
     } else if (arg == "--model") {
       const char* v = next();
       if (!v) return false;
@@ -154,7 +166,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // One shared registry/tracer covers DRG discovery and the engine, so the
+  // report shows every phase of the run. Null when --metrics-out is absent:
+  // every instrumentation point below degenerates to an untaken branch.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!options.metrics_output.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    tracer = std::make_unique<obs::Tracer>();
+  }
+
+  size_t load_span = tracer ? tracer->BeginSpan("load_lake") : 0;
   auto lake = DataLake::FromCsvDirectory(options.lake_dir);
+  if (tracer) tracer->EndSpan(load_span);
   lake.status().Abort("loading lake");
   std::printf("loaded %zu tables from %s\n", lake->num_tables(),
               options.lake_dir.c_str());
@@ -176,8 +200,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.threads) > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);
+    if (metrics != nullptr) pool->set_metrics(metrics.get());
   }
-  auto drg = BuildDrgByDiscovery(*lake, match, pool.get());
+  size_t drg_span = tracer ? tracer->BeginSpan("drg_discovery") : 0;
+  auto drg = BuildDrgByDiscovery(*lake, match, pool.get(), metrics.get());
+  if (tracer) tracer->EndSpan(drg_span);
   drg.status().Abort("discovering joinability");
   std::printf("discovered DRG: %zu nodes, %zu edges (threshold %.2f)\n",
               drg->num_nodes(), drg->num_edges(), options.threshold);
@@ -201,6 +228,11 @@ int main(int argc, char** argv) {
   config.top_k_paths = options.top_k;
   config.max_hops = options.max_hops;
   config.num_threads = options.threads;
+  if (metrics != nullptr) {
+    config.metrics_enabled = true;
+    config.metrics = metrics.get();
+    config.tracer = tracer.get();
+  }
 
   if (options.tune) {
     std::printf("tuning tau/kappa...\n");
@@ -247,6 +279,19 @@ int main(int argc, char** argv) {
     std::printf("augmented table written to %s (%zu rows x %zu columns)\n",
                 options.output.c_str(), result->augmented.num_rows(),
                 result->augmented.num_columns());
+  }
+
+  if (metrics != nullptr) {
+    std::ofstream report_file(options.metrics_output);
+    if (!report_file) {
+      std::fprintf(stderr, "cannot write metrics report to %s\n",
+                   options.metrics_output.c_str());
+      return 2;
+    }
+    report_file << obs::JsonReport(*metrics, tracer.get());
+    std::printf("metrics report written to %s (digest %s)\n",
+                options.metrics_output.c_str(),
+                obs::DeterministicDigest(*metrics, tracer.get()).c_str());
   }
   return 0;
 }

@@ -72,9 +72,14 @@ std::vector<FeatureScore> ScoreRelevance(
 
 std::vector<FeatureScore> SelectKBest(std::vector<FeatureScore> scores,
                                       size_t k, double min_score) {
+  // Ties break by name: with score-order alone, equally scored features
+  // (e.g. duplicated columns) would be kept in input order, making the
+  // selection — and everything downstream of it — depend on the physical
+  // column order of the source table.
   std::stable_sort(scores.begin(), scores.end(),
                    [](const FeatureScore& a, const FeatureScore& b) {
-                     return a.score > b.score;
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.name < b.name;
                    });
   std::vector<FeatureScore> out;
   for (const auto& s : scores) {

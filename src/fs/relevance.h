@@ -48,8 +48,9 @@ std::vector<FeatureScore> ScoreRelevance(
     const FeatureView& view, const std::vector<size_t>& feature_indices,
     const RelevanceOptions& options);
 
-/// Sorts scores descending and keeps the top-k strictly above min_score
-/// (the "select kappa best" heuristic of §VI).
+/// Sorts scores descending (ties broken by ascending name, so the result
+/// never depends on input order) and keeps the top-k strictly above
+/// min_score (the "select kappa best" heuristic of §VI).
 std::vector<FeatureScore> SelectKBest(std::vector<FeatureScore> scores,
                                       size_t k, double min_score);
 

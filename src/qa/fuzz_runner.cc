@@ -1,0 +1,173 @@
+#include "qa/fuzz_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "qa/repro.h"
+#include "qa/shrinker.h"
+#include "util/thread_pool.h"
+
+namespace autofeat::qa {
+namespace {
+
+void RecordShape(const FuzzedLake& lake, FuzzFailure* failure) {
+  failure->tables = lake.lake.num_tables();
+  failure->max_columns = 0;
+  failure->max_rows = 0;
+  for (const Table& table : lake.lake.tables()) {
+    failure->max_columns = std::max(failure->max_columns, table.num_columns());
+    failure->max_rows = std::max(failure->max_rows, table.num_rows());
+  }
+}
+
+std::string OneLine(std::string text) {
+  for (char& ch : text) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream out;
+  out << "fuzz: " << seeds_run << " seed(s) x " << invariants_per_seed
+      << " invariant(s) = " << checks_run << " checks, " << failures.size()
+      << " failure(s)\n";
+  for (const FuzzFailure& f : failures) {
+    out << "  seed " << f.seed << " violates " << f.invariant << " ["
+        << f.tables << " table(s), <=" << f.max_columns << " column(s), <="
+        << f.max_rows << " row(s)]";
+    if (!f.repro_dir.empty()) out << " repro: " << f.repro_dir;
+    out << "\n    " << OneLine(f.message) << "\n";
+  }
+  return out.str();
+}
+
+Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
+  std::vector<Invariant> invariants = RegistryInvariants(options.include_planted);
+  if (!options.invariant_filter.empty()) {
+    std::vector<Invariant> filtered;
+    for (const std::string& name : options.invariant_filter) {
+      auto it = std::find_if(
+          invariants.begin(), invariants.end(),
+          [&](const Invariant& inv) { return inv.name == name; });
+      if (it == invariants.end()) {
+        return Status::InvalidArgument("unknown invariant: " + name);
+      }
+      filtered.push_back(*it);
+    }
+    invariants = std::move(filtered);
+  }
+
+  LakeFuzzer fuzzer(options.fuzz);
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(options.threads) > 1 && options.num_seeds > 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+
+  // Phase 1 — the seed sweep. Each seed is an independent task; failures
+  // are merged in seed order so the report never depends on scheduling.
+  std::vector<std::vector<FuzzFailure>> per_seed =
+      ParallelMap<std::vector<FuzzFailure>>(
+          pool.get(), options.num_seeds, /*grain=*/1, [&](size_t i) {
+            uint64_t seed = options.seed_start + i;
+            FuzzedLake fz = fuzzer.Generate(seed);
+            std::vector<FuzzFailure> failures;
+            for (const Invariant& invariant : invariants) {
+              Status status = invariant.check(fz);
+              if (!status.ok()) {
+                FuzzFailure failure;
+                failure.seed = seed;
+                failure.invariant = invariant.name;
+                failure.message = status.message();
+                RecordShape(fz, &failure);
+                failures.push_back(std::move(failure));
+              }
+            }
+            return failures;
+          });
+
+  FuzzReport report;
+  report.seeds_run = options.num_seeds;
+  report.invariants_per_seed = invariants.size();
+  report.checks_run = options.num_seeds * invariants.size();
+
+  // Phase 2 — shrink + repro emission, sequential (failures are rare and
+  // the shrinker dominates; keeping it out of the pool keeps repro
+  // directories and messages in deterministic order).
+  for (std::vector<FuzzFailure>& failures : per_seed) {
+    for (FuzzFailure& failure : failures) {
+      auto it = std::find_if(invariants.begin(), invariants.end(),
+                             [&](const Invariant& inv) {
+                               return inv.name == failure.invariant;
+                             });
+      FuzzedLake failing = fuzzer.Generate(failure.seed);
+      if (options.shrink && it != invariants.end()) {
+        auto shrunk = ShrinkLake(failing, *it);
+        if (shrunk.ok()) {
+          failing = shrunk->lake;
+          failure.message = shrunk->message;
+          RecordShape(failing, &failure);
+        }
+      }
+      if (!options.repro_dir.empty()) {
+        std::string dir = options.repro_dir + "/seed_" +
+                          std::to_string(failure.seed) + "_" +
+                          failure.invariant;
+        AF_RETURN_NOT_OK(
+            WriteRepro(failing, failure.invariant, failure.message, dir));
+        failure.repro_dir = dir;
+      }
+      report.failures.push_back(std::move(failure));
+    }
+  }
+
+  obs::Increment(obs::GetCounter(options.metrics, "qa.seeds"),
+                 report.seeds_run);
+  obs::Increment(obs::GetCounter(options.metrics, "qa.checks"),
+                 report.checks_run);
+  obs::Increment(obs::GetCounter(options.metrics, "qa.failures"),
+                 report.failures.size());
+  return report;
+}
+
+Result<FuzzReport> ReplayRepro(const std::string& directory,
+                               bool manifest_only) {
+  ReproManifest manifest;
+  AF_ASSIGN_OR_RETURN(FuzzedLake lake, LoadRepro(directory, &manifest));
+  std::vector<Invariant> invariants = RegistryInvariants(
+      /*include_planted=*/manifest.invariant.rfind("planted.", 0) == 0);
+  if (manifest_only) {
+    auto it = std::find_if(invariants.begin(), invariants.end(),
+                           [&](const Invariant& inv) {
+                             return inv.name == manifest.invariant;
+                           });
+    if (it == invariants.end()) {
+      return Status::InvalidArgument("repro manifest names an unknown "
+                                     "invariant: " + manifest.invariant);
+    }
+    invariants = {*it};
+  }
+  FuzzReport report;
+  report.seeds_run = 1;
+  report.invariants_per_seed = invariants.size();
+  report.checks_run = invariants.size();
+  for (const Invariant& invariant : invariants) {
+    Status status = invariant.check(lake);
+    if (!status.ok()) {
+      FuzzFailure failure;
+      failure.seed = manifest.seed;
+      failure.invariant = invariant.name;
+      failure.message = status.message();
+      failure.repro_dir = directory;
+      RecordShape(lake, &failure);
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  return report;
+}
+
+}  // namespace autofeat::qa

@@ -1,0 +1,75 @@
+// Fuzz campaign driver: generates one lake per seed, evaluates the
+// invariant registry over each, and (optionally) shrinks every violation
+// and writes a self-contained repro directory. Seeds are independent tasks
+// fanned out over a thread pool and merged in seed order, so a campaign's
+// report is byte-identical at any --threads value — determinism checked by
+// its own invariants, applied to itself.
+
+#ifndef AUTOFEAT_QA_FUZZ_RUNNER_H_
+#define AUTOFEAT_QA_FUZZ_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "qa/invariants.h"
+#include "qa/lake_fuzzer.h"
+#include "util/status.h"
+
+namespace autofeat::qa {
+
+struct FuzzOptions {
+  uint64_t seed_start = 1;
+  size_t num_seeds = 50;
+  /// Worker threads for the seed sweep (0 = hardware, 1 = sequential).
+  size_t threads = 1;
+  /// Where shrunk repros are written; empty disables repro emission.
+  std::string repro_dir;
+  /// Shrink failing lakes before reporting/writing them.
+  bool shrink = true;
+  /// Include the deliberately wrong planted invariant (self-test mode).
+  bool include_planted = false;
+  /// Restrict the run to these invariant names (empty = all).
+  std::vector<std::string> invariant_filter;
+  LakeFuzzOptions fuzz;
+  /// Optional campaign metrics (qa.seeds, qa.checks, qa.failures).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct FuzzFailure {
+  uint64_t seed = 0;
+  std::string invariant;
+  std::string message;
+  /// Where the repro was written ("" when repro emission is off).
+  std::string repro_dir;
+  /// Shape of the (possibly shrunk) failing lake.
+  size_t tables = 0;
+  size_t max_columns = 0;
+  size_t max_rows = 0;
+};
+
+struct FuzzReport {
+  size_t seeds_run = 0;
+  size_t invariants_per_seed = 0;
+  size_t checks_run = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// Human-readable campaign summary (stable across thread counts).
+  std::string Summary() const;
+};
+
+/// Runs the campaign. Returns an error only for setup problems (unknown
+/// invariant name in the filter, unwritable repro dir); invariant
+/// violations are reported in the FuzzReport, not as a Status.
+Result<FuzzReport> RunFuzz(const FuzzOptions& options);
+
+/// Replays one repro directory against the registry (all invariants, or
+/// just the manifest's failing invariant when `manifest_only`).
+Result<FuzzReport> ReplayRepro(const std::string& directory,
+                               bool manifest_only = false);
+
+}  // namespace autofeat::qa
+
+#endif  // AUTOFEAT_QA_FUZZ_RUNNER_H_

@@ -1,0 +1,57 @@
+// LakeFuzzer: seeded generation of adversarial data lakes.
+//
+// datagen/lake_builder plants well-behaved benchmark lakes; the fuzzer's job
+// is the opposite — to hit the corners a production lake throws at the
+// pipeline: skewed and constant key distributions, 0%/100% join overlap,
+// all-null and constant columns, duplicate keys, unicode/empty-string keys,
+// single-row, empty and wide tables, null join keys, transitive satellite
+// chains. Generation is a pure function of the seed (DeriveSeed streams per
+// table/column), so every lake is reproducible from one uint64.
+
+#ifndef AUTOFEAT_QA_LAKE_FUZZER_H_
+#define AUTOFEAT_QA_LAKE_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "discovery/data_lake.h"
+
+namespace autofeat::qa {
+
+/// \brief A generated lake plus the discovery entry points and its seed.
+struct FuzzedLake {
+  DataLake lake;
+  std::string base_table = "fz_base";
+  std::string label_column = "label";
+  uint64_t seed = 0;
+};
+
+/// Size envelope of generated lakes. Defaults keep a single lake small
+/// enough that the full invariant registry (several discovery runs per
+/// lake) stays in the low-millisecond range.
+struct LakeFuzzOptions {
+  size_t max_satellites = 4;
+  size_t max_rows = 40;
+  size_t max_feature_columns = 10;
+};
+
+/// \brief Deterministic adversarial lake generator.
+class LakeFuzzer {
+ public:
+  explicit LakeFuzzer(LakeFuzzOptions options = {}) : options_(options) {}
+
+  /// Generates the lake for `seed`. Same seed, same lake — byte-identical.
+  FuzzedLake Generate(uint64_t seed) const;
+
+  const LakeFuzzOptions& options() const { return options_; }
+
+ private:
+  LakeFuzzOptions options_;
+};
+
+/// Structural equality of two fuzzed lakes (tables, values, KFK metadata).
+bool FuzzedLakesEqual(const FuzzedLake& a, const FuzzedLake& b);
+
+}  // namespace autofeat::qa
+
+#endif  // AUTOFEAT_QA_LAKE_FUZZER_H_

@@ -1,0 +1,117 @@
+#include "qa/repro.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "table/csv.h"
+
+namespace autofeat::qa {
+namespace {
+
+std::string OneLine(std::string text) {
+  for (char& ch : text) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+Status WriteRepro(const FuzzedLake& lake, const std::string& invariant_name,
+                  const std::string& message, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create repro directory " + directory +
+                           ": " + ec.message());
+  }
+  for (const Table& table : lake.lake.tables()) {
+    AF_RETURN_NOT_OK(
+        WriteCsvFile(table, directory + "/" + table.name() + ".csv"));
+  }
+  std::ofstream manifest(directory + "/MANIFEST.txt");
+  if (!manifest) {
+    return Status::IOError("cannot write " + directory + "/MANIFEST.txt");
+  }
+  manifest << "seed " << lake.seed << "\n";
+  manifest << "base " << lake.base_table << "\n";
+  manifest << "label " << lake.label_column << "\n";
+  manifest << "invariant " << invariant_name << "\n";
+  manifest << "message " << OneLine(message) << "\n";
+  for (const Table& table : lake.lake.tables()) {
+    manifest << "table " << table.name() << "\n";
+  }
+  for (const KfkConstraint& kfk : lake.lake.kfk_constraints()) {
+    manifest << "kfk " << kfk.from_table << " " << kfk.from_column << " "
+             << kfk.to_table << " " << kfk.to_column << "\n";
+  }
+  return Status::OK();
+}
+
+Result<FuzzedLake> LoadRepro(const std::string& directory,
+                             ReproManifest* manifest) {
+  std::ifstream in(directory + "/MANIFEST.txt");
+  if (!in) {
+    return Status::IOError("cannot read " + directory +
+                           "/MANIFEST.txt (not a repro directory?)");
+  }
+  FuzzedLake lake;
+  ReproManifest parsed;
+  std::vector<std::string> table_names;
+  std::vector<KfkConstraint> constraints;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t space = line.find(' ');
+    std::string key = line.substr(0, space);
+    std::string value =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (key == "seed") {
+      parsed.seed = std::stoull(value);
+    } else if (key == "base") {
+      parsed.base_table = value;
+    } else if (key == "label") {
+      parsed.label_column = value;
+    } else if (key == "invariant") {
+      parsed.invariant = value;
+    } else if (key == "message") {
+      parsed.message = value;
+    } else if (key == "table") {
+      table_names.push_back(value);
+    } else if (key == "kfk") {
+      std::istringstream fields(value);
+      KfkConstraint kfk;
+      if (!(fields >> kfk.from_table >> kfk.from_column >> kfk.to_table >>
+            kfk.to_column)) {
+        return Status::InvalidArgument("malformed kfk line in MANIFEST.txt: " +
+                                       line);
+      }
+      constraints.push_back(std::move(kfk));
+    } else {
+      return Status::InvalidArgument("unknown MANIFEST.txt key: " + key);
+    }
+  }
+  if (parsed.base_table.empty() || parsed.label_column.empty()) {
+    return Status::InvalidArgument(
+        "MANIFEST.txt is missing the base/label entries");
+  }
+  for (const std::string& name : table_names) {
+    AF_ASSIGN_OR_RETURN(Table table,
+                        ReadCsvFile(directory + "/" + name + ".csv"));
+    table.set_name(name);
+    AF_RETURN_NOT_OK(lake.lake.AddTable(std::move(table)));
+  }
+  for (KfkConstraint& kfk : constraints) {
+    lake.lake.AddKfk(std::move(kfk));
+  }
+  lake.base_table = parsed.base_table;
+  lake.label_column = parsed.label_column;
+  lake.seed = parsed.seed;
+  if (manifest != nullptr) *manifest = parsed;
+  return lake;
+}
+
+}  // namespace autofeat::qa

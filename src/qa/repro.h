@@ -1,0 +1,39 @@
+// Self-contained failure repros: a shrunk lake serialised as a CSV
+// directory plus a MANIFEST.txt recording the seed, entry points, KFK
+// metadata and the violated invariant. A repro replays without the fuzzer:
+// `lake_fuzz_cli --replay DIR` (or LoadRepro + the invariant registry).
+
+#ifndef AUTOFEAT_QA_REPRO_H_
+#define AUTOFEAT_QA_REPRO_H_
+
+#include <string>
+
+#include "qa/lake_fuzzer.h"
+#include "util/status.h"
+
+namespace autofeat::qa {
+
+/// What a repro directory claims about itself (from MANIFEST.txt).
+struct ReproManifest {
+  uint64_t seed = 0;
+  std::string base_table;
+  std::string label_column;
+  std::string invariant;
+  std::string message;
+};
+
+/// Writes `lake` as one CSV per table plus MANIFEST.txt under `directory`
+/// (created if missing). Note the usual CSV canonicalisation caveats: the
+/// manifest's seed regenerates the exact original lake if byte fidelity
+/// matters.
+Status WriteRepro(const FuzzedLake& lake, const std::string& invariant_name,
+                  const std::string& message, const std::string& directory);
+
+/// Loads a repro directory back into a FuzzedLake (+ its manifest, if
+/// `manifest` is non-null).
+Result<FuzzedLake> LoadRepro(const std::string& directory,
+                             ReproManifest* manifest = nullptr);
+
+}  // namespace autofeat::qa
+
+#endif  // AUTOFEAT_QA_REPRO_H_

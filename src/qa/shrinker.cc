@@ -1,0 +1,179 @@
+#include "qa/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace autofeat::qa {
+namespace {
+
+// Rebuilds a FuzzedLake around `tables`, keeping only the KFK constraints
+// whose tables and columns still exist.
+FuzzedLake RebuildLake(const FuzzedLake& proto, std::vector<Table> tables) {
+  FuzzedLake out;
+  out.base_table = proto.base_table;
+  out.label_column = proto.label_column;
+  out.seed = proto.seed;
+  for (Table& table : tables) {
+    out.lake.AddTable(std::move(table)).Abort("shrinker rebuild");
+  }
+  for (const KfkConstraint& kfk : proto.lake.kfk_constraints()) {
+    auto from = out.lake.GetTable(kfk.from_table);
+    auto to = out.lake.GetTable(kfk.to_table);
+    if (!from.ok() || !to.ok()) continue;
+    if (!(*from)->HasColumn(kfk.from_column) ||
+        !(*to)->HasColumn(kfk.to_column)) {
+      continue;
+    }
+    out.lake.AddKfk(kfk);
+  }
+  return out;
+}
+
+// A column of the same type and null mask whose values are all the simplest
+// representative of the type (0 / 0.0 / "a").
+Column SimplifiedColumn(const Column& src) {
+  Column out(src.type());
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src.IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (src.type()) {
+      case DataType::kInt64: out.AppendInt64(0); break;
+      case DataType::kDouble: out.AppendDouble(0.0); break;
+      case DataType::kString: out.AppendString("a"); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
+                                const Invariant& invariant,
+                                const ShrinkOptions& options) {
+  Status initial = invariant.check(input);
+  if (initial.ok()) {
+    return Status::InvalidArgument("lake does not violate invariant '" +
+                                   invariant.name + "', nothing to shrink");
+  }
+  ShrinkResult res;
+  res.lake = input;
+  res.message = initial.message();
+  res.checks = 1;
+
+  // True iff `candidate` still violates the invariant (and we have budget
+  // left to find out). Updates the message so it describes the final lake.
+  auto still_fails = [&](const FuzzedLake& candidate) -> bool {
+    if (res.checks >= options.max_checks) return false;
+    ++res.checks;
+    Status st = invariant.check(candidate);
+    if (st.ok()) return false;
+    res.message = st.message();
+    return true;
+  };
+  auto accept = [&](FuzzedLake candidate) {
+    res.lake = std::move(candidate);
+    ++res.accepted;
+  };
+
+  bool progress = true;
+  while (progress && res.checks < options.max_checks) {
+    progress = false;
+
+    // Pass 1: drop whole satellite tables (never the base).
+    for (size_t t = 0; t < res.lake.lake.num_tables();) {
+      if (res.lake.lake.tables()[t].name() == res.lake.base_table) {
+        ++t;
+        continue;
+      }
+      std::vector<Table> keep;
+      for (size_t i = 0; i < res.lake.lake.num_tables(); ++i) {
+        if (i != t) keep.push_back(res.lake.lake.tables()[i]);
+      }
+      FuzzedLake candidate = RebuildLake(res.lake, std::move(keep));
+      if (still_fails(candidate)) {
+        accept(std::move(candidate));
+        progress = true;
+      } else {
+        ++t;
+      }
+    }
+
+    // Pass 2: drop columns (never the base label; keep >= 1 per table).
+    for (size_t t = 0; t < res.lake.lake.num_tables(); ++t) {
+      for (size_t c = 0; c < res.lake.lake.tables()[t].num_columns();) {
+        const Table& table = res.lake.lake.tables()[t];
+        if (table.num_columns() <= 1) break;
+        std::string column = table.schema().field(c).name;
+        if (table.name() == res.lake.base_table &&
+            column == res.lake.label_column) {
+          ++c;
+          continue;
+        }
+        std::vector<Table> tables(res.lake.lake.tables());
+        tables[t].DropColumn(column).Abort("shrinker drop column");
+        FuzzedLake candidate = RebuildLake(res.lake, std::move(tables));
+        if (still_fails(candidate)) {
+          accept(std::move(candidate));
+          progress = true;
+        } else {
+          ++c;
+        }
+      }
+    }
+
+    // Pass 3: drop row chunks, halving the chunk size down to single rows.
+    for (size_t t = 0; t < res.lake.lake.num_tables(); ++t) {
+      size_t chunk = res.lake.lake.tables()[t].num_rows() / 2;
+      for (; chunk >= 1; chunk = (chunk == 1 ? 0 : chunk / 2)) {
+        size_t start = 0;
+        while (start < res.lake.lake.tables()[t].num_rows()) {
+          const Table& table = res.lake.lake.tables()[t];
+          size_t rows = table.num_rows();
+          size_t end = std::min(start + chunk, rows);
+          std::vector<size_t> indices;
+          indices.reserve(rows - (end - start));
+          for (size_t i = 0; i < rows; ++i) {
+            if (i < start || i >= end) indices.push_back(i);
+          }
+          std::vector<Table> tables(res.lake.lake.tables());
+          Table reduced = table.TakeRows(indices);
+          reduced.set_name(table.name());
+          tables[t] = std::move(reduced);
+          FuzzedLake candidate = RebuildLake(res.lake, std::move(tables));
+          if (still_fails(candidate)) {
+            accept(std::move(candidate));
+            progress = true;
+            // Same start now addresses the next chunk of the shorter table.
+          } else {
+            start += chunk;
+          }
+        }
+      }
+    }
+
+    // Pass 4: simplify surviving values (type- and null-mask-preserving).
+    for (size_t t = 0; t < res.lake.lake.num_tables(); ++t) {
+      for (size_t c = 0; c < res.lake.lake.tables()[t].num_columns(); ++c) {
+        const Table& table = res.lake.lake.tables()[t];
+        const Column& original = table.column(c);
+        Column simplified = SimplifiedColumn(original);
+        if (simplified.Equals(original)) continue;
+        std::vector<Table> tables(res.lake.lake.tables());
+        tables[t]
+            .SetColumn(table.schema().field(c).name, std::move(simplified))
+            .Abort("shrinker simplify column");
+        FuzzedLake candidate = RebuildLake(res.lake, std::move(tables));
+        if (still_fails(candidate)) {
+          accept(std::move(candidate));
+          progress = true;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace autofeat::qa

@@ -1,0 +1,43 @@
+// Greedy lake shrinker: given a lake that violates an invariant, searches
+// for a smaller lake that still violates it — the counterexample a human
+// actually wants to read. Transformations are tried coarse to fine (drop
+// whole tables, drop columns, drop row chunks, simplify values) and a
+// transformation is kept iff the invariant still fails, so the result is a
+// local minimum: removing any one more piece makes the failure disappear.
+
+#ifndef AUTOFEAT_QA_SHRINKER_H_
+#define AUTOFEAT_QA_SHRINKER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "qa/invariants.h"
+#include "qa/lake_fuzzer.h"
+#include "util/status.h"
+
+namespace autofeat::qa {
+
+struct ShrinkOptions {
+  /// Cap on invariant evaluations (each candidate lake costs one check).
+  size_t max_checks = 4000;
+};
+
+struct ShrinkResult {
+  FuzzedLake lake;
+  /// The invariant's violation message on the shrunk lake.
+  std::string message;
+  size_t checks = 0;    // invariant evaluations spent
+  size_t accepted = 0;  // transformations that kept the failure
+};
+
+/// Shrinks `input`, which must currently violate `invariant` (otherwise
+/// returns InvalidArgument). The base table itself and its label column are
+/// never dropped; KFK constraints referencing removed tables/columns are
+/// filtered so every intermediate lake stays structurally valid.
+Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
+                                const Invariant& invariant,
+                                const ShrinkOptions& options = {});
+
+}  // namespace autofeat::qa
+
+#endif  // AUTOFEAT_QA_SHRINKER_H_

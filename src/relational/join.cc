@@ -205,7 +205,8 @@ Result<JoinResult> JoinStringKeyed(const Table& left,
 
 Result<double> JoinCompleteness(
     const Table& joined, const std::vector<std::string>& appended_columns) {
-  if (appended_columns.empty() || joined.num_rows() == 0) return 1.0;
+  // Column lookup happens before any early return: a misnamed column is a
+  // KeyError even for empty joins, not a silent perfect score.
   size_t nulls = 0;
   size_t total = 0;
   for (const auto& name : appended_columns) {

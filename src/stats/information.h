@@ -1,8 +1,9 @@
 // Shannon information measures over discretised features (paper §V).
 //
 // All quantities use natural logarithms; all inputs are discrete codes as
-// produced by stats/discretize.h. kMissingBin codes are treated as a regular
-// category (missingness itself can be informative).
+// produced by stats/discretize.h. Estimation is pairwise-complete: rows
+// whose code is kMissingBin in any argument are excluded from every term of
+// that estimate, so I(X;Y) and its entropies share one support.
 
 #ifndef AUTOFEAT_STATS_INFORMATION_H_
 #define AUTOFEAT_STATS_INFORMATION_H_

@@ -7,7 +7,9 @@
 #include "core/autofeat.h"
 #include "core/tuning.h"
 #include "datagen/lake_builder.h"
+#include "discovery/data_lake.h"
 #include "graph/drg.h"
+#include "relational/join.h"
 #include "table/csv.h"
 
 namespace autofeat {
@@ -26,6 +28,28 @@ TEST(CsvFailureTest, VariousMalformedInputs) {
   EXPECT_FALSE(ReadCsvString("a,b,c\n1,2\n", "t").ok());
 }
 
+TEST(CsvFailureTest, MalformedRowDeepInFileIsAnErrorNotTruncation) {
+  // A bad row after many good ones must fail the whole parse — silently
+  // keeping the prefix would corrupt downstream joins.
+  std::string csv = "a,b\n";
+  for (int i = 0; i < 20; ++i) {
+    csv += std::to_string(i) + "," + std::to_string(i * 2) + "\n";
+  }
+  csv += "21\n";  // too few fields, row 22
+  auto t = ReadCsvString(csv, "t");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvFailureTest, RowOfOnlyCommasParsesAsNulls) {
+  // Degenerate but well-formed: correct field count, all fields empty.
+  auto t = ReadCsvString("a,b,c\n,,\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  for (size_t c = 0; c < t->num_columns(); ++c) {
+    EXPECT_TRUE(t->column(c).IsNull(0));
+  }
+}
+
 TEST(CsvFailureTest, UnterminatedQuoteStillTerminates) {
   // Parser must not hang or crash on a dangling quote.
   auto t = ReadCsvString("a\n\"unterminated\n", "t");
@@ -33,6 +57,52 @@ TEST(CsvFailureTest, UnterminatedQuoteStillTerminates) {
   // crash is not.
   (void)t;
   SUCCEED();
+}
+
+// ---- JoinCompleteness column validation --------------------------------------
+
+TEST(JoinCompletenessFailureTest, MissingColumnIsKeyError) {
+  Table joined("j");
+  joined.AddColumn("x", Column::Doubles({1, 2, 3})).Abort();
+  auto r = JoinCompleteness(joined, {"x", "no_such_column"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST(JoinCompletenessFailureTest, EmptyJoinStillValidatesColumns) {
+  // Regression (found by the lake fuzzer, join.completeness_bounds): the
+  // zero-row early return used to skip column validation, silently scoring
+  // a misnamed column as perfectly complete.
+  Table joined("j");
+  joined.AddColumn("x", Column(DataType::kDouble)).Abort();  // zero rows
+  auto missing = JoinCompleteness(joined, {"no_such_column"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kKeyError);
+  // Valid columns on an empty join still score 1.0 (nothing is missing).
+  auto valid = JoinCompleteness(joined, {"x"});
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(*valid, 1.0);
+}
+
+// ---- Unreadable lake directory -----------------------------------------------
+
+// The CLI pipeline: load a lake from disk, build the DRG, discover. Each
+// AF_ASSIGN_OR_RETURN hop must propagate the original load failure.
+Result<DiscoveryResult> DiscoverFromDirectory(const std::string& directory) {
+  AF_ASSIGN_OR_RETURN(DataLake lake, DataLake::FromCsvDirectory(directory));
+  AF_ASSIGN_OR_RETURN(DatasetRelationGraph drg, BuildDrgFromKfk(lake));
+  AutoFeat engine(&lake, &drg, AutoFeatConfig{});
+  return engine.DiscoverFeatures("base", "label");
+}
+
+TEST(EngineFailureTest, UnreadableLakeDirectoryPropagatesThroughDiscover) {
+  auto missing = DiscoverFromDirectory("/no/such/lake/directory");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  // A file path where a directory is expected is just as unreadable.
+  auto not_a_dir = DiscoverFromDirectory("/dev/null");
+  EXPECT_FALSE(not_a_dir.ok());
 }
 
 // ---- DRG referencing tables missing from the lake ---------------------------

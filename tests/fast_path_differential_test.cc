@@ -14,29 +14,12 @@
 #include "core/autofeat.h"
 #include "datagen/lake_builder.h"
 #include "discovery/data_lake.h"
+#include "support/lake_fixtures.h"
 
 namespace autofeat {
 namespace {
 
-std::string RankedFingerprint(const DiscoveryResult& result) {
-  std::ostringstream out;
-  out << result.paths_explored << "/" << result.paths_pruned_infeasible
-      << "/" << result.paths_pruned_quality << "\n";
-  for (const RankedPath& rp : result.ranked) {
-    out.precision(17);
-    out << rp.score << " |";
-    for (const JoinStep& s : rp.path.steps) {
-      out << " " << s.from_node << "." << s.from_column << ">" << s.to_node
-          << "." << s.to_column;
-    }
-    out << " |";
-    for (const auto& fs : rp.selected_features) {
-      out << " " << fs.name << "=" << fs.score;
-    }
-    out << "\n";
-  }
-  return out.str();
-}
+using testsupport::RankedFingerprint;
 
 struct LakeVariant {
   uint64_t seed;

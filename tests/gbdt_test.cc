@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "ml_testing.h"
+#include "support/ml_fixtures.h"
 
 namespace autofeat::ml {
 namespace {

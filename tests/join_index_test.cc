@@ -10,39 +10,16 @@
 #include "discovery/data_lake.h"
 #include "discovery/join_index_cache.h"
 #include "relational/join.h"
+#include "support/join_differential.h"
+#include "support/lake_fixtures.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Differential tests: the interned-key Join must be byte-identical to the
-// string-keyed reference path for every key type and option combination.
-// ---------------------------------------------------------------------------
-
-void ExpectJoinsAgree(const Table& left, const std::string& lkey,
-                      const Table& right, const std::string& rkey,
-                      const JoinOptions& options) {
-  Rng rng_fast(17), rng_ref(17);
-  auto fast = Join(left, lkey, right, rkey, &rng_fast, options);
-  auto ref = JoinStringKeyed(left, lkey, right, rkey, &rng_ref, options);
-  ASSERT_EQ(fast.ok(), ref.ok());
-  if (!fast.ok()) return;
-  EXPECT_EQ(fast->stats.matched_rows, ref->stats.matched_rows);
-  EXPECT_EQ(fast->stats.total_rows, ref->stats.total_rows);
-  EXPECT_EQ(fast->stats.right_distinct_keys, ref->stats.right_distinct_keys);
-  EXPECT_TRUE(fast->table.Equals(ref->table))
-      << "interned join diverged from string-keyed join";
-}
-
-void ExpectJoinsAgreeAllOptions(const Table& left, const std::string& lkey,
-                                const Table& right, const std::string& rkey) {
-  for (bool normalize : {true, false}) {
-    JoinOptions options;
-    options.normalize_cardinality = normalize;
-    ExpectJoinsAgree(left, lkey, right, rkey, options);
-  }
-}
+using testsupport::ExpectJoinsAgree;
+using testsupport::ExpectJoinsAgreeAllOptions;
+using testsupport::ExpectNumericViewsEqual;
 
 TEST(JoinDifferentialTest, Int64Keys) {
   Table left("l");
@@ -128,17 +105,6 @@ TEST(JoinDifferentialTest, InnerJoinAndCollidingNames) {
 // ---------------------------------------------------------------------------
 // Factorized primitives.
 // ---------------------------------------------------------------------------
-
-// Element-wise equality with NaN == NaN (unmatched rows surface as NaN in
-// numeric views, and NaN never compares equal to itself).
-void ExpectNumericViewsEqual(const std::vector<double>& a,
-                             const std::vector<double>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
-    EXPECT_EQ(a[i], b[i]) << "at index " << i;
-  }
-}
 
 Table DupRight() {
   Table t("r");
@@ -243,18 +209,7 @@ TEST(ResolveAppendedNamesTest, MatchesJoinNaming) {
 // JoinIndexCache.
 // ---------------------------------------------------------------------------
 
-DataLake MakeLake() {
-  DataLake lake;
-  Table orders("orders");
-  orders.AddColumn("cust", Column::Int64s({1, 2, 2, 3, 1})).Abort();
-  orders.AddColumn("amount", Column::Doubles({10, 20, 21, 30, 11})).Abort();
-  lake.AddTable(std::move(orders)).Abort();
-  Table customers("customers");
-  customers.AddColumn("cust", Column::Int64s({1, 2, 3})).Abort();
-  customers.AddColumn("age", Column::Doubles({31, 42, 53})).Abort();
-  lake.AddTable(std::move(customers)).Abort();
-  return lake;
-}
+DataLake MakeLake() { return testsupport::MakeOrdersCustomersLake(); }
 
 TEST(JoinIndexCacheTest, BuildsOnceAndReturnsStablePointer) {
   DataLake lake = MakeLake();

@@ -7,7 +7,7 @@
 #include "ml/gbdt.h"
 #include "ml/knn.h"
 #include "ml/linear.h"
-#include "ml_testing.h"
+#include "support/ml_fixtures.h"
 
 namespace autofeat::ml {
 namespace {

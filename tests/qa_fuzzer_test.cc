@@ -1,0 +1,156 @@
+// Tests for the qa lake fuzzer and campaign runner: generation is a pure
+// function of the seed, the adversarial traits actually occur, the builtin
+// invariant registry holds over a seed range, and the runner's report is
+// identical at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "qa/fuzz_runner.h"
+#include "qa/invariants.h"
+#include "qa/lake_fuzzer.h"
+
+namespace autofeat::qa {
+namespace {
+
+TEST(LakeFuzzerTest, GenerationIsDeterministic) {
+  LakeFuzzer fuzzer;
+  for (uint64_t seed : {1u, 7u, 23u, 101u}) {
+    FuzzedLake a = fuzzer.Generate(seed);
+    FuzzedLake b = fuzzer.Generate(seed);
+    EXPECT_TRUE(FuzzedLakesEqual(a, b)) << "seed " << seed;
+  }
+}
+
+TEST(LakeFuzzerTest, DifferentSeedsProduceDifferentLakes) {
+  LakeFuzzer fuzzer;
+  size_t distinct = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    if (!FuzzedLakesEqual(fuzzer.Generate(seed), fuzzer.Generate(seed + 100))) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 7u);  // near-certain divergence, allow one collision
+}
+
+TEST(LakeFuzzerTest, BaseTableAlwaysHasLabel) {
+  LakeFuzzer fuzzer;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    FuzzedLake fz = fuzzer.Generate(seed);
+    auto base = fz.lake.GetTable(fz.base_table);
+    ASSERT_TRUE(base.ok()) << "seed " << seed;
+    EXPECT_TRUE((*base)->HasColumn(fz.label_column)) << "seed " << seed;
+    EXPECT_GE((*base)->num_rows(), 1u) << "seed " << seed;
+  }
+}
+
+// The generator must actually hit its advertised adversarial corners.
+TEST(LakeFuzzerTest, AdversarialTraitsAllOccur) {
+  LakeFuzzer fuzzer;
+  bool saw_empty_table = false;
+  bool saw_single_row = false;
+  bool saw_all_null_column = false;
+  bool saw_null_key = false;
+  bool saw_duplicate_key = false;
+  bool saw_string_key = false;
+  bool saw_chain = false;  // satellite whose parent is another satellite
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    FuzzedLake fz = fuzzer.Generate(seed);
+    for (const Table& table : fz.lake.tables()) {
+      if (table.num_rows() == 0) saw_empty_table = true;
+      if (table.num_rows() == 1) saw_single_row = true;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        const Column& col = table.column(c);
+        if (col.size() > 0 && col.null_count() == col.size()) {
+          saw_all_null_column = true;
+        }
+      }
+      if (table.HasColumn("k")) {
+        auto key = table.GetColumn("k");
+        ASSERT_TRUE(key.ok());
+        const Column& col = **key;
+        if (col.type() == DataType::kString) saw_string_key = true;
+        std::set<std::string> keys;
+        for (size_t i = 0; i < col.size(); ++i) {
+          if (col.IsNull(i)) {
+            saw_null_key = true;
+          } else if (!keys.insert(col.KeyAt(i)).second) {
+            saw_duplicate_key = true;
+          }
+        }
+      }
+    }
+    for (const KfkConstraint& kfk : fz.lake.kfk_constraints()) {
+      if (kfk.from_table != fz.base_table) saw_chain = true;
+    }
+  }
+  EXPECT_TRUE(saw_empty_table);
+  EXPECT_TRUE(saw_single_row);
+  EXPECT_TRUE(saw_all_null_column);
+  EXPECT_TRUE(saw_null_key);
+  EXPECT_TRUE(saw_duplicate_key);
+  EXPECT_TRUE(saw_string_key);
+  EXPECT_TRUE(saw_chain);
+}
+
+TEST(FuzzRunnerTest, BuiltinInvariantsHoldOverSeedRange) {
+  FuzzOptions options;
+  options.seed_start = 1;
+  options.num_seeds = 12;
+  options.threads = 1;
+  options.repro_dir.clear();  // no disk output from unit tests
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->seeds_run, 12u);
+  EXPECT_GE(report->invariants_per_seed, 10u);  // the tentpole's >=10 floor
+}
+
+TEST(FuzzRunnerTest, ReportIsThreadCountInvariant) {
+  // The planted invariant guarantees failures, so this exercises the
+  // failure-merge path (the interesting one) across thread counts.
+  FuzzOptions options;
+  options.seed_start = 1;
+  options.num_seeds = 6;
+  options.include_planted = true;
+  options.invariant_filter = {"planted.no_nulls"};
+  options.shrink = false;  // shape checked by the shrinker tests
+  options.repro_dir.clear();
+  options.threads = 1;
+  auto sequential = RunFuzz(options);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_FALSE(sequential->ok());
+  for (size_t threads : {size_t{4}, size_t{0}}) {
+    options.threads = threads;
+    auto parallel = RunFuzz(options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(sequential->Summary(), parallel->Summary())
+        << "threads=" << threads;
+  }
+}
+
+TEST(FuzzRunnerTest, UnknownInvariantFilterIsAnError) {
+  FuzzOptions options;
+  options.num_seeds = 1;
+  options.invariant_filter = {"no.such.invariant"};
+  auto report = RunFuzz(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzRunnerTest, CampaignMetricsAreRecorded) {
+  obs::MetricsRegistry metrics;
+  FuzzOptions options;
+  options.num_seeds = 3;
+  options.metrics = &metrics;
+  options.repro_dir.clear();
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(metrics.CounterValue("qa.seeds"), 3u);
+  EXPECT_EQ(metrics.CounterValue("qa.checks"), report->checks_run);
+}
+
+}  // namespace
+}  // namespace autofeat::qa

@@ -1,0 +1,162 @@
+// Tests for the greedy lake shrinker and the repro round trip, driven by
+// the deliberately wrong planted invariant ("no column contains a null") —
+// the self-test mode of the fuzzing pipeline: a known-bad claim must shrink
+// to a tiny counterexample and replay from its repro directory.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "qa/fuzz_runner.h"
+#include "qa/invariants.h"
+#include "qa/lake_fuzzer.h"
+#include "qa/repro.h"
+#include "qa/shrinker.h"
+
+namespace autofeat::qa {
+namespace {
+
+bool LakeHasNull(const FuzzedLake& fz) {
+  for (const Table& table : fz.lake.tables()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (table.column(c).null_count() > 0) return true;
+    }
+  }
+  return false;
+}
+
+// A seed whose generated lake contains at least one null (so the planted
+// invariant fails on it). Nulls are common; scan a few seeds to stay
+// robust against generator tweaks.
+uint64_t FindNullySeed() {
+  LakeFuzzer fuzzer;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    if (LakeHasNull(fuzzer.Generate(seed))) return seed;
+  }
+  ADD_FAILURE() << "no seed in 1..50 produced a null value";
+  return 1;
+}
+
+TEST(ShrinkerTest, PlantedBugShrinksToTinyCounterexample) {
+  LakeFuzzer fuzzer;
+  FuzzedLake failing = fuzzer.Generate(FindNullySeed());
+  Invariant planted = PlantedNoNullsInvariant();
+
+  auto shrunk = ShrinkLake(failing, planted);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+
+  // The shrunk lake still violates the invariant...
+  EXPECT_FALSE(planted.check(shrunk->lake).ok());
+  EXPECT_FALSE(shrunk->message.empty());
+
+  // ...and is within the acceptance envelope: a single null value needs at
+  // most the base table, one column beside the label, and one row.
+  size_t max_columns = 0;
+  size_t max_rows = 0;
+  for (const Table& table : shrunk->lake.lake.tables()) {
+    max_columns = std::max(max_columns, table.num_columns());
+    max_rows = std::max(max_rows, table.num_rows());
+  }
+  EXPECT_LE(shrunk->lake.lake.num_tables(), 2u);
+  EXPECT_LE(max_columns, 4u);
+  EXPECT_LE(max_rows, 10u);
+}
+
+TEST(ShrinkerTest, ShrinkingIsDeterministic) {
+  LakeFuzzer fuzzer;
+  FuzzedLake failing = fuzzer.Generate(FindNullySeed());
+  Invariant planted = PlantedNoNullsInvariant();
+  auto a = ShrinkLake(failing, planted);
+  auto b = ShrinkLake(failing, planted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(FuzzedLakesEqual(a->lake, b->lake));
+  EXPECT_EQ(a->message, b->message);
+  EXPECT_EQ(a->checks, b->checks);
+}
+
+TEST(ShrinkerTest, RefusesLakeThatDoesNotFail) {
+  LakeFuzzer fuzzer;
+  FuzzedLake fine = fuzzer.Generate(1);
+  Invariant always_ok{"qa.test_pass", "always passes",
+                      [](const FuzzedLake&) { return Status::OK(); }};
+  auto shrunk = ShrinkLake(fine, always_ok);
+  ASSERT_FALSE(shrunk.ok());
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReproTest, WriteLoadRoundTripPreservesTheFailure) {
+  LakeFuzzer fuzzer;
+  FuzzedLake failing = fuzzer.Generate(FindNullySeed());
+  Invariant planted = PlantedNoNullsInvariant();
+  auto shrunk = ShrinkLake(failing, planted);
+  ASSERT_TRUE(shrunk.ok());
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "af_qa_repro_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(
+      WriteRepro(shrunk->lake, planted.name, shrunk->message, dir).ok());
+
+  ReproManifest manifest;
+  auto loaded = LoadRepro(dir, &manifest);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(manifest.invariant, planted.name);
+  EXPECT_EQ(manifest.seed, shrunk->lake.seed);
+  EXPECT_EQ(loaded->base_table, shrunk->lake.base_table);
+  EXPECT_EQ(loaded->lake.num_tables(), shrunk->lake.lake.num_tables());
+
+  // The loaded lake still violates the invariant (nulls survive the CSV
+  // canonicalisation round trip — that's why the planted bug targets them).
+  EXPECT_FALSE(planted.check(*loaded).ok());
+
+  // And the end-to-end replay entry point agrees.
+  auto replay = ReplayRepro(dir, /*manifest_only=*/true);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->ok());
+  ASSERT_EQ(replay->failures.size(), 1u);
+  EXPECT_EQ(replay->failures[0].invariant, planted.name);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReproTest, LoadMissingDirectoryIsAnError) {
+  auto loaded = LoadRepro("/no/such/qa/repro/dir");
+  EXPECT_FALSE(loaded.ok());
+}
+
+// End-to-end self-test of the whole campaign pipeline: plant the bug, run
+// a campaign with shrinking + repro emission, check the report shape.
+TEST(FuzzPipelineTest, PlantedCampaignShrinksAndWritesRepros) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "af_qa_campaign_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.seed_start = FindNullySeed();
+  options.num_seeds = 1;
+  options.include_planted = true;
+  options.invariant_filter = {"planted.no_nulls"};
+  options.repro_dir = dir;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->failures.size(), 1u);
+  const FuzzFailure& failure = report->failures[0];
+  EXPECT_LE(failure.tables, 2u);
+  EXPECT_LE(failure.max_columns, 4u);
+  EXPECT_LE(failure.max_rows, 10u);
+  ASSERT_FALSE(failure.repro_dir.empty());
+  EXPECT_TRUE(std::filesystem::exists(failure.repro_dir + "/MANIFEST.txt"));
+
+  auto replay = ReplayRepro(failure.repro_dir, /*manifest_only=*/true);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace autofeat::qa

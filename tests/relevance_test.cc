@@ -106,10 +106,19 @@ TEST(SelectKBestTest, EmptyWhenNothingPasses) {
   EXPECT_TRUE(SelectKBest({}, 5, 0.0).empty());
 }
 
-TEST(SelectKBestTest, StableForTies) {
-  std::vector<FeatureScore> scores{{"first", 0.5}, {"second", 0.5}};
-  auto out = SelectKBest(scores, 2, 0.0);
-  EXPECT_EQ(out[0].name, "first");
+TEST(SelectKBestTest, TiesBreakByNameNotByInputOrder) {
+  // Regression (found by the lake fuzzer's column-permutation invariant):
+  // equally scored features were kept in input order, so duplicated columns
+  // made the selection depend on the physical column order of the table.
+  std::vector<FeatureScore> forward{{"a", 0.5}, {"b", 0.5}, {"c", 0.9}};
+  std::vector<FeatureScore> backward{{"b", 0.5}, {"a", 0.5}, {"c", 0.9}};
+  auto out_fwd = SelectKBest(forward, 2, 0.0);
+  auto out_bwd = SelectKBest(backward, 2, 0.0);
+  ASSERT_EQ(out_fwd.size(), 2u);
+  EXPECT_EQ(out_fwd[0].name, "c");
+  EXPECT_EQ(out_fwd[1].name, "a");  // name order, not input order
+  ASSERT_EQ(out_bwd.size(), 2u);
+  EXPECT_EQ(out_bwd[1].name, "a");  // identical under input permutation
 }
 
 TEST(RelevanceTest, KindNames) {

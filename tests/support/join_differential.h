@@ -1,0 +1,62 @@
+// Differential join assertions shared by the join test suites: the
+// interned-key Join must be byte-identical to the string-keyed reference
+// path for every key type and option combination. (Extracted from
+// join_index_test.cc; the qa invariant join.interned_matches_reference runs
+// the same oracle over fuzzed lakes.)
+
+#ifndef AUTOFEAT_TESTS_SUPPORT_JOIN_DIFFERENTIAL_H_
+#define AUTOFEAT_TESTS_SUPPORT_JOIN_DIFFERENTIAL_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relational/join.h"
+
+namespace autofeat::testsupport {
+
+// Runs the interned-key Join and the string-keyed reference join with the
+// same RNG seed (both consume identical streams by contract) and asserts
+// byte-identical tables and stats.
+inline void ExpectJoinsAgree(const Table& left, const std::string& lkey,
+                             const Table& right, const std::string& rkey,
+                             const JoinOptions& options) {
+  Rng rng_fast(17), rng_ref(17);
+  auto fast = Join(left, lkey, right, rkey, &rng_fast, options);
+  auto ref = JoinStringKeyed(left, lkey, right, rkey, &rng_ref, options);
+  ASSERT_EQ(fast.ok(), ref.ok());
+  if (!fast.ok()) return;
+  EXPECT_EQ(fast->stats.matched_rows, ref->stats.matched_rows);
+  EXPECT_EQ(fast->stats.total_rows, ref->stats.total_rows);
+  EXPECT_EQ(fast->stats.right_distinct_keys, ref->stats.right_distinct_keys);
+  EXPECT_TRUE(fast->table.Equals(ref->table))
+      << "interned join diverged from string-keyed join";
+}
+
+inline void ExpectJoinsAgreeAllOptions(const Table& left,
+                                       const std::string& lkey,
+                                       const Table& right,
+                                       const std::string& rkey) {
+  for (bool normalize : {true, false}) {
+    JoinOptions options;
+    options.normalize_cardinality = normalize;
+    ExpectJoinsAgree(left, lkey, right, rkey, options);
+  }
+}
+
+// Element-wise equality with NaN == NaN (unmatched rows surface as NaN in
+// numeric views, and NaN never compares equal to itself).
+inline void ExpectNumericViewsEqual(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    EXPECT_EQ(a[i], b[i]) << "at index " << i;
+  }
+}
+
+}  // namespace autofeat::testsupport
+
+#endif  // AUTOFEAT_TESTS_SUPPORT_JOIN_DIFFERENTIAL_H_

@@ -1,0 +1,28 @@
+#include "support/lake_fixtures.h"
+
+#include "qa/invariants.h"
+
+namespace autofeat::testsupport {
+
+std::string RankedFingerprint(const DiscoveryResult& result) {
+  return qa::DiscoveryFingerprint(result);
+}
+
+DataLake MakeOrdersCustomersLake() {
+  DataLake lake;
+  Table orders("orders");
+  orders.AddColumn("cust", Column::Int64s({1, 2, 2, 3, 1})).Abort();
+  orders.AddColumn("amount", Column::Doubles({10, 20, 21, 30, 11})).Abort();
+  lake.AddTable(std::move(orders)).Abort();
+  Table customers("customers");
+  customers.AddColumn("cust", Column::Int64s({1, 2, 3})).Abort();
+  customers.AddColumn("age", Column::Doubles({31, 42, 53})).Abort();
+  lake.AddTable(std::move(customers)).Abort();
+  return lake;
+}
+
+qa::FuzzedLake MakeAdversarialLake(uint64_t seed, qa::LakeFuzzOptions options) {
+  return qa::LakeFuzzer(options).Generate(seed);
+}
+
+}  // namespace autofeat::testsupport

@@ -1,8 +1,9 @@
 // Shared fixtures for the ML model tests: synthetic datasets with known
-// learnable structure.
+// learnable structure. (Moved from tests/ml_testing.h into the shared
+// tests/support/ library.)
 
-#ifndef AUTOFEAT_TESTS_ML_TESTING_H_
-#define AUTOFEAT_TESTS_ML_TESTING_H_
+#ifndef AUTOFEAT_TESTS_SUPPORT_ML_FIXTURES_H_
+#define AUTOFEAT_TESTS_SUPPORT_ML_FIXTURES_H_
 
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -61,4 +62,4 @@ double HoldoutAccuracy(Model& model, const Dataset& train,
 
 }  // namespace autofeat::ml
 
-#endif  // AUTOFEAT_TESTS_ML_TESTING_H_
+#endif  // AUTOFEAT_TESTS_SUPPORT_ML_FIXTURES_H_

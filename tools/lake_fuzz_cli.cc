@@ -1,0 +1,145 @@
+// lake_fuzz_cli — property-based fuzzing of the AutoFeat pipeline.
+//
+// Generates adversarial data lakes from sequential seeds, checks the
+// invariant registry (src/qa/invariants.h) over each, shrinks any
+// violation to a minimal counterexample and writes a self-contained repro
+// (CSV dir + MANIFEST.txt) under --out.
+//
+// Usage:
+//   lake_fuzz_cli [--seeds N] [--seed-start N] [--threads N]
+//                 [--out DIR] [--invariant NAME]... [--no-shrink]
+//                 [--plant-bug] [--max-rows N] [--list] [--replay DIR]
+//
+// Exit status: 0 = all invariants hold, 1 = violations found, 2 = usage or
+// setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "qa/fuzz_runner.h"
+#include "qa/invariants.h"
+
+namespace {
+
+using namespace autofeat;
+
+struct CliOptions {
+  qa::FuzzOptions fuzz;
+  std::string replay_dir;
+  bool list = false;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: lake_fuzz_cli [--seeds N] [--seed-start N] [--threads N]\n"
+      "                     [--out DIR] [--invariant NAME]... [--no-shrink]\n"
+      "                     [--plant-bug] [--max-rows N] [--list]\n"
+      "                     [--replay DIR]\n"
+      "  --seeds N       number of lakes to generate and check (default 50)\n"
+      "  --seed-start N  first seed of the campaign (default 1)\n"
+      "  --threads N     seed-sweep workers (0 = hardware, 1 = sequential;\n"
+      "                  the report is identical at any thread count)\n"
+      "  --out DIR       repro output directory (default fuzz-repros)\n"
+      "  --invariant NAME\n"
+      "                  check only this invariant (repeatable; see --list)\n"
+      "  --no-shrink     report the original failing lake without shrinking\n"
+      "  --plant-bug     include the deliberately wrong test-only invariant\n"
+      "                  (self-test of the shrink/repro pipeline)\n"
+      "  --max-rows N    largest generated table height (default 40)\n"
+      "  --list          print the invariant registry and exit\n"
+      "  --replay DIR    re-check a previously written repro directory\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.num_seeds = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--seed-start") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.seed_start = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.repro_dir = v;
+    } else if (arg == "--invariant") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.invariant_filter.push_back(v);
+    } else if (arg == "--no-shrink") {
+      options->fuzz.shrink = false;
+    } else if (arg == "--plant-bug") {
+      options->fuzz.include_planted = true;
+    } else if (arg == "--max-rows") {
+      const char* v = next();
+      if (!v) return false;
+      options->fuzz.fuzz.max_rows = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      options->replay_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  options.fuzz.repro_dir = "fuzz-repros";
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  if (options.list) {
+    for (const qa::Invariant& inv : qa::RegistryInvariants(true)) {
+      std::printf("%-44s %s\n", inv.name.c_str(), inv.description.c_str());
+    }
+    return 0;
+  }
+
+  if (!options.replay_dir.empty()) {
+    auto report = qa::ReplayRepro(options.replay_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s", report->Summary().c_str());
+    return report->ok() ? 0 : 1;
+  }
+
+  auto report = qa::RunFuzz(options.fuzz);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->Summary().c_str());
+  if (!report->ok()) {
+    std::printf("repros written under %s (replay with --replay DIR)\n",
+                options.fuzz.repro_dir.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -24,7 +24,9 @@
 #include "datagen/registry.h"
 #include "discovery/data_lake.h"
 #include "ml/trainer.h"
+#include "obs/chrome_trace.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "util/string_utils.h"
 
 namespace autofeat::benchx {
@@ -141,29 +143,42 @@ struct BenchTiming {
   double seconds = 0.0;
 };
 
+/// Where BENCH_/TRACE_ artifacts land: AUTOFEAT_BENCH_JSON_DIR when set,
+/// else the source root captured at configure time (so benches launched
+/// from the build tree still drop artifacts at the repo root, where CI and
+/// bench_diff look for them), else the current directory.
+inline std::string BenchJsonDir() {
+  const char* dir = std::getenv("AUTOFEAT_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+#ifdef AUTOFEAT_SOURCE_ROOT
+  return AUTOFEAT_SOURCE_ROOT;
+#else
+  return ".";
+#endif
+}
+
 /// Writes `BENCH_<name>.json` so the perf trajectory is tracked across PRs
 /// (one file per bench; later runs overwrite). Destination directory comes
-/// from AUTOFEAT_BENCH_JSON_DIR (default: current directory). Schema:
-/// {"bench": name, "mode": quick|full, "timings":
-///   [{"phase": ..., "threads": N, "seconds": S}, ...],
+/// from BenchJsonDir() above. Schema (`autofeat.bench.v1`):
+/// {"schema": "autofeat.bench.v1", "bench": name, "mode": quick|full,
+///  "timings": [{"phase": ..., "threads": N, "seconds": S}, ...],
 ///  "metrics": {...}}
 /// The metrics block is the obs report of an (untimed) instrumented run —
 /// `{}` when the bench did not attach a registry — so counter trajectories
 /// (cache hits, candidates scored) ride along with the timings. All strings
 /// are JSON-escaped; names with quotes/backslashes survive a round trip.
+/// This is the format tools/bench_diff consumes as a CI regression gate.
 inline bool WriteBenchJson(const std::string& name,
                            const std::vector<BenchTiming>& timings,
                            const obs::MetricsRegistry* metrics = nullptr) {
-  const char* dir = std::getenv("AUTOFEAT_BENCH_JSON_DIR");
-  std::string path = (dir != nullptr && *dir != '\0')
-                         ? std::string(dir) + "/BENCH_" + name + ".json"
-                         : "BENCH_" + name + ".json";
+  std::string path = BenchJsonDir() + "/BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return false;
   }
-  out << "{\n  \"bench\": \"" << JsonEscape(name) << "\",\n  \"mode\": \""
+  out << "{\n  \"schema\": \"autofeat.bench.v1\",\n  \"bench\": \""
+      << JsonEscape(name) << "\",\n  \"mode\": \""
       << (FullMode() ? "full" : "quick") << "\",\n  \"timings\": [";
   for (size_t i = 0; i < timings.size(); ++i) {
     if (i > 0) out << ",";
@@ -181,6 +196,23 @@ inline bool WriteBenchJson(const std::string& name,
   }
   out << "\n}\n";
   std::printf("timings written to %s\n", path.c_str());
+  return true;
+}
+
+/// Writes `TRACE_<name>.json` — the Chrome trace-event view of one
+/// instrumented bench run (same destination rules as WriteBenchJson).
+/// Open at https://ui.perfetto.dev or chrome://tracing.
+inline bool WriteBenchTrace(const std::string& name,
+                            const obs::Tracer& tracer) {
+  std::string path = BenchJsonDir() + "/TRACE_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << obs::ChromeTraceJson(tracer);
+  std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+              path.c_str());
   return true;
 }
 

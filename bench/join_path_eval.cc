@@ -14,6 +14,7 @@
 
 #include "harness.h"
 #include "core/autofeat.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "relational/join.h"
 #include "relational/join_index.h"
@@ -53,23 +54,32 @@ Result<DiscoverRun> RunDiscovery(const datagen::BuiltLake& built,
   return run;
 }
 
-// Untimed instrumented rerun of the fast path: its counters ride along in
-// BENCH_join_path.json's "metrics" block without perturbing the timed
-// (metrics-disabled) comparison above.
-Result<std::unique_ptr<obs::MetricsRegistry>> InstrumentedDiscovery(
-    const datagen::BuiltLake& built, const DatasetRelationGraph& drg) {
-  auto metrics = std::make_unique<obs::MetricsRegistry>();
+// Untimed instrumented rerun of the fast path: its counters, memory gauges
+// and trace ride along in BENCH_join_path.json / TRACE_join_path.json
+// without perturbing the timed (metrics-disabled) comparison above.
+struct Instrumented {
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+};
+
+Result<Instrumented> InstrumentedDiscovery(const datagen::BuiltLake& built,
+                                           const DatasetRelationGraph& drg) {
+  Instrumented inst;
+  inst.metrics = std::make_unique<obs::MetricsRegistry>();
+  inst.tracer = std::make_unique<obs::Tracer>();
   AutoFeatConfig config;
   config.num_threads = 1;
   config.sample_rows = FullMode() ? 2000 : 1000;
   config.max_paths = FullMode() ? 2000 : 600;
   config.join_fast_path = true;
   config.metrics_enabled = true;
-  config.metrics = metrics.get();
+  config.metrics = inst.metrics.get();
+  config.tracer = inst.tracer.get();
   AutoFeat engine(&built.lake, &drg, config);
   AF_RETURN_NOT_OK(
       engine.DiscoverFeatures(built.base_table, built.label_column).status());
-  return metrics;
+  obs::RecordProcessPeakRss(inst.metrics.get());
+  return inst;
 }
 
 struct MicroJoin {
@@ -195,8 +205,8 @@ int main() {
   std::printf("\ncandidate-edge evaluation speedup: %.2fx (target: >= 2x)\n",
               speedup);
 
-  auto metrics = InstrumentedDiscovery(built, *drg);
-  metrics.status().Abort("instrumented discovery");
+  auto instrumented = InstrumentedDiscovery(built, *drg);
+  instrumented.status().Abort("instrumented discovery");
 
   WriteBenchJson(
       "join_path",
@@ -207,6 +217,7 @@ int main() {
        {"micro_join_string_keyed", 1, micro->string_keyed_seconds},
        {"micro_join_interned", 1, micro->interned_seconds},
        {"micro_join_mapped_cached", 1, micro->mapped_seconds}},
-      metrics->get());
+      instrumented->metrics.get());
+  WriteBenchTrace("join_path", *instrumented->tracer);
   return 0;
 }

@@ -31,6 +31,7 @@ struct RunResult {
   /// counts (scheduling-dependent thread_pool.* metrics are excluded).
   std::string metrics_digest;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Tracer> tracer;
 };
 
 std::string Fingerprint(const DiscoveryResult& result) {
@@ -53,12 +54,14 @@ Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
   // Both thread counts run with identical instrumentation, so metric
   // overhead cancels out of the speedup and the digests are comparable.
   run.metrics = std::make_unique<obs::MetricsRegistry>();
-  auto tracer = std::make_unique<obs::Tracer>();
+  run.tracer = std::make_unique<obs::Tracer>();
+  obs::Tracer* tracer = run.tracer.get();
 
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(num_threads) > 1) {
     pool = std::make_unique<ThreadPool>(num_threads);
     pool->set_metrics(run.metrics.get());
+    pool->set_tracer(tracer);
   }
   MatchOptions match;
   match.threshold = 0.55;
@@ -74,7 +77,7 @@ Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
   config.max_paths = FullMode() ? 2000 : 600;
   config.metrics_enabled = true;
   config.metrics = run.metrics.get();
-  config.tracer = tracer.get();
+  config.tracer = tracer;
   AutoFeat engine(&built.lake, &drg, config);
 
   Timer discover_timer;
@@ -90,7 +93,7 @@ Result<RunResult> RunAtThreadCount(const datagen::BuiltLake& built,
                                      ml::ModelKind::kRandomForest));
   run.augment_seconds = augment_timer.ElapsedSeconds();
   run.accuracy = augmented.accuracy;
-  run.metrics_digest = obs::DeterministicDigest(*run.metrics, tracer.get());
+  run.metrics_digest = obs::DeterministicDigest(*run.metrics, tracer);
   return run;
 }
 
@@ -145,5 +148,8 @@ int main() {
        {"augment_end_to_end", 1, sequential->augment_seconds},
        {"augment_end_to_end", hw, parallel->augment_seconds}},
       parallel->metrics.get());
+  // The parallel run's trace shows worker spans fanning out across pool
+  // threads — the visual counterpart of the speedup table above.
+  WriteBenchTrace("parallel_scaling", *parallel->tracer);
   return identical ? 0 : 1;
 }

@@ -246,8 +246,11 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       std::vector<FeatureScore> relevant;
       double fs_seconds = 0.0;
     };
+    obs::TaskContext bfs_ctx = obs::CaptureTaskContext(
+        candidates.empty() ? nullptr : tracer_);
     std::vector<Eval> evals = ParallelMap<Eval>(
         pool_.get(), candidates.size(), /*grain=*/1, [&](size_t c) {
+          obs::ScopedWorkerSpan task_span(bfs_ctx, "bfs.candidate");
           const Candidate& cand = candidates[c];
           Eval ev;
           if (join_cache_ != nullptr) {
@@ -490,8 +493,10 @@ Result<AugmentationResult> AutoFeat::Augment(const std::string& base_table,
     Table table;
     double accuracy = 0.0;
   };
+  obs::TaskContext eval_ctx = obs::CaptureTaskContext(tracer_);
   std::vector<PathEval> evals = ParallelMap<PathEval>(
       pool_.get(), k + 1, /*grain=*/1, [&](size_t i) {
+        obs::ScopedWorkerSpan task_span(eval_ctx, "evaluate.path");
         PathEval ev;
         if (i == 0) {
           auto eval =

@@ -96,10 +96,11 @@ class AutoFeat {
     if (ResolveNumThreads(config_.num_threads) > 1) {
       pool_ = std::make_unique<ThreadPool>(config_.num_threads);
       if (metrics_ != nullptr) pool_->set_metrics(metrics_);
+      if (tracer_ != nullptr) pool_->set_tracer(tracer_);
     }
     if (config_.join_fast_path) {
-      join_cache_ =
-          std::make_unique<JoinIndexCache>(lake_, config_.seed, metrics_);
+      join_cache_ = std::make_unique<JoinIndexCache>(lake_, config_.seed,
+                                                     metrics_, tracer_);
     }
   }
 

@@ -6,6 +6,8 @@
 
 #include "discovery/data_lake.h"
 #include "graph/drg.h"
+#include "obs/memory.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +49,7 @@ Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
   std::shared_ptr<Entry> entry = EntryFor(table, column);
   bool built_here = false;
   std::call_once(entry->once, [&] {
+    obs::ScopedWorkerSpan span(tracer_, "join_index.build");
     built_here = true;
     obs::Increment(builds_);
     auto table_result = lake_->GetTable(table);
@@ -62,6 +65,8 @@ Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
     entry->index = BuildJoinKeyIndex(
         **column_result, DeriveSeed(seed_, EntryStream(table, column)));
     obs::Record(key_cardinality_, entry->index.num_distinct_keys());
+    obs::AddBytesWithPeak(bytes_, bytes_peak_,
+                          static_cast<int64_t>(entry->index.ApproxBytes()));
   });
   if (!built_here) obs::Increment(hits_);
   if (!entry->status.ok()) return entry->status;

@@ -30,6 +30,10 @@
 
 namespace autofeat {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 class DataLake;
 class DatasetRelationGraph;
 class ThreadPool;
@@ -41,15 +45,23 @@ class JoinIndexCache {
   /// draws; two caches with the same seed over the same lake are identical.
   /// A non-null `metrics` records `join_index_cache.requests` /
   /// `.builds` / `.hits` counters and the `join_index_cache.key_cardinality`
-  /// histogram (distinct interned keys per built entry); all are
-  /// deterministic for a fixed workload regardless of thread count.
+  /// histogram (distinct interned keys per built entry), plus the
+  /// `join_index_cache.bytes` / `.bytes_peak` gauges (approximate index
+  /// footprint; the cache only grows, so peak == final); all are
+  /// deterministic for a fixed workload regardless of thread count. A
+  /// non-null `tracer` records each index build as a `join_index.build`
+  /// worker span.
   JoinIndexCache(const DataLake* lake, uint64_t seed,
-                 obs::MetricsRegistry* metrics = nullptr)
+                 obs::MetricsRegistry* metrics = nullptr,
+                 obs::Tracer* tracer = nullptr)
       : lake_(lake),
         seed_(seed),
+        tracer_(tracer),
         requests_(obs::GetCounter(metrics, "join_index_cache.requests")),
         builds_(obs::GetCounter(metrics, "join_index_cache.builds")),
         hits_(obs::GetCounter(metrics, "join_index_cache.hits")),
+        bytes_(obs::GetGauge(metrics, "join_index_cache.bytes")),
+        bytes_peak_(obs::GetGauge(metrics, "join_index_cache.bytes_peak")),
         key_cardinality_(
             obs::GetHistogram(metrics, "join_index_cache.key_cardinality")) {}
 
@@ -79,9 +91,12 @@ class JoinIndexCache {
 
   const DataLake* lake_;
   uint64_t seed_;
+  obs::Tracer* tracer_;
   obs::Counter* requests_;
   obs::Counter* builds_;
   obs::Counter* hits_;
+  obs::Gauge* bytes_;
+  obs::Gauge* bytes_peak_;
   obs::Histogram* key_cardinality_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;

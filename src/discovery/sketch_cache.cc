@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "discovery/data_lake.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
@@ -69,18 +71,27 @@ LakeSketchCache LakeSketchCache::Build(const DataLake& lake,
   LakeSketchCache cache;
   cache.max_sample_ = max_sample;
   obs::Counter* builds = obs::GetCounter(metrics, "sketch_cache.builds");
+  obs::Gauge* bytes = obs::GetGauge(metrics, "sketch_cache.bytes");
+  obs::Gauge* bytes_peak = obs::GetGauge(metrics, "sketch_cache.bytes_peak");
   const auto& tables = lake.tables();
   cache.sketches_.resize(tables.size());
+  obs::Tracer* tracer = pool != nullptr ? pool->tracer() : nullptr;
+  obs::TaskContext ctx = obs::CaptureTaskContext(
+      tables.empty() ? nullptr : tracer);
   // One task per table (columns of a table share value scans' cache
   // locality); each slot is written by exactly one task.
   ParallelFor(pool, 0, tables.size(), /*grain=*/1, [&](size_t t) {
+    obs::ScopedWorkerSpan span(ctx, "sketch.table");
     const Table& table = tables[t];
     std::vector<ColumnSketch> sketches;
     sketches.reserve(table.num_columns());
+    size_t footprint = 0;
     for (size_t c = 0; c < table.num_columns(); ++c) {
       sketches.push_back(BuildColumnSketch(table.column(c), max_sample));
+      footprint += sketches.back().ApproxBytes();
     }
     obs::Increment(builds, table.num_columns());
+    obs::AddBytesWithPeak(bytes, bytes_peak, static_cast<int64_t>(footprint));
     cache.sketches_[t] = std::move(sketches);
   });
   return cache;

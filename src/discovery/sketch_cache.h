@@ -35,6 +35,17 @@ struct ColumnSketch {
   /// Exact distinct non-null count before sampling (for the low-cardinality
   /// evidence discount, which needs the true count, not the sample size).
   size_t num_distinct = 0;
+
+  /// Approximate heap footprint in bytes. Size-based (value count and
+  /// lengths, not bucket capacity), so equal content reports equal bytes
+  /// and the `sketch_cache.bytes` gauge stays deterministic.
+  size_t ApproxBytes() const {
+    size_t total = sizeof(ColumnSketch);
+    for (const auto& v : values) {
+      total += sizeof(std::string) + v.size() + 2 * sizeof(void*);
+    }
+    return total;
+  }
 };
 
 /// Builds the sketch of a single column.
@@ -53,7 +64,10 @@ class LakeSketchCache {
   /// Sketches all columns of all `lake` tables; table-level sketching fans
   /// out over `pool` when given (results are identical at any thread count).
   /// A non-null `metrics` counts `sketch_cache.builds` (column sketches
-  /// computed — the cache misses of the naive per-pair formulation).
+  /// computed — the cache misses of the naive per-pair formulation) and
+  /// maintains the `sketch_cache.bytes` / `.bytes_peak` footprint gauges.
+  /// Per-table sketching records `sketch.table` worker spans into the
+  /// pool's attached tracer (ThreadPool::set_tracer), when both exist.
   static LakeSketchCache Build(const DataLake& lake, size_t max_sample,
                                ThreadPool* pool = nullptr,
                                obs::MetricsRegistry* metrics = nullptr);

@@ -6,6 +6,7 @@
 
 #include "ml/metrics.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -63,14 +64,17 @@ Result<CrossValidationResult> CrossValidate(
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.num_threads) > 1 && options.folds > 1) {
     pool = std::make_unique<ThreadPool>(options.num_threads);
+    if (options.tracer != nullptr) pool->set_tracer(options.tracer);
   }
   struct FoldEval {
     Status status;
     double accuracy = 0.0;
     double auc = 0.0;
   };
+  obs::TaskContext fold_ctx = obs::CaptureTaskContext(options.tracer);
   std::vector<FoldEval> evals = ParallelMap<FoldEval>(
       pool.get(), options.folds, /*grain=*/1, [&](size_t fold) {
+        obs::ScopedWorkerSpan fold_span(fold_ctx, "cv.fold");
         FoldEval ev;
         std::vector<size_t> train_rows, test_rows;
         for (size_t r = 0; r < assignment.size(); ++r) {

@@ -13,6 +13,7 @@
 
 namespace autofeat::obs {
 class MetricsRegistry;
+class Tracer;
 }  // namespace autofeat::obs
 
 namespace autofeat::ml {
@@ -29,6 +30,9 @@ struct CrossValidationOptions {
   /// and the `cv.fold_test_rows` histogram (all deterministic — fold
   /// assignment is a pure function of the seed).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional tracer: each fold records a `cv.fold` worker span (plus the
+  /// pool's `thread_pool.worker` lane spans when folds run in parallel).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct CrossValidationResult {

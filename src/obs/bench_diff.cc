@@ -1,0 +1,194 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json_value.h"
+
+namespace autofeat::obs {
+namespace {
+
+bool SkippedMetric(const std::string& name) {
+  // Scheduling- and OS-dependent series: meaningless in an A/B gate.
+  return name.rfind("thread_pool.", 0) == 0 || name.rfind("process.", 0) == 0;
+}
+
+bool EndsWith(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsByteGauge(const std::string& name) {
+  return EndsWith(name, ".bytes") || EndsWith(name, ".bytes_peak");
+}
+
+double Ratio(double baseline, double current) {
+  double denom = std::max(std::abs(baseline), 1e-12);
+  return (current - baseline) / denom;
+}
+
+Result<std::string> RequireString(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument(std::string("bench JSON missing string "
+                                               "field \"") + key + "\"");
+  }
+  return v->str;
+}
+
+// phase@threads -> seconds, in file order via std::map for stable output.
+Result<std::map<std::string, double>> CollectTimings(const JsonValue& doc) {
+  const JsonValue* timings = doc.Find("timings");
+  if (timings == nullptr || !timings->is_array()) {
+    return Status::InvalidArgument("bench JSON has no \"timings\" array");
+  }
+  std::map<std::string, double> out;
+  for (const JsonValue& row : timings->items) {
+    const JsonValue* phase = row.Find("phase");
+    const JsonValue* threads = row.Find("threads");
+    const JsonValue* seconds = row.Find("seconds");
+    if (phase == nullptr || !phase->is_string() || threads == nullptr ||
+        !threads->is_number() || seconds == nullptr || !seconds->is_number()) {
+      return Status::InvalidArgument(
+          "bench JSON timing row missing phase/threads/seconds");
+    }
+    std::string key = phase->str + "@" +
+                      std::to_string(static_cast<long long>(threads->number));
+    out[key] = seconds->number;
+  }
+  return out;
+}
+
+// Flattens metrics.counters and metrics.gauges into one name -> value map.
+std::map<std::string, double> CollectMetrics(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return out;
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* block = metrics->Find(section);
+    if (block == nullptr || !block->is_object()) continue;
+    for (const auto& [name, value] : block->fields) {
+      if (value.is_number()) out[name] = value.number;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool BenchDiffReport::ok() const { return num_regressions() == 0; }
+
+size_t BenchDiffReport::num_regressions() const {
+  size_t n = 0;
+  for (const BenchDiffEntry& e : timings) n += e.regression ? 1 : 0;
+  for (const BenchDiffEntry& e : metrics) n += e.regression ? 1 : 0;
+  return n;
+}
+
+std::string BenchDiffReport::Summary() const {
+  std::ostringstream out;
+  char buf[256];
+  out << "bench_diff: " << bench << "\n";
+  auto print = [&](const char* kind, const std::vector<BenchDiffEntry>& rows) {
+    for (const BenchDiffEntry& e : rows) {
+      std::snprintf(buf, sizeof(buf), "  %-10s %-44s %14.6f %14.6f %+7.1f%% %s\n",
+                    kind, e.name.c_str(), e.baseline, e.current,
+                    e.delta_ratio * 100.0,
+                    e.regression ? "REGRESSION" : "ok");
+      out << buf;
+    }
+  };
+  print("timing", timings);
+  print("metric", metrics);
+  for (const std::string& note : notes) out << "  note: " << note << "\n";
+  std::snprintf(buf, sizeof(buf), "  %zu regression(s)\n", num_regressions());
+  out << buf;
+  return out.str();
+}
+
+Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
+                                         const std::string& current_json,
+                                         const BenchDiffOptions& options) {
+  AF_ASSIGN_OR_RETURN(JsonValue baseline, ParseJson(baseline_json));
+  AF_ASSIGN_OR_RETURN(JsonValue current, ParseJson(current_json));
+
+  AF_ASSIGN_OR_RETURN(std::string baseline_bench,
+                      RequireString(baseline, "bench"));
+  AF_ASSIGN_OR_RETURN(std::string current_bench,
+                      RequireString(current, "bench"));
+  if (baseline_bench != current_bench) {
+    return Status::InvalidArgument("bench name mismatch: \"" + baseline_bench +
+                                   "\" vs \"" + current_bench + "\"");
+  }
+  AF_ASSIGN_OR_RETURN(std::string baseline_mode,
+                      RequireString(baseline, "mode"));
+  AF_ASSIGN_OR_RETURN(std::string current_mode, RequireString(current, "mode"));
+  if (baseline_mode != current_mode) {
+    return Status::InvalidArgument("bench mode mismatch: \"" + baseline_mode +
+                                   "\" vs \"" + current_mode + "\"");
+  }
+
+  BenchDiffReport report;
+  report.bench = baseline_bench;
+
+  AF_ASSIGN_OR_RETURN(auto baseline_timings, CollectTimings(baseline));
+  AF_ASSIGN_OR_RETURN(auto current_timings, CollectTimings(current));
+  for (const auto& [name, base_s] : baseline_timings) {
+    auto it = current_timings.find(name);
+    if (it == current_timings.end()) {
+      report.notes.push_back("timing only in baseline: " + name);
+      continue;
+    }
+    BenchDiffEntry entry;
+    entry.name = name;
+    entry.baseline = base_s;
+    entry.current = it->second;
+    entry.delta_ratio = Ratio(base_s, it->second);
+    entry.regression = it->second - base_s > options.min_seconds &&
+                       it->second > base_s * (1.0 + options.time_threshold);
+    report.timings.push_back(std::move(entry));
+  }
+  for (const auto& [name, cur_s] : current_timings) {
+    (void)cur_s;
+    if (baseline_timings.find(name) == baseline_timings.end()) {
+      report.notes.push_back("timing only in current: " + name);
+    }
+  }
+
+  auto baseline_metrics = CollectMetrics(baseline);
+  auto current_metrics = CollectMetrics(current);
+  for (const auto& [name, base_v] : baseline_metrics) {
+    if (SkippedMetric(name)) continue;
+    auto it = current_metrics.find(name);
+    if (it == current_metrics.end()) {
+      report.notes.push_back("metric only in baseline: " + name);
+      continue;
+    }
+    BenchDiffEntry entry;
+    entry.name = name;
+    entry.baseline = base_v;
+    entry.current = it->second;
+    entry.delta_ratio = Ratio(base_v, it->second);
+    if (IsByteGauge(name)) {
+      entry.regression = entry.delta_ratio > options.metric_threshold;
+    } else {
+      entry.regression =
+          std::abs(entry.delta_ratio) > options.metric_threshold;
+    }
+    report.metrics.push_back(std::move(entry));
+  }
+  for (const auto& [name, cur_v] : current_metrics) {
+    (void)cur_v;
+    if (SkippedMetric(name)) continue;
+    if (baseline_metrics.find(name) == baseline_metrics.end()) {
+      report.notes.push_back("metric only in current: " + name);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace autofeat::obs

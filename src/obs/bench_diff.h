@@ -1,0 +1,64 @@
+// A/B comparison of two BENCH_*.json records (bench/harness.h schema).
+//
+// Timings are keyed by `phase@threads` and flagged when the current run is
+// slower than baseline by more than a relative threshold *and* an absolute
+// noise floor (min_seconds) — sub-10ms phases jitter too much for a pure
+// ratio test. Metrics come from the embedded obs report: deterministic
+// counters/gauges are pure functions of (inputs, seed), so any drift
+// between runs of the same workload is a behavioural change and is
+// flagged in either direction; `.bytes` / `.bytes_peak` gauges are
+// memory-regression gates and only flag on growth. Scheduling-dependent
+// series (`thread_pool.*`, `process.*`) are skipped.
+
+#ifndef AUTOFEAT_OBS_BENCH_DIFF_H_
+#define AUTOFEAT_OBS_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace autofeat::obs {
+
+struct BenchDiffOptions {
+  /// Relative slowdown tolerated before a timing counts as a regression.
+  double time_threshold = 0.10;
+  /// Relative drift tolerated for metric values (growth-only for bytes).
+  double metric_threshold = 0.10;
+  /// Absolute timing noise floor: deltas below this never flag.
+  double min_seconds = 0.01;
+};
+
+/// \brief One compared entry (a timing phase or a metric).
+struct BenchDiffEntry {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / max(baseline, tiny); sign follows current.
+  double delta_ratio = 0.0;
+  bool regression = false;
+};
+
+struct BenchDiffReport {
+  std::string bench;
+  std::vector<BenchDiffEntry> timings;
+  std::vector<BenchDiffEntry> metrics;
+  /// Non-fatal observations: phases/metrics present on only one side.
+  std::vector<std::string> notes;
+
+  bool ok() const;
+  size_t num_regressions() const;
+  /// Human-readable table, one line per compared entry.
+  std::string Summary() const;
+};
+
+/// \brief Parses and compares two BENCH_*.json documents (contents, not
+/// paths). Errors on malformed JSON, missing `timings`, or mismatched
+/// bench names/modes.
+Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
+                                         const std::string& current_json,
+                                         const BenchDiffOptions& options = {});
+
+}  // namespace autofeat::obs
+
+#endif  // AUTOFEAT_OBS_BENCH_DIFF_H_

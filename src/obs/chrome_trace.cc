@@ -1,0 +1,104 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "util/string_utils.h"
+
+namespace autofeat::obs {
+namespace {
+
+constexpr int kPid = 1;
+
+std::string Micros(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+void AppendCommon(std::ostringstream& out, const char* ph, double ts_seconds,
+                  size_t tid) {
+  out << "\"ph\": \"" << ph << "\", \"ts\": " << Micros(ts_seconds)
+      << ", \"pid\": " << kPid << ", \"tid\": " << tid;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::vector<FlowPoint> flows = tracer.FlowSnapshot();
+
+  // Only flows actually consumed by a worker span draw an arrow; dangling
+  // starts would render as arrows into nothing.
+  std::unordered_set<uint64_t> consumed;
+  std::set<size_t> tids;
+  for (const SpanRecord& span : spans) {
+    tids.insert(span.thread);
+    if (span.worker && span.flow_id != 0) consumed.insert(span.flow_id);
+  }
+  for (const FlowPoint& flow : flows) {
+    if (consumed.count(flow.flow_id) != 0) tids.insert(flow.thread);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    out << (first ? "  " : ",\n  ");
+    first = false;
+  };
+
+  sep();
+  out << "{\"name\": \"process_name\", ";
+  AppendCommon(out, "M", 0.0, 0);
+  out << ", \"args\": {\"name\": \"autofeat\"}}";
+  for (size_t tid : tids) {
+    sep();
+    out << "{\"name\": \"thread_name\", ";
+    AppendCommon(out, "M", 0.0, tid);
+    out << ", \"args\": {\"name\": \""
+        << (tid == 0 ? "orchestrator" : "worker " + std::to_string(tid))
+        << "\"}}";
+  }
+
+  for (const SpanRecord& span : spans) {
+    sep();
+    const char* cat = span.worker ? "worker" : "phase";
+    out << "{\"name\": \"" << JsonEscape(span.name) << "\", \"cat\": \""
+        << cat << "\", ";
+    if (span.end_seconds >= 0.0) {
+      AppendCommon(out, "X", span.start_seconds, span.thread);
+      double dur = span.end_seconds - span.start_seconds;
+      out << ", \"dur\": " << Micros(dur < 0.0 ? 0.0 : dur);
+    } else {
+      AppendCommon(out, "B", span.start_seconds, span.thread);
+    }
+    out << ", \"args\": {\"id\": " << span.id << ", \"parent\": "
+        << span.parent << "}}";
+  }
+
+  for (const FlowPoint& flow : flows) {
+    if (consumed.count(flow.flow_id) == 0) continue;
+    sep();
+    out << "{\"name\": \"task\", \"cat\": \"flow\", \"id\": " << flow.flow_id
+        << ", ";
+    AppendCommon(out, "s", flow.time_seconds, flow.thread);
+    out << "}";
+  }
+  for (const SpanRecord& span : spans) {
+    if (!span.worker || span.flow_id == 0) continue;
+    sep();
+    out << "{\"name\": \"task\", \"cat\": \"flow\", \"id\": " << span.flow_id
+        << ", \"bp\": \"e\", ";
+    AppendCommon(out, "f", span.start_seconds, span.thread);
+    out << "}";
+  }
+
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+}  // namespace autofeat::obs

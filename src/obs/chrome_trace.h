@@ -1,0 +1,26 @@
+// Chrome trace-event export.
+//
+// Serialises a Tracer's merged span tree (orchestration + worker spans)
+// and its enqueue flow points into the Chrome trace-event JSON format, a
+// file that loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Closed spans become complete ("X") events, still-open
+// spans become begin ("B") events, and each enqueue -> execute hand-off
+// becomes a flow-start ("s") / flow-end ("f") pair drawn as an arrow
+// between threads. Every event carries ph/ts/pid/tid; tids are the
+// tracer's dense thread ids.
+
+#ifndef AUTOFEAT_OBS_CHROME_TRACE_H_
+#define AUTOFEAT_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace autofeat::obs {
+
+/// \brief The whole trace as one Chrome trace-event JSON document.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+}  // namespace autofeat::obs
+
+#endif  // AUTOFEAT_OBS_CHROME_TRACE_H_

@@ -1,0 +1,247 @@
+#include "obs/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace autofeat::obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue value;
+    AF_RETURN_NOT_OK(Value(&value));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Value(JsonValue* out) {
+    if (depth_ > 256) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return Object(out);
+    if (c == '[') return Array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = (c == 't');
+      return Literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    return Number(out);
+  }
+
+  Status Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++depth_;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      AF_RETURN_NOT_OK(String(&key));
+      SkipWs();
+      if (Peek() != ':') return Fail("expected ':' in object");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      AF_RETURN_NOT_OK(Value(&value));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        --depth_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++depth_;
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      AF_RETURN_NOT_OK(Value(&value));
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        --depth_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status String(std::string* out) {
+    if (Peek() != '"') return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("bad escape");
+        char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out->push_back('"'); pos_ += 2; break;
+          case '\\': out->push_back('\\'); pos_ += 2; break;
+          case '/': out->push_back('/'); pos_ += 2; break;
+          case 'b': out->push_back('\b'); pos_ += 2; break;
+          case 'f': out->push_back('\f'); pos_ += 2; break;
+          case 'n': out->push_back('\n'); pos_ += 2; break;
+          case 'r': out->push_back('\r'); pos_ += 2; break;
+          case 't': out->push_back('\t'); pos_ += 2; break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (size_t i = 2; i <= 5; ++i) {
+              unsigned char h = static_cast<unsigned char>(text_[pos_ + i]);
+              if (!std::isxdigit(h)) return Fail("bad \\u escape");
+              code = code * 16 +
+                     (std::isdigit(h) ? h - '0' : (std::tolower(h) - 'a') + 10);
+            }
+            AppendUtf8(out, code);
+            pos_ += 6;
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  // Surrogate pairs are not recombined — BENCH/trace outputs never emit
+  // them; a lone surrogate decodes to its 3-byte form, which round-trips.
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status Number(JsonValue* out) {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected digits after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected exponent digits");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return Status::OK();
+  }
+
+  Status Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail("bad literal");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace autofeat::obs

@@ -1,0 +1,35 @@
+#include "obs/memory.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace autofeat::obs {
+
+int64_t ProcessPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
+void RecordProcessPeakRss(MetricsRegistry* metrics) {
+  Gauge* gauge =
+      GetGauge(metrics, "process.peak_rss_bytes", /*deterministic=*/false);
+  UpdateMax(gauge, ProcessPeakRssBytes());
+}
+
+void AddBytesWithPeak(Gauge* bytes, Gauge* bytes_peak, int64_t delta) {
+  if (bytes == nullptr) return;
+  bytes->Add(delta);
+  UpdateMax(bytes_peak, bytes->value());
+}
+
+}  // namespace autofeat::obs

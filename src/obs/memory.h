@@ -1,0 +1,38 @@
+// Memory accounting.
+//
+// Byte gauges follow the convention `<component>.bytes` (current
+// footprint) + `<component>.bytes_peak` (high-water mark, maintained by
+// AddBytesWithPeak). Footprints come from the ApproxBytes() methods on
+// Table/Column/KeyDictionary/JoinKeyIndex and the sketch structs — all
+// size-based (element counts, not container capacity), so equal content
+// reports equal bytes and the gauges stay deterministic. Process peak RSS
+// is the one OS-level reading; it is scheduling- and allocator-dependent,
+// so RecordProcessPeakRss registers it non-deterministic (excluded from
+// the digest, like thread_pool.*).
+
+#ifndef AUTOFEAT_OBS_MEMORY_H_
+#define AUTOFEAT_OBS_MEMORY_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace autofeat::obs {
+
+/// \brief Peak resident set size of this process in bytes; 0 when the
+/// platform has no getrusage.
+int64_t ProcessPeakRssBytes();
+
+/// \brief Records `process.peak_rss_bytes` as a non-deterministic gauge.
+/// Null-safe no-op.
+void RecordProcessPeakRss(MetricsRegistry* metrics);
+
+/// \brief Adds `delta` to a byte gauge and raises its high-water gauge to
+/// at least the new total. Both gauges null-safe. With concurrent
+/// positive adds the peak still ends >= the final total: whichever add
+/// lands last reads a value covering every earlier one.
+void AddBytesWithPeak(Gauge* bytes, Gauge* bytes_peak, int64_t delta);
+
+}  // namespace autofeat::obs
+
+#endif  // AUTOFEAT_OBS_MEMORY_H_

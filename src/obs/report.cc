@@ -81,6 +81,10 @@ std::string JsonReport(const MetricsRegistry& metrics, const Tracer* tracer,
   first = true;
   if (tracer != nullptr) {
     for (const SpanRecord& span : tracer->Snapshot()) {
+      // Worker spans are scheduling-dependent (their count varies with the
+      // number of pool lanes that actually ran), so the deterministic
+      // projection drops them entirely.
+      if (!options.include_volatile && span.worker) continue;
       out << (first ? "\n    " : ",\n    ");
       first = false;
       out << "{\"id\": " << span.id << ", \"parent\": " << span.parent
@@ -88,6 +92,10 @@ std::string JsonReport(const MetricsRegistry& metrics, const Tracer* tracer,
       AppendQuoted(out, span.name);
       if (options.include_volatile) {
         out << ", \"thread\": " << span.thread;
+        if (span.worker) {
+          out << ", \"worker\": true";
+          if (span.flow_id != 0) out << ", \"flow\": " << span.flow_id;
+        }
       }
       if (options.include_timings) {
         out << ", \"start_s\": " << FormatSeconds(span.start_seconds)

@@ -1,8 +1,21 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace autofeat::obs {
+namespace {
+
+// Tracer uids are never reused, so a thread-local {uid, buffer} pair can
+// cache the buffer lookup without ever dereferencing a buffer that
+// belonged to a destroyed tracer: a dead tracer's uid can no longer match.
+std::atomic<uint64_t> g_tracer_uid{1};
+thread_local uint64_t t_cached_uid = 0;
+thread_local void* t_cached_buffer = nullptr;
+
+}  // namespace
+
+Tracer::Tracer() : uid_(g_tracer_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 size_t Tracer::BeginSpan(std::string name) {
   std::thread::id tid = std::this_thread::get_id();
@@ -39,14 +52,126 @@ void Tracer::EndSpan(size_t id) {
   }
 }
 
+TaskContext Tracer::CaptureTask() {
+  std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = thread_ids_.emplace(tid, thread_ids_.size());
+  TaskContext ctx;
+  ctx.tracer = this;
+  auto stack_it = open_stacks_.find(tid);
+  if (stack_it != open_stacks_.end() && !stack_it->second.empty()) {
+    ctx.parent = stack_it->second.back();
+  }
+  ctx.flow_id = next_flow_.fetch_add(1, std::memory_order_relaxed);
+  flows_.push_back(
+      FlowPoint{ctx.flow_id, it->second, clock_.ElapsedSeconds(), ctx.parent});
+  return ctx;
+}
+
+Tracer::WorkerBuffer* Tracer::BufferForThisThread() {
+  if (t_cached_uid == uid_) {
+    return static_cast<WorkerBuffer*>(t_cached_buffer);
+  }
+  std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<WorkerBuffer>& slot = buffers_[tid];
+  if (slot == nullptr) {
+    slot = std::make_unique<WorkerBuffer>();
+    auto [it, inserted] = thread_ids_.emplace(tid, thread_ids_.size());
+    slot->thread = it->second;
+  }
+  t_cached_uid = uid_;
+  t_cached_buffer = slot.get();
+  return slot.get();
+}
+
+void Tracer::BeginWorkerSpan(std::string name, const TaskContext& ctx) {
+  WorkerBuffer* buf = BufferForThisThread();
+  size_t fallback_parent = ctx.parent;
+  if (ctx.tracer == nullptr && ctx.parent == 0) {
+    // Context-free worker span: adopt the calling thread's innermost open
+    // orchestration span. Looked up before taking the buffer lock so the
+    // lock order stays global -> buffer everywhere.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_stacks_.find(std::this_thread::get_id());
+    if (it != open_stacks_.end() && !it->second.empty()) {
+      fallback_parent = it->second.back();
+    }
+  }
+  double now = clock_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  WorkerSpan span;
+  span.name = std::move(name);
+  if (!buf->open.empty()) {
+    span.local_parent = buf->open.back();
+  } else {
+    span.orch_parent = fallback_parent;
+    span.flow_id = ctx.flow_id;
+  }
+  span.start_seconds = now;
+  buf->spans.push_back(std::move(span));
+  buf->open.push_back(buf->spans.size());
+}
+
+void Tracer::EndWorkerSpan() {
+  WorkerBuffer* buf = BufferForThisThread();
+  double now = clock_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  if (buf->open.empty()) return;
+  buf->spans[buf->open.back() - 1].end_seconds = now;
+  buf->open.pop_back();
+}
+
 size_t Tracer::num_spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spans_.size();
 }
 
+size_t Tracer::num_worker_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [tid, buf] : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    total += buf->spans.size();
+  }
+  return total;
+}
+
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return spans_;
+  std::vector<SpanRecord> out = spans_;
+  std::vector<WorkerBuffer*> ordered;
+  ordered.reserve(buffers_.size());
+  for (const auto& [tid, buf] : buffers_) ordered.push_back(buf.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const WorkerBuffer* a, const WorkerBuffer* b) {
+              return a->thread < b->thread;
+            });
+  for (WorkerBuffer* buf : ordered) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    // Merged ids stay 1-based and contiguous: a buffer-local parent at
+    // 1-based index i becomes id base + i.
+    size_t base = out.size();
+    for (const WorkerSpan& ws : buf->spans) {
+      SpanRecord rec;
+      rec.id = out.size() + 1;
+      rec.parent = ws.local_parent > 0 ? base + ws.local_parent
+                                       : ws.orch_parent;
+      rec.name = ws.name;
+      rec.thread = buf->thread;
+      rec.start_seconds = ws.start_seconds;
+      rec.end_seconds = ws.end_seconds;
+      rec.worker = true;
+      rec.flow_id = ws.flow_id;
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+std::vector<FlowPoint> Tracer::FlowSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flows_;
 }
 
 }  // namespace autofeat::obs

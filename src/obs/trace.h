@@ -1,24 +1,38 @@
-// Hierarchical phase tracing.
+// Hierarchical phase tracing — orchestration spans plus per-thread worker
+// spans.
 //
 // A Tracer records begin/end spans with parent links, so a run decomposes
 // into a tree: augment -> discover -> {prewarm, stratified_sample,
-// seed_base_features, bfs} -> ... Parentage is tracked per *thread* (the
-// calling thread's innermost open span is the parent), which matches how the
-// engine uses spans: orchestration phases open/close on the coordinating
-// thread while ParallelFor workers never open spans of their own — so the
-// span tree (names, nesting, order) is identical at any thread count and is
-// part of the report's deterministic digest. Wall-clock timestamps and
-// thread ids are recorded too, but excluded from the digest (see
-// obs/report.h).
+// seed_base_features, bfs} -> ... Two span families share that tree:
 //
-// Thread safety: Begin/End/Snapshot may be called concurrently; a span
-// begun on one thread must be ended on the same thread (ScopedSpan
-// guarantees this).
+//  * *Orchestration* spans (BeginSpan/EndSpan, ScopedSpan) are opened by
+//    coordinating code; parentage is the calling thread's innermost open
+//    span. Their names/ids/nesting are identical at any thread count and
+//    are part of the report's deterministic digest.
+//  * *Worker* spans (BeginWorkerSpan/EndWorkerSpan, ScopedWorkerSpan) are
+//    recorded by ParallelFor lanes and other pool tasks into per-thread
+//    buffers (no shared lock on the hot path) and merged into the span
+//    tree at Snapshot time. How many of them exist depends on scheduling
+//    (e.g. how many helper lanes actually ran), so they are *excluded*
+//    from the deterministic digest and only appear in volatile reports
+//    and Chrome trace exports (obs/chrome_trace.h).
+//
+// A TaskContext captured at an enqueue site (CaptureTaskContext) carries
+// the enqueuing span id and a fresh flow id into the worker: the worker
+// span parents under the orchestration span that submitted it, and the
+// flow id links enqueue -> execute arrows across threads in Perfetto.
+//
+// Thread safety: all members may be called concurrently; a span begun on
+// one thread must be ended on the same thread (the RAII wrappers
+// guarantee this).
 
 #ifndef AUTOFEAT_OBS_TRACE_H_
 #define AUTOFEAT_OBS_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,8 +43,12 @@
 
 namespace autofeat::obs {
 
-/// \brief One recorded phase span. Ids are 1-based begin order; parent 0
-/// means root. Thread ids are dense (first-seen order), not OS ids.
+class Tracer;
+
+/// \brief One recorded phase span. Ids are 1-based begin order
+/// (orchestration spans first, worker spans appended at Snapshot time);
+/// parent 0 means root. Thread ids are dense (first-seen order), not OS
+/// ids.
 struct SpanRecord {
   size_t id = 0;
   size_t parent = 0;
@@ -39,12 +57,37 @@ struct SpanRecord {
   /// Seconds since the tracer was constructed; end < 0 while still open.
   double start_seconds = 0.0;
   double end_seconds = -1.0;
+  /// Worker spans are scheduling-dependent: excluded from the
+  /// deterministic digest, emitted only in volatile reports.
+  bool worker = false;
+  /// Nonzero links this worker span back to its enqueue site (FlowPoint).
+  uint64_t flow_id = 0;
+};
+
+/// \brief The enqueue side of a flow arrow: where (span, thread) and when
+/// a task was submitted. The matching worker span carries the same
+/// flow_id.
+struct FlowPoint {
+  uint64_t flow_id = 0;
+  size_t thread = 0;
+  double time_seconds = 0.0;
+  size_t parent = 0;
+};
+
+/// \brief Captured on the enqueuing thread, carried by value into pool
+/// tasks. Top-level worker spans opened with it parent under `parent` and
+/// inherit `flow_id`. Default-constructed (tracer == nullptr) it is a
+/// no-op context.
+struct TaskContext {
+  Tracer* tracer = nullptr;
+  size_t parent = 0;
+  uint64_t flow_id = 0;
 };
 
 /// \brief Thread-safe hierarchical span recorder.
 class Tracer {
  public:
-  Tracer() = default;
+  Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -55,18 +98,70 @@ class Tracer {
   /// Closes the span; must be the calling thread's innermost open span.
   void EndSpan(size_t id);
 
+  /// Captures the calling thread's enqueue context: the innermost open
+  /// orchestration span becomes the worker spans' parent, and a fresh
+  /// flow id links enqueue -> execute in the Chrome trace.
+  TaskContext CaptureTask();
+
+  /// Opens a span in the calling thread's worker buffer. With an empty
+  /// local stack the span parents under `ctx` (enqueue-site parent + flow
+  /// id) — or, when `ctx` is a no-op context, under the calling thread's
+  /// innermost open orchestration span; nested worker spans parent under
+  /// the enclosing worker span.
+  void BeginWorkerSpan(std::string name, const TaskContext& ctx);
+
+  /// Closes the calling thread's innermost open worker span.
+  void EndWorkerSpan();
+
+  /// Orchestration spans only (worker spans excluded).
   size_t num_spans() const;
 
-  /// Copy of every span in begin order.
+  /// Worker spans across all per-thread buffers.
+  size_t num_worker_spans() const;
+
+  /// Copy of every span: orchestration spans in begin order, then worker
+  /// spans grouped by dense thread id (so the merged layout depends only
+  /// on thread discovery order, not map iteration).
   std::vector<SpanRecord> Snapshot() const;
 
+  /// Copy of every captured enqueue point, in capture order.
+  std::vector<FlowPoint> FlowSnapshot() const;
+
  private:
+  struct WorkerSpan {
+    std::string name;
+    size_t orch_parent = 0;
+    size_t local_parent = 0;  // 1-based index into the same buffer; 0 = none
+    uint64_t flow_id = 0;
+    double start_seconds = 0.0;
+    double end_seconds = -1.0;
+  };
+  struct WorkerBuffer {
+    std::mutex mutex;
+    size_t thread = 0;
+    std::vector<WorkerSpan> spans;
+    std::vector<size_t> open;  // 1-based indices into spans
+  };
+
+  /// The calling thread's buffer, created on first use (global lock),
+  /// then resolved through a thread-local cache keyed by tracer uid.
+  WorkerBuffer* BufferForThisThread();
+
+  const uint64_t uid_;
   mutable std::mutex mutex_;
   Timer clock_;
   std::vector<SpanRecord> spans_;
   std::unordered_map<std::thread::id, std::vector<size_t>> open_stacks_;
   std::unordered_map<std::thread::id, size_t> thread_ids_;
+  std::unordered_map<std::thread::id, std::unique_ptr<WorkerBuffer>> buffers_;
+  std::vector<FlowPoint> flows_;
+  std::atomic<uint64_t> next_flow_{1};
 };
+
+/// \brief Null-safe enqueue-context capture.
+inline TaskContext CaptureTaskContext(Tracer* tracer) {
+  return tracer != nullptr ? tracer->CaptureTask() : TaskContext{};
+}
 
 /// \brief RAII span; null-safe (a null tracer records nothing).
 class ScopedSpan {
@@ -83,6 +178,32 @@ class ScopedSpan {
  private:
   Tracer* tracer_;
   size_t id_ = 0;
+};
+
+/// \brief RAII worker span; null-safe in both forms.
+class ScopedWorkerSpan {
+ public:
+  /// Inside a pool task: parent + flow come from the enqueue-site
+  /// context.
+  ScopedWorkerSpan(const TaskContext& ctx, std::string name)
+      : tracer_(ctx.tracer) {
+    if (tracer_ != nullptr) tracer_->BeginWorkerSpan(std::move(name), ctx);
+  }
+  /// Context-free: parents under the calling thread's innermost open
+  /// orchestration span, no flow arrow.
+  ScopedWorkerSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      tracer_->BeginWorkerSpan(std::move(name), TaskContext{});
+    }
+  }
+  ~ScopedWorkerSpan() {
+    if (tracer_ != nullptr) tracer_->EndWorkerSpan();
+  }
+  ScopedWorkerSpan(const ScopedWorkerSpan&) = delete;
+  ScopedWorkerSpan& operator=(const ScopedWorkerSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
 };
 
 }  // namespace autofeat::obs

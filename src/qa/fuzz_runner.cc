@@ -62,17 +62,22 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
     invariants = std::move(filtered);
   }
 
+  obs::ScopedSpan campaign_span(options.tracer, "fuzz.campaign");
   LakeFuzzer fuzzer(options.fuzz);
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.threads) > 1 && options.num_seeds > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);
+    if (options.tracer != nullptr) pool->set_tracer(options.tracer);
   }
 
   // Phase 1 — the seed sweep. Each seed is an independent task; failures
   // are merged in seed order so the report never depends on scheduling.
+  obs::TaskContext seed_ctx = obs::CaptureTaskContext(
+      options.num_seeds == 0 ? nullptr : options.tracer);
   std::vector<std::vector<FuzzFailure>> per_seed =
       ParallelMap<std::vector<FuzzFailure>>(
           pool.get(), options.num_seeds, /*grain=*/1, [&](size_t i) {
+            obs::ScopedWorkerSpan seed_span(seed_ctx, "fuzz.seed");
             uint64_t seed = options.seed_start + i;
             FuzzedLake fz = fuzzer.Generate(seed);
             std::vector<FuzzFailure> failures;

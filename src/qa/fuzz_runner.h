@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qa/invariants.h"
 #include "qa/lake_fuzzer.h"
 #include "util/status.h"
@@ -35,6 +36,10 @@ struct FuzzOptions {
   LakeFuzzOptions fuzz;
   /// Optional campaign metrics (qa.seeds, qa.checks, qa.failures).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional tracer: the campaign opens a `fuzz.campaign` span and each
+  /// seed records a `fuzz.seed` worker span (timings excluded from the
+  /// deterministic digest, so the report stays thread-count independent).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct FuzzFailure {

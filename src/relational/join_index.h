@@ -40,6 +40,12 @@ struct JoinKeyIndex {
   std::vector<uint32_t> representative;
 
   size_t num_distinct_keys() const { return representative.size(); }
+
+  /// Approximate heap footprint in bytes (dictionary + representatives);
+  /// size-based and deterministic like KeyDictionary::ApproxBytes.
+  size_t ApproxBytes() const {
+    return dict.ApproxBytes() + representative.size() * sizeof(uint32_t);
+  }
 };
 
 /// Builds the index of `key`. Representatives are drawn from

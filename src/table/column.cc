@@ -199,4 +199,13 @@ bool Column::Equals(const Column& other) const {
   return true;
 }
 
+size_t Column::ApproxBytes() const {
+  size_t total = sizeof(Column);
+  total += doubles_.size() * sizeof(double);
+  total += int64s_.size() * sizeof(int64_t);
+  total += valid_.size() * sizeof(uint8_t);
+  for (const std::string& s : strings_) total += sizeof(std::string) + s.size();
+  return total;
+}
+
 }  // namespace autofeat

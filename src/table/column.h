@@ -93,6 +93,12 @@ class Column {
   /// Structural equality (type, validity and values).
   bool Equals(const Column& other) const;
 
+  /// Approximate heap footprint in bytes. Size-based (element counts and
+  /// string lengths, not container capacity), so equal content reports
+  /// equal bytes regardless of construction history — which keeps the
+  /// memory gauges built on it deterministic.
+  size_t ApproxBytes() const;
+
  private:
   void EnsureValidMask();
 

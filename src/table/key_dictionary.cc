@@ -128,4 +128,21 @@ uint32_t KeyDictionary::Lookup(const Column& probe, size_t row) const {
   return kNoKey;
 }
 
+size_t KeyDictionary::ApproxBytes() const {
+  // Hash-map entries count key + value + one node pointer; bucket arrays
+  // are capacity-dependent and deliberately excluded.
+  size_t total = sizeof(KeyDictionary);
+  total += int_ids_.size() *
+           (sizeof(int64_t) + sizeof(uint32_t) + sizeof(void*));
+  for (const auto& [key, id] : str_ids_) {
+    (void)id;
+    total += sizeof(std::string) + key.size() + sizeof(uint32_t) +
+             sizeof(void*);
+  }
+  total += row_ids_.size() * sizeof(uint32_t);
+  total += offsets_.size() * sizeof(uint32_t);
+  total += rows_.size() * sizeof(uint32_t);
+  return total;
+}
+
 }  // namespace autofeat

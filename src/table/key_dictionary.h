@@ -69,6 +69,11 @@ class KeyDictionary {
   /// never touch a std::string.
   uint32_t Lookup(const Column& probe, size_t row) const;
 
+  /// Approximate heap footprint in bytes (hash-map entries, CSR arrays).
+  /// Size-based, so equal content reports equal bytes (see
+  /// Column::ApproxBytes for why the memory gauges need that).
+  size_t ApproxBytes() const;
+
  private:
   // Heterogeneous lookup so double-formatted probes use a stack buffer.
   struct StringHash {

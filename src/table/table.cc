@@ -129,4 +129,13 @@ bool Table::Equals(const Table& other) const {
   return true;
 }
 
+size_t Table::ApproxBytes() const {
+  size_t total = sizeof(Table) + name_.size();
+  for (const std::string& field : schema_.FieldNames()) {
+    total += sizeof(std::string) + field.size();
+  }
+  for (const Column& col : columns_) total += col.ApproxBytes();
+  return total;
+}
+
 }  // namespace autofeat

@@ -68,6 +68,11 @@ class Table {
 
   bool Equals(const Table& other) const;
 
+  /// Approximate in-memory footprint in bytes: every column's
+  /// Column::ApproxBytes plus the name and schema strings. Size-based and
+  /// deterministic (see Column::ApproxBytes).
+  size_t ApproxBytes() const;
+
  private:
   std::string name_;
   Schema schema_;

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autofeat {
 
@@ -54,6 +55,16 @@ void ThreadPool::set_metrics(obs::MetricsRegistry* metrics) {
 obs::MetricsRegistry* ThreadPool::metrics() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return metrics_;
+}
+
+void ThreadPool::set_tracer(obs::Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = tracer;
+}
+
+obs::Tracer* ThreadPool::tracer() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracer_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -161,8 +172,14 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   std::atomic<size_t> helpers_live{helpers};
   std::mutex helper_mutex;
   std::condition_variable helper_cv;
+  obs::Tracer* tracer = pool->tracer();
   for (size_t t = 0; t < helpers; ++t) {
-    pool->Submit([&] {
+    // Captured on the caller thread: the enqueuing span becomes the
+    // helper span's parent and the flow id draws the Submit -> execute
+    // arrow in the Chrome trace.
+    obs::TaskContext ctx = obs::CaptureTaskContext(tracer);
+    pool->Submit([&, ctx] {
+      obs::ScopedWorkerSpan span(ctx, "thread_pool.worker");
       obs::Increment(chunks_helper, state.RunChunks());
       if (helpers_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(helper_mutex);

@@ -22,6 +22,7 @@ namespace autofeat {
 namespace obs {
 class Counter;
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
 
 /// Resolves a `num_threads` config knob: 0 = hardware concurrency
@@ -55,6 +56,14 @@ class ThreadPool {
   void set_metrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() const;
 
+  /// Attaches a tracer (null detaches). ParallelFor helper lanes then
+  /// record `thread_pool.worker` spans into the tracer's per-thread
+  /// buffers, with flow events linking each Submit to its execution.
+  /// Worker spans are scheduling-dependent and never enter the
+  /// deterministic digest (see obs/trace.h).
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const;
+
  private:
   void WorkerLoop();
 
@@ -66,6 +75,7 @@ class ThreadPool {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* tasks_submitted_ = nullptr;
   obs::Counter* tasks_executed_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Runs `fn(i)` for every i in [begin, end), chunked by `grain` (minimum

@@ -1,0 +1,184 @@
+// The bench-regression gate: JSON parsing, timing/metric comparison
+// semantics (relative threshold + absolute noise floor, growth-only byte
+// gauges, skipped scheduling-dependent series), and the failure modes CI
+// depends on (mismatched benches, malformed documents).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "obs/json_value.h"
+
+namespace autofeat {
+namespace {
+
+std::string BenchDoc(double eval_seconds, double micro_seconds,
+                     int candidates, int cache_bytes) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\": \"autofeat.bench.v1\", \"bench\": \"join_path\","
+      " \"mode\": \"quick\", \"timings\": ["
+      "{\"phase\": \"candidate_eval\", \"threads\": 1, \"seconds\": %.6f},"
+      "{\"phase\": \"micro_join\", \"threads\": 1, \"seconds\": %.6f}],"
+      " \"metrics\": {\"counters\": {"
+      "\"discovery.candidates_scored\": %d,"
+      "\"thread_pool.tasks_executed\": 9999},"
+      " \"gauges\": {\"join_index_cache.bytes\": %d}}}",
+      eval_seconds, micro_seconds, candidates, cache_bytes);
+  return buf;
+}
+
+TEST(BenchDiffTest, IdenticalRunsPass) {
+  std::string doc = BenchDoc(1.0, 0.002, 500, 100000);
+  auto report = obs::DiffBenchReports(doc, doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->num_regressions(), 0u);
+  EXPECT_EQ(report->bench, "join_path");
+  EXPECT_EQ(report->timings.size(), 2u);
+  // thread_pool.* is scheduling-dependent and must be skipped.
+  for (const obs::BenchDiffEntry& e : report->metrics) {
+    EXPECT_EQ(e.name.rfind("thread_pool.", 0), std::string::npos) << e.name;
+  }
+}
+
+TEST(BenchDiffTest, InjectedSlowdownFlagsRegression) {
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  // 20% slower candidate_eval: over the 10% threshold and the noise floor.
+  std::string current = BenchDoc(1.2, 0.002, 500, 100000);
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->num_regressions(), 1u);
+  bool flagged = false;
+  for (const obs::BenchDiffEntry& e : report->timings) {
+    if (e.name == "candidate_eval@1") {
+      flagged = e.regression;
+      EXPECT_NEAR(e.delta_ratio, 0.2, 1e-9);
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(report->Summary().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiffTest, NoiseFloorAbsorbsTinyAbsoluteDeltas) {
+  // micro_join doubles (+100% relative) but the delta is 2ms — far below
+  // the 10ms floor, so a pure ratio test would false-positive here.
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  std::string current = BenchDoc(1.0, 0.004, 500, 100000);
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(BenchDiffTest, SpeedupNeverFlags) {
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  std::string current = BenchDoc(0.5, 0.001, 500, 100000);
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(BenchDiffTest, DeterministicMetricDriftFlagsBothDirections) {
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  // Deterministic counters are pure functions of the workload; drift in
+  // either direction is a behavioural change.
+  for (int candidates : {300, 700}) {
+    std::string current = BenchDoc(1.0, 0.002, candidates, 100000);
+    auto report = obs::DiffBenchReports(baseline, current);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->ok()) << candidates << " candidates not flagged";
+  }
+}
+
+TEST(BenchDiffTest, ByteGaugesFlagGrowthOnly) {
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  // 50% more cache memory: regression.
+  auto grown = obs::DiffBenchReports(baseline, BenchDoc(1.0, 0.002, 500,
+                                                        150000));
+  ASSERT_TRUE(grown.ok());
+  EXPECT_FALSE(grown->ok());
+  // 50% less: an improvement, not a regression.
+  auto shrunk = obs::DiffBenchReports(baseline, BenchDoc(1.0, 0.002, 500,
+                                                         50000));
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_TRUE(shrunk->ok());
+}
+
+TEST(BenchDiffTest, ThresholdsAreConfigurable) {
+  std::string baseline = BenchDoc(1.0, 0.002, 500, 100000);
+  std::string current = BenchDoc(1.05, 0.002, 500, 100000);
+  obs::BenchDiffOptions loose;
+  auto ok_report = obs::DiffBenchReports(baseline, current, loose);
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_TRUE(ok_report->ok());  // +5% passes the default 10% gate.
+  obs::BenchDiffOptions strict;
+  strict.time_threshold = 0.02;
+  auto strict_report = obs::DiffBenchReports(baseline, current, strict);
+  ASSERT_TRUE(strict_report.ok());
+  EXPECT_FALSE(strict_report->ok());
+}
+
+TEST(BenchDiffTest, OneSidedEntriesBecomeNotesNotRegressions) {
+  std::string baseline =
+      "{\"bench\": \"b\", \"mode\": \"quick\", \"timings\": ["
+      "{\"phase\": \"old_phase\", \"threads\": 1, \"seconds\": 1.0}],"
+      " \"metrics\": {}}";
+  std::string current =
+      "{\"bench\": \"b\", \"mode\": \"quick\", \"timings\": ["
+      "{\"phase\": \"new_phase\", \"threads\": 1, \"seconds\": 1.0}],"
+      " \"metrics\": {}}";
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->notes.size(), 2u);
+}
+
+TEST(BenchDiffTest, MismatchesAndMalformedInputError) {
+  std::string a = BenchDoc(1.0, 0.002, 500, 100000);
+  std::string other_bench =
+      "{\"bench\": \"other\", \"mode\": \"quick\", \"timings\": []}";
+  EXPECT_FALSE(obs::DiffBenchReports(a, other_bench).ok());
+  std::string other_mode =
+      "{\"bench\": \"join_path\", \"mode\": \"full\", \"timings\": []}";
+  EXPECT_FALSE(obs::DiffBenchReports(a, other_mode).ok());
+  EXPECT_FALSE(obs::DiffBenchReports(a, "{not json").ok());
+  EXPECT_FALSE(obs::DiffBenchReports(a, "{\"bench\": \"join_path\"}").ok());
+}
+
+// --- JSON parser units (the gate's only input surface) ---
+
+TEST(JsonValueTest, ParsesScalarsArraysObjects) {
+  auto doc = obs::ParseJson(
+      "{\"a\": 1.5, \"b\": [true, false, null, -3e2], \"c\": {\"d\": \"x\"}}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("a")->number, 1.5);
+  const obs::JsonValue* b = doc->Find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items.size(), 4u);
+  EXPECT_TRUE(b->items[0].boolean);
+  EXPECT_TRUE(b->items[2].is_null());
+  EXPECT_EQ(b->items[3].number, -300.0);
+  EXPECT_EQ(doc->Find("c")->Find("d")->str, "x");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DecodesEscapes) {
+  auto doc = obs::ParseJson("\"q\\\"b\\\\n\\nt\\tu\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->str, "q\"b\\n\nt\tuA\xc3\xa9");
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "{\"a\": 1} x", "\"\\q\"", "01",
+        "nul", "\"unterminated"}) {
+    EXPECT_FALSE(obs::ParseJson(bad).ok()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace autofeat

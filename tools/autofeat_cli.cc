@@ -23,7 +23,10 @@
 #include "graph/dot_export.h"
 #include "graph/path_format.h"
 #include "ml/trainer.h"
+#include "obs/chrome_trace.h"
+#include "obs/memory.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "relational/describe.h"
 #include "table/csv.h"
 
@@ -38,6 +41,7 @@ struct CliOptions {
   std::string output;
   std::string dot_output;
   std::string metrics_output;
+  std::string trace_output;
   std::string model = "lightgbm";
   double tau = 0.65;
   size_t kappa = 15;
@@ -58,15 +62,19 @@ void PrintUsage() {
       "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
       "                    [--threshold F] [--threads N] [--tune]\n"
       "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
-      "                    [--metrics-out FILE.json]\n"
+      "                    [--metrics-out FILE.json] [--trace-out FILE.json]\n"
       "  --threads N   worker threads for discovery + evaluation\n"
       "                (0 = all hardware threads, 1 = sequential; results\n"
       "                are identical at any thread count)\n"
       "  --metrics-out FILE.json\n"
       "                write an observability report (counters, histograms,\n"
-      "                phase spans) covering DRG discovery and the engine;\n"
-      "                the report's deterministic digest is identical at any\n"
-      "                --threads value\n");
+      "                memory gauges, phase spans) covering DRG discovery\n"
+      "                and the engine; the report's deterministic digest is\n"
+      "                identical at any --threads value\n"
+      "  --trace-out FILE.json\n"
+      "                write a Chrome trace-event file with per-thread\n"
+      "                orchestration + worker spans and enqueue->execute\n"
+      "                flow arrows; open at https://ui.perfetto.dev\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -99,6 +107,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->metrics_output = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      options->trace_output = v;
     } else if (arg == "--model") {
       const char* v = next();
       if (!v) return false;
@@ -167,21 +179,31 @@ int main(int argc, char** argv) {
   }
 
   // One shared registry/tracer covers DRG discovery and the engine, so the
-  // report shows every phase of the run. Null when --metrics-out is absent:
-  // every instrumentation point below degenerates to an untaken branch.
+  // report shows every phase of the run. Null when neither --metrics-out
+  // nor --trace-out is given: every instrumentation point below
+  // degenerates to an untaken branch.
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::Tracer> tracer;
-  if (!options.metrics_output.empty()) {
+  if (!options.metrics_output.empty() || !options.trace_output.empty()) {
     metrics = std::make_unique<obs::MetricsRegistry>();
     tracer = std::make_unique<obs::Tracer>();
   }
 
-  size_t load_span = tracer ? tracer->BeginSpan("load_lake") : 0;
-  auto lake = DataLake::FromCsvDirectory(options.lake_dir);
-  if (tracer) tracer->EndSpan(load_span);
+  auto lake = [&] {
+    obs::ScopedSpan span(tracer.get(), "load_lake");
+    return DataLake::FromCsvDirectory(options.lake_dir);
+  }();
   lake.status().Abort("loading lake");
   std::printf("loaded %zu tables from %s\n", lake->num_tables(),
               options.lake_dir.c_str());
+  if (metrics != nullptr) {
+    size_t lake_bytes = 0;
+    for (const auto& table : lake->tables()) lake_bytes += table.ApproxBytes();
+    obs::UpdateMax(obs::GetGauge(metrics.get(), "lake.tables"),
+                   static_cast<int64_t>(lake->num_tables()));
+    obs::UpdateMax(obs::GetGauge(metrics.get(), "lake.bytes"),
+                   static_cast<int64_t>(lake_bytes));
+  }
   if (!lake->HasTable(options.base_table)) {
     std::fprintf(stderr, "base table '%s' not found in lake\n",
                  options.base_table.c_str());
@@ -201,10 +223,12 @@ int main(int argc, char** argv) {
   if (ResolveNumThreads(options.threads) > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);
     if (metrics != nullptr) pool->set_metrics(metrics.get());
+    if (tracer != nullptr) pool->set_tracer(tracer.get());
   }
-  size_t drg_span = tracer ? tracer->BeginSpan("drg_discovery") : 0;
-  auto drg = BuildDrgByDiscovery(*lake, match, pool.get(), metrics.get());
-  if (tracer) tracer->EndSpan(drg_span);
+  auto drg = [&] {
+    obs::ScopedSpan span(tracer.get(), "drg_discovery");
+    return BuildDrgByDiscovery(*lake, match, pool.get(), metrics.get());
+  }();
   drg.status().Abort("discovering joinability");
   std::printf("discovered DRG: %zu nodes, %zu edges (threshold %.2f)\n",
               drg->num_nodes(), drg->num_edges(), options.threshold);
@@ -282,6 +306,9 @@ int main(int argc, char** argv) {
   }
 
   if (metrics != nullptr) {
+    obs::RecordProcessPeakRss(metrics.get());
+  }
+  if (!options.metrics_output.empty()) {
     std::ofstream report_file(options.metrics_output);
     if (!report_file) {
       std::fprintf(stderr, "cannot write metrics report to %s\n",
@@ -292,6 +319,17 @@ int main(int argc, char** argv) {
     std::printf("metrics report written to %s (digest %s)\n",
                 options.metrics_output.c_str(),
                 obs::DeterministicDigest(*metrics, tracer.get()).c_str());
+  }
+  if (!options.trace_output.empty()) {
+    std::ofstream trace_file(options.trace_output);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   options.trace_output.c_str());
+      return 2;
+    }
+    trace_file << obs::ChromeTraceJson(*tracer);
+    std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                options.trace_output.c_str());
   }
   return 0;
 }

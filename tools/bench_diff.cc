@@ -1,0 +1,116 @@
+// bench_diff — A/B regression gate over two BENCH_*.json files.
+//
+// Usage:
+//   bench_diff BASELINE.json CURRENT.json
+//              [--time-threshold F] [--metric-threshold F]
+//              [--min-seconds F]
+//
+// Compares the bench harness records phase-by-phase (timings keyed by
+// phase@threads) and metric-by-metric (deterministic counters/gauges from
+// the embedded obs report; `.bytes` gauges flag on growth only,
+// `thread_pool.*` / `process.*` are skipped as scheduling-dependent).
+//
+// Exit status: 0 = within thresholds, 1 = regression(s) found, 2 = usage
+// or parse error. Designed for CI: run the bench, then diff against the
+// committed baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_diff.h"
+
+namespace {
+
+using namespace autofeat;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff BASELINE.json CURRENT.json\n"
+      "                  [--time-threshold F] [--metric-threshold F]\n"
+      "                  [--min-seconds F]\n"
+      "  --time-threshold F    relative slowdown tolerated per phase\n"
+      "                        (default 0.10 = +10%%)\n"
+      "  --metric-threshold F  relative drift tolerated per metric\n"
+      "                        (default 0.10; .bytes gauges flag on growth\n"
+      "                        only)\n"
+      "  --min-seconds F       absolute timing noise floor (default 0.01)\n"
+      "exit: 0 = ok, 1 = regression, 2 = usage/parse error\n");
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  obs::BenchDiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--time-threshold") {
+      const char* v = next();
+      if (!v) { PrintUsage(); return 2; }
+      options.time_threshold = std::atof(v);
+    } else if (arg == "--metric-threshold") {
+      const char* v = next();
+      if (!v) { PrintUsage(); return 2; }
+      options.metric_threshold = std::atof(v);
+    } else if (arg == "--min-seconds") {
+      const char* v = next();
+      if (!v) { PrintUsage(); return 2; }
+      options.min_seconds = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string baseline_json, current_json;
+  if (!ReadFile(baseline_path, &baseline_json)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(current_path, &current_json)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+
+  auto report = obs::DiffBenchReports(baseline_json, current_json, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->Summary().c_str());
+  if (!report->ok()) {
+    std::printf("FAIL: %zu regression(s) against %s\n",
+                report->num_regressions(), baseline_path.c_str());
+    return 1;
+  }
+  std::printf("OK: no regressions against %s\n", baseline_path.c_str());
+  return 0;
+}

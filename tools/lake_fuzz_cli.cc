@@ -15,9 +15,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.h"
+#include "obs/memory.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "qa/fuzz_runner.h"
 #include "qa/invariants.h"
 
@@ -28,6 +34,8 @@ using namespace autofeat;
 struct CliOptions {
   qa::FuzzOptions fuzz;
   std::string replay_dir;
+  std::string metrics_output;
+  std::string trace_output;
   bool list = false;
 };
 
@@ -37,7 +45,8 @@ void PrintUsage() {
       "usage: lake_fuzz_cli [--seeds N] [--seed-start N] [--threads N]\n"
       "                     [--out DIR] [--invariant NAME]... [--no-shrink]\n"
       "                     [--plant-bug] [--max-rows N] [--list]\n"
-      "                     [--replay DIR]\n"
+      "                     [--replay DIR] [--metrics-out FILE.json]\n"
+      "                     [--trace-out FILE.json]\n"
       "  --seeds N       number of lakes to generate and check (default 50)\n"
       "  --seed-start N  first seed of the campaign (default 1)\n"
       "  --threads N     seed-sweep workers (0 = hardware, 1 = sequential;\n"
@@ -50,7 +59,15 @@ void PrintUsage() {
       "                  (self-test of the shrink/repro pipeline)\n"
       "  --max-rows N    largest generated table height (default 40)\n"
       "  --list          print the invariant registry and exit\n"
-      "  --replay DIR    re-check a previously written repro directory\n");
+      "  --replay DIR    re-check a previously written repro directory\n"
+      "  --metrics-out FILE.json\n"
+      "                  write the campaign's observability report (qa.*\n"
+      "                  counters, peak RSS); digest is thread-count\n"
+      "                  independent\n"
+      "  --trace-out FILE.json\n"
+      "                  write a Chrome trace-event file of the campaign\n"
+      "                  (per-seed worker spans); open at\n"
+      "                  https://ui.perfetto.dev\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -87,6 +104,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->fuzz.fuzz.max_rows = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      options->metrics_output = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      options->trace_output = v;
     } else if (arg == "--list") {
       options->list = true;
     } else if (arg == "--replay") {
@@ -130,12 +155,51 @@ int main(int argc, char** argv) {
     return report->ok() ? 0 : 1;
   }
 
+  // Shared registry/tracer for the campaign, created only when requested —
+  // with neither flag the fuzz runner sees null sinks and records nothing.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!options.metrics_output.empty() || !options.trace_output.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    tracer = std::make_unique<obs::Tracer>();
+    options.fuzz.metrics = metrics.get();
+    options.fuzz.tracer = tracer.get();
+  }
+
   auto report = qa::RunFuzz(options.fuzz);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 2;
   }
   std::printf("%s", report->Summary().c_str());
+
+  if (metrics != nullptr) {
+    obs::RecordProcessPeakRss(metrics.get());
+  }
+  if (!options.metrics_output.empty()) {
+    std::ofstream report_file(options.metrics_output);
+    if (!report_file) {
+      std::fprintf(stderr, "cannot write metrics report to %s\n",
+                   options.metrics_output.c_str());
+      return 2;
+    }
+    report_file << obs::JsonReport(*metrics, tracer.get());
+    std::printf("metrics report written to %s (digest %s)\n",
+                options.metrics_output.c_str(),
+                obs::DeterministicDigest(*metrics, tracer.get()).c_str());
+  }
+  if (!options.trace_output.empty()) {
+    std::ofstream trace_file(options.trace_output);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   options.trace_output.c_str());
+      return 2;
+    }
+    trace_file << obs::ChromeTraceJson(*tracer);
+    std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                options.trace_output.c_str());
+  }
+
   if (!report->ok()) {
     std::printf("repros written under %s (replay with --replay DIR)\n",
                 options.fuzz.repro_dir.c_str());

@@ -1,0 +1,53 @@
+#include "datagen/scale_lake.h"
+
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace autofeat::datagen {
+
+size_t ExpectedScaleLakeEdges(const ScaleLakeSpec& spec) {
+  if (spec.pod_size == 0) return 0;
+  size_t full_pods = spec.num_tables / spec.pod_size;
+  size_t remainder = spec.num_tables % spec.pod_size;
+  return full_pods * spec.pod_size * (spec.pod_size - 1) / 2 +
+         (remainder > 1 ? remainder * (remainder - 1) / 2 : 0);
+}
+
+DataLake BuildScaleLake(const ScaleLakeSpec& spec) {
+  DataLake lake;
+  for (size_t t = 0; t < spec.num_tables; ++t) {
+    size_t pod = spec.pod_size > 0 ? t / spec.pod_size : 0;
+    size_t slot = spec.pod_size > 0 ? t % spec.pod_size : t;
+    // Per-table stream: the lake is a pure function of spec.seed no matter
+    // how callers interleave construction.
+    Rng rng(DeriveSeed(spec.seed, t));
+
+    Table table("pod" + std::to_string(pod) + "_t" + std::to_string(slot));
+    // The pod key domain is [pod * rows, (pod + 1) * rows): containment of
+    // any two within-pod key columns is exactly 1, and key domains (and
+    // thus value sketches) of different pods are disjoint.
+    Column key(DataType::kInt64);
+    const int64_t base = static_cast<int64_t>(pod * spec.rows);
+    for (size_t i : rng.Permutation(spec.rows)) {
+      key.AppendInt64(base + static_cast<int64_t>(i));
+    }
+    table.AddColumn("key_p" + std::to_string(pod), std::move(key)).Abort();
+
+    for (size_t m = 0; m < spec.features_per_table; ++m) {
+      Column feature(DataType::kDouble);
+      for (size_t i = 0; i < spec.rows; ++i) {
+        feature.AppendDouble(rng.Normal(0.0, 1.0));
+      }
+      table
+          .AddColumn("v" + std::to_string(t) + "_" + std::to_string(m),
+                     std::move(feature))
+          .Abort();
+    }
+    lake.AddTable(std::move(table)).Abort();
+  }
+  return lake;
+}
+
+}  // namespace autofeat::datagen

@@ -1,0 +1,52 @@
+// Pod-structured lakes for DRG-construction scaling benchmarks.
+//
+// BuildLake (lake_builder.h) grows a single joinable neighbourhood around
+// one base table — its true edge count is quadratic-ish in the table count,
+// which is the wrong shape for measuring candidate generation: a candidate
+// filter cannot beat all-pairs on a lake where almost every pair really
+// joins. Real thousand-table lakes are sparsely joinable; BuildScaleLake
+// models that with independent "pods" of `pod_size` tables sharing one
+// per-pod key domain. Key domains of different pods are disjoint and key
+// column names differ per pod, so the ground-truth DRG has exactly
+// C(pod_size, 2) key↔key edges per pod — edge count linear in the table
+// count — and everything cross-pod stays below the match threshold.
+
+#ifndef AUTOFEAT_DATAGEN_SCALE_LAKE_H_
+#define AUTOFEAT_DATAGEN_SCALE_LAKE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "discovery/data_lake.h"
+
+namespace autofeat::datagen {
+
+struct ScaleLakeSpec {
+  /// Total table count; the last pod may be smaller than pod_size.
+  size_t num_tables = 100;
+  /// Tables per pod, all sharing one key domain (1 hub + pod_size-1
+  /// satellites).
+  size_t pod_size = 5;
+  /// Rows per table; also the size of each pod's key domain. Keep above
+  /// LshOptions::small_column_rescue so the bench exercises the banding
+  /// path, not the small-column rescue.
+  size_t rows = 120;
+  /// Double feature columns per table.
+  size_t features_per_table = 2;
+  uint64_t seed = 42;
+};
+
+/// Expected DRG edge count of a spec-built lake under the default
+/// MatchOptions: every within-pod table pair joins on the pod key, nothing
+/// else matches.
+size_t ExpectedScaleLakeEdges(const ScaleLakeSpec& spec);
+
+/// Builds the lake. Tables are named "pod<p>_t<k>"; each carries the pod
+/// key column "key_p<p>" (a permutation of the pod's key domain, so
+/// within-pod containment is exactly 1) plus normally-distributed double
+/// feature columns with per-table names. Deterministic in spec.seed.
+DataLake BuildScaleLake(const ScaleLakeSpec& spec);
+
+}  // namespace autofeat::datagen
+
+#endif  // AUTOFEAT_DATAGEN_SCALE_LAKE_H_

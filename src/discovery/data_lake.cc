@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "discovery/lsh_index.h"
 #include "discovery/sketch_cache.h"
 #include "obs/metrics.h"
 #include "table/csv.h"
@@ -95,12 +96,25 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake,
 
 namespace {
 
-// Fan the upper-triangle pair sweep out over `pool` and fold the matches
-// into a DRG sequentially in (i, j) order — edge insertion order (and thus
-// the graph) is independent of the thread count. `score_pair(i, j)` must be
-// safe to call concurrently for distinct pairs.
+// Every (i, j) pair of the upper triangle, ascending. The triangle above
+// the diagonal has n(n-1)/2 pairs.
+std::vector<std::pair<size_t, size_t>> AllTablePairs(size_t n) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (n > 1) pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+// Fan the scoring of `pairs` (ascending (i, j) table-index pairs — the full
+// upper triangle or an LSH candidate subset of it) out over `pool` and fold
+// the matches into a DRG sequentially in (i, j) order — edge insertion
+// order (and thus the graph) is independent of the thread count.
+// `score_pair(i, j)` must be safe to call concurrently for distinct pairs.
 Result<DatasetRelationGraph> BuildDrgFromPairScores(
-    const DataLake& lake, ThreadPool* pool, obs::MetricsRegistry* metrics,
+    const DataLake& lake, const std::vector<std::pair<size_t, size_t>>& pairs,
+    ThreadPool* pool, obs::MetricsRegistry* metrics,
     const std::function<std::vector<ColumnMatch>(size_t, size_t)>&
         score_pair) {
   obs::Counter* pairs_scored = obs::GetCounter(metrics, "drg.pairs_scored");
@@ -110,11 +124,6 @@ Result<DatasetRelationGraph> BuildDrgFromPairScores(
   for (const auto& table : lake.tables()) drg.AddNode(table.name());
   const auto& tables = lake.tables();
 
-  std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(tables.size() * (tables.size() + 1) / 2);
-  for (size_t i = 0; i < tables.size(); ++i) {
-    for (size_t j = i + 1; j < tables.size(); ++j) pairs.emplace_back(i, j);
-  }
   std::vector<std::vector<ColumnMatch>> matches =
       ParallelMap<std::vector<ColumnMatch>>(
           pool, pairs.size(), /*grain=*/1, [&](size_t p) {
@@ -144,16 +153,38 @@ Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
   // over the shared cache instead of re-scanning column values per pair.
   LakeSketchCache cache =
       LakeSketchCache::Build(lake, options.max_sample_values, pool, metrics);
+
+  // Candidate generation. LSH filtering is sound only while every
+  // reportable edge needs value overlap (a collision witness); when the
+  // threshold is reachable on name evidence alone, fall back to the
+  // exhaustive sweep instead of silently dropping name-only edges.
+  const size_t n = lake.num_tables();
+  const size_t total_pairs = n > 1 ? n * (n - 1) / 2 : 0;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (options.candidate_mode == CandidateMode::kLsh &&
+      options.threshold > options.name_weight) {
+    LshCandidateIndex lsh =
+        LshCandidateIndex::Build(lake, cache, options.lsh, pool, metrics);
+    pairs = lsh.candidate_table_pairs();
+  } else {
+    pairs = AllTablePairs(lake.num_tables());
+  }
+  obs::Increment(obs::GetCounter(metrics, "drg.candidate_pairs"),
+                 pairs.size());
+  obs::Increment(obs::GetCounter(metrics, "drg.pairs_pruned"),
+                 total_pairs - pairs.size());
+
   // Each pair served from the cache would have re-sketched both tables'
   // columns under the naive formulation — that saved work is the hit count.
   obs::Counter* sketch_hits = obs::GetCounter(metrics, "sketch_cache.hits");
   const auto& tables = lake.tables();
-  return BuildDrgFromPairScores(lake, pool, metrics, [&](size_t i, size_t j) {
-    obs::Increment(sketch_hits,
-                   tables[i].num_columns() + tables[j].num_columns());
-    return MatchSchemas(tables[i], cache.table_sketches(i), tables[j],
-                        cache.table_sketches(j), options);
-  });
+  return BuildDrgFromPairScores(
+      lake, pairs, pool, metrics, [&](size_t i, size_t j) {
+        obs::Increment(sketch_hits,
+                       tables[i].num_columns() + tables[j].num_columns());
+        return MatchSchemas(tables[i], cache.table_sketches(i), tables[j],
+                            cache.table_sketches(j), options);
+      });
 }
 
 Result<DatasetRelationGraph> BuildDrgWithMatcher(
@@ -162,9 +193,9 @@ Result<DatasetRelationGraph> BuildDrgWithMatcher(
         matcher,
     ThreadPool* pool, obs::MetricsRegistry* metrics) {
   const auto& tables = lake.tables();
-  return BuildDrgFromPairScores(lake, pool, metrics, [&](size_t i, size_t j) {
-    return matcher(tables[i], tables[j]);
-  });
+  return BuildDrgFromPairScores(
+      lake, AllTablePairs(tables.size()), pool, metrics,
+      [&](size_t i, size_t j) { return matcher(tables[i], tables[j]); });
 }
 
 }  // namespace autofeat

@@ -73,19 +73,26 @@ Result<DatasetRelationGraph> BuildDrgFromKfk(
     const DataLake& lake, obs::MetricsRegistry* metrics = nullptr);
 
 /// Data-lake setting: ignores KFK metadata and runs the schema matcher over
-/// every table pair; matches at or above options.threshold become edges
-/// weighted by their similarity score.
+/// candidate table pairs; matches at or above options.threshold become
+/// edges weighted by their similarity score.
 ///
-/// Every column is sketched exactly once (LakeSketchCache) before the
-/// quadratic pair sweep. With a `pool`, sketching fans out over tables and
-/// pair scoring over table pairs; matches are folded into the DRG in
-/// deterministic (i, j) pair order, so the graph is byte-identical at any
-/// thread count.
+/// Every column is sketched exactly once (LakeSketchCache) before the pair
+/// sweep. With the default options.candidate_mode (kAllPairs) every pair of
+/// the upper triangle is scored — O(n²) in the table count; with kLsh a
+/// MinHash-LSH index over the sketches (see lsh_index.h) generates the
+/// candidate subset first and only candidates are scored. With a `pool`,
+/// sketching fans out over tables and pair scoring over (candidate) table
+/// pairs; matches are folded into the DRG in deterministic (i, j) pair
+/// order, so the graph is byte-identical at any thread count in either
+/// mode.
 ///
 /// A non-null `metrics` records the DRG-construction counters:
 /// `sketch_cache.builds` (sketches computed once), `sketch_cache.hits`
 /// (sketch reuses the per-pair formulation would have recomputed),
-/// `drg.pairs_scored`, `drg.pairs_matched`, `drg.edges_added`.
+/// `drg.candidate_pairs` / `drg.pairs_pruned` (candidate-generation
+/// effect; pruned is 0 under kAllPairs), `drg.pairs_scored`,
+/// `drg.pairs_matched`, `drg.edges_added`, plus the `lsh.*` counters and
+/// `lsh_index.bytes` gauges under kLsh.
 Result<DatasetRelationGraph> BuildDrgByDiscovery(
     const DataLake& lake, const MatchOptions& options = {},
     ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);

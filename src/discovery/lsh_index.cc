@@ -1,0 +1,187 @@
+#include "discovery/lsh_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "discovery/data_lake.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace autofeat {
+
+uint64_t LshValueHash(const std::string& value) {
+  // FNV-1a 64: platform-stable, unlike std::hash (whose result may differ
+  // across standard libraries and would leak into the candidate list).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+MinHashSignature ComputeMinHashSignature(const ColumnSketch& sketch,
+                                         size_t num_hashes) {
+  MinHashSignature sig;
+  if (sketch.values.empty() || num_hashes == 0) return sig;
+  sig.mins.assign(num_hashes, ~uint64_t{0});
+  for (const auto& value : sketch.values) {
+    uint64_t base = LshValueHash(value);
+    for (size_t k = 0; k < num_hashes; ++k) {
+      uint64_t h = DeriveSeed(base, k);
+      if (h < sig.mins[k]) sig.mins[k] = h;
+    }
+  }
+  return sig;
+}
+
+namespace {
+
+// A column in the index: table position, column position, and its true
+// distinct count (for the optional cardinality-ratio bound).
+struct ColumnRef {
+  uint32_t table = 0;
+  uint32_t column = 0;
+  uint64_t num_distinct = 0;
+};
+
+// Mixes a band's row minima into one bucket fingerprint.
+uint64_t BandContentHash(const uint64_t* mins, size_t rows) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t r = 0; r < rows; ++r) {
+    h ^= mins[r];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
+                                           const LakeSketchCache& cache,
+                                           const LshOptions& options,
+                                           ThreadPool* pool,
+                                           obs::MetricsRegistry* metrics) {
+  LshCandidateIndex index;
+  const auto& tables = lake.tables();
+  const size_t num_hashes = options.num_hashes();
+
+  // Stage 1: per-column MinHash signatures, one task per table. Each slot is
+  // written by exactly one task and the signature is a pure function of the
+  // column's sketch, so the fan-out is thread-count-independent.
+  std::vector<std::vector<MinHashSignature>> signatures(tables.size());
+  obs::Tracer* tracer = pool != nullptr ? pool->tracer() : nullptr;
+  obs::TaskContext ctx =
+      obs::CaptureTaskContext(tables.empty() ? nullptr : tracer);
+  ParallelFor(pool, 0, tables.size(), /*grain=*/1, [&](size_t t) {
+    obs::ScopedWorkerSpan span(ctx, "sketch.minhash");
+    const auto& sketches = cache.table_sketches(t);
+    std::vector<MinHashSignature> sigs(sketches.size());
+    for (size_t c = 0; c < sketches.size(); ++c) {
+      if (sketches[c].num_distinct < options.min_distinct) continue;
+      sigs[c] = ComputeMinHashSignature(sketches[c], num_hashes);
+    }
+    signatures[t] = std::move(sigs);
+  });
+
+  // Stage 2: banding + small-column rescue, sequential (bucket fill is
+  // cheap relative to signature hashing; a shared hash map is not worth the
+  // synchronisation). Bucket keys live in one keyspace, separated by
+  // derivation stream: band b of type group g uses stream 2b+g, the two
+  // rescue streams come after every band stream. Key-like columns
+  // (int64/string) and doubles never share buckets, mirroring the matcher's
+  // join-plausibility filter.
+  std::unordered_map<uint64_t, std::vector<ColumnRef>> buckets;
+  const uint64_t rescue_stream_base = 2 * options.num_bands;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const auto& sketches = cache.table_sketches(t);
+    for (size_t c = 0; c < sketches.size(); ++c) {
+      const ColumnSketch& sketch = sketches[c];
+      const MinHashSignature& sig = signatures[t][c];
+      bool rescued = options.small_column_rescue > 0 && !sketch.values.empty() &&
+                     sketch.num_distinct >= options.min_distinct &&
+                     sketch.num_distinct <= options.small_column_rescue;
+      if (sig.empty() && !rescued) {
+        ++index.columns_skipped_;
+        continue;
+      }
+      ++index.columns_indexed_;
+      index.signature_bytes_ += sig.ApproxBytes();
+      uint64_t group =
+          tables[t].schema().field(c).type != DataType::kDouble ? 1 : 0;
+      ColumnRef ref{static_cast<uint32_t>(t), static_cast<uint32_t>(c),
+                    sketch.num_distinct};
+      for (size_t b = 0; b * options.rows_per_band < sig.mins.size(); ++b) {
+        uint64_t content = BandContentHash(
+            sig.mins.data() + b * options.rows_per_band,
+            std::min(options.rows_per_band,
+                     sig.mins.size() - b * options.rows_per_band));
+        buckets[DeriveSeed(content, 2 * b + group)].push_back(ref);
+        ++index.bucket_entries_;
+      }
+      if (rescued) {
+        // Every sketch value gets its own bucket: two rescued columns whose
+        // sketches intersect at all are guaranteed a collision, covering
+        // asymmetric containment joins banding would miss.
+        for (const auto& value : sketch.values) {
+          buckets[DeriveSeed(LshValueHash(value), rescue_stream_base + group)]
+              .push_back(ref);
+          ++index.bucket_entries_;
+        }
+      }
+    }
+  }
+
+  // Stage 3: every cross-table pair sharing a bucket becomes a candidate
+  // table pair. The pair list is sorted and deduplicated, so neither the
+  // map's iteration order nor the thread count can leak into the output.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (const auto& [key, refs] : buckets) {
+    (void)key;
+    if (refs.size() < 2) continue;
+    for (size_t a = 0; a < refs.size(); ++a) {
+      for (size_t b = a + 1; b < refs.size(); ++b) {
+        if (refs[a].table == refs[b].table) continue;
+        if (options.max_cardinality_ratio > 0) {
+          uint64_t lo = std::min(refs[a].num_distinct, refs[b].num_distinct);
+          uint64_t hi = std::max(refs[a].num_distinct, refs[b].num_distinct);
+          if (static_cast<double>(hi) >
+              options.max_cardinality_ratio * static_cast<double>(lo)) {
+            continue;
+          }
+        }
+        ++index.bucket_collisions_;
+        pairs.emplace_back(std::min(refs[a].table, refs[b].table),
+                           std::max(refs[a].table, refs[b].table));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  index.pairs_ = std::move(pairs);
+
+  obs::Increment(obs::GetCounter(metrics, "lsh.bands"), options.num_bands);
+  obs::Increment(obs::GetCounter(metrics, "lsh.signature_bytes"),
+                 index.signature_bytes_);
+  obs::Increment(obs::GetCounter(metrics, "lsh.columns_indexed"),
+                 index.columns_indexed_);
+  obs::Increment(obs::GetCounter(metrics, "lsh.columns_skipped"),
+                 index.columns_skipped_);
+  obs::Increment(obs::GetCounter(metrics, "lsh.bucket_collisions"),
+                 index.bucket_collisions_);
+  obs::AddBytesWithPeak(obs::GetGauge(metrics, "lsh_index.bytes"),
+                        obs::GetGauge(metrics, "lsh_index.bytes_peak"),
+                        static_cast<int64_t>(index.ApproxBytes()));
+  return index;
+}
+
+size_t LshCandidateIndex::ApproxBytes() const {
+  return sizeof(LshCandidateIndex) + signature_bytes_ +
+         bucket_entries_ * (sizeof(ColumnRef) + sizeof(uint64_t)) +
+         pairs_.size() * sizeof(std::pair<size_t, size_t>);
+}
+
+}  // namespace autofeat

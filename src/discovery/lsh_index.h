@@ -1,0 +1,153 @@
+// MinHash-LSH candidate generation for sub-quadratic DRG construction.
+//
+// All-pairs discovery scores every table pair — O(n²) in the number of
+// tables — which caps lake size long before memory does. This module is the
+// cheap first stage of a two-stage pipeline (FREYJA-style): fixed-width
+// MinHash signatures are computed per column from the same bottom-k value
+// sketches the exact matcher scores with, banded into an LSH table, and
+// every band-bucket collision between columns of two different tables makes
+// that *table pair* a candidate. Exact scoring (MatchSchemas /
+// MatchByValueOverlap) then runs only on candidates.
+//
+// Soundness: with the default MatchOptions weights, a reported edge needs
+// value overlap — name similarity alone cannot reach the threshold — and
+// value overlap is exactly what MinHash collisions witness. Two recall
+// mechanisms cover the two overlap regimes:
+//
+//  * banding — b bands of r rows collide with probability 1-(1-s^r)^b for
+//    Jaccard similarity s; the defaults (32 x 2) catch s >= 0.3 with
+//    >95% coverage, which is the regime of genuine key↔key joins;
+//  * small-column rescue — asymmetric containment (a tiny FK domain inside
+//    a large PK range) has near-zero Jaccard, so columns with at most
+//    `small_column_rescue` distinct values additionally index every sketch
+//    value: any column pair (of rescued columns) whose sketches intersect
+//    at all is guaranteed to collide.
+//
+// Determinism: signatures reuse the hash discipline of BuildColumnSketch —
+// pure functions of the column's distinct-value set via FNV-1a + the
+// DeriveSeed (splitmix64) finaliser, never std::hash — and the candidate
+// pair list is sorted and deduplicated, so the output (and every counter
+// derived from it) is byte-identical at any thread count and across
+// platforms.
+
+#ifndef AUTOFEAT_DISCOVERY_LSH_INDEX_H_
+#define AUTOFEAT_DISCOVERY_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "discovery/sketch_cache.h"
+
+namespace autofeat {
+
+class DataLake;
+class ThreadPool;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// \brief Tuning knobs of the candidate generator. Defaults are chosen for
+/// recall (a missed candidate silently drops a DRG edge; a spurious one
+/// only costs one exact scoring call).
+struct LshOptions {
+  /// Bands x rows-per-band = signature width. More bands raise recall at
+  /// low Jaccard; more rows per band sharpen the threshold. 32 x 2 catches
+  /// Jaccard >= 0.3 pairs with > 95% probability.
+  size_t num_bands = 32;
+  size_t rows_per_band = 2;
+  /// Cheap-profile prefilter: columns with fewer distinct non-null values
+  /// than this never enter the index (1 = index everything non-empty; the
+  /// exact matcher already discounts low-cardinality evidence, so raising
+  /// this trades recall for fewer candidates).
+  size_t min_distinct = 1;
+  /// Cheap-profile prefilter: when > 0, bucket collisions between columns
+  /// whose distinct counts differ by more than this factor are ignored
+  /// (FREYJA-style cardinality-ratio bound). 0 disables the bound.
+  double max_cardinality_ratio = 0.0;
+  /// Columns with at most this many distinct values index every sketch
+  /// value hash in addition to their bands (containment rescue — see file
+  /// comment). 0 disables the rescue.
+  size_t small_column_rescue = 64;
+
+  size_t num_hashes() const { return num_bands * rows_per_band; }
+};
+
+/// \brief Fixed-width MinHash signature of one column sketch. `mins[k]` is
+/// the minimum of the k-th derived hash over the sketch's values; empty
+/// when the column was not indexed (empty sketch or filtered out).
+struct MinHashSignature {
+  std::vector<uint64_t> mins;
+
+  bool empty() const { return mins.empty(); }
+  size_t ApproxBytes() const {
+    return sizeof(MinHashSignature) + mins.size() * sizeof(uint64_t);
+  }
+};
+
+/// Platform-stable 64-bit FNV-1a of a value string (the per-value base hash
+/// every derived MinHash row mixes from).
+uint64_t LshValueHash(const std::string& value);
+
+/// Signature of one sketch: mins[k] = min over values of
+/// DeriveSeed(LshValueHash(v), k). Pure function of the sketch's value set.
+MinHashSignature ComputeMinHashSignature(const ColumnSketch& sketch,
+                                         size_t num_hashes);
+
+/// \brief Banded LSH index over every column of a lake, emitting candidate
+/// table pairs for exact DRG scoring.
+class LshCandidateIndex {
+ public:
+  /// Builds signatures for every column of `lake` (in parallel over tables
+  /// when `pool` is given; results identical at any thread count) over the
+  /// sketches in `cache`, bands them, and materialises the sorted,
+  /// deduplicated candidate table-pair list.
+  ///
+  /// A non-null `metrics` records `lsh.bands` (configured band count),
+  /// `lsh.signature_bytes` (total signature footprint), `lsh.columns_indexed`
+  /// / `lsh.columns_skipped` (prefilter effect), `lsh.bucket_collisions`
+  /// (cross-table column collisions before table-pair dedup) and maintains
+  /// the `lsh_index.bytes` / `.bytes_peak` gauges from ApproxBytes().
+  /// Signature building records `sketch.minhash` worker spans into the
+  /// pool's tracer, when both exist.
+  static LshCandidateIndex Build(const DataLake& lake,
+                                 const LakeSketchCache& cache,
+                                 const LshOptions& options,
+                                 ThreadPool* pool = nullptr,
+                                 obs::MetricsRegistry* metrics = nullptr);
+
+  /// Candidate (i, j) table-index pairs, i < j, ascending — the subset of
+  /// the upper triangle the exact matcher needs to score. Folding matches
+  /// in this order preserves the all-pairs edge-insertion order on the
+  /// surviving pairs.
+  const std::vector<std::pair<size_t, size_t>>& candidate_table_pairs()
+      const {
+    return pairs_;
+  }
+
+  size_t num_indexed_columns() const { return columns_indexed_; }
+  size_t num_skipped_columns() const { return columns_skipped_; }
+  /// Total bytes of all column signatures (part of ApproxBytes()).
+  size_t signature_bytes() const { return signature_bytes_; }
+  /// Cross-table column-level bucket collisions (>= candidate pair count).
+  size_t num_bucket_collisions() const { return bucket_collisions_; }
+
+  /// Approximate heap footprint: signatures + bucket entries + the pair
+  /// list. Size-based (entry counts, not container capacity), so equal
+  /// content reports equal bytes and the derived gauges stay deterministic.
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<std::pair<size_t, size_t>> pairs_;
+  size_t columns_indexed_ = 0;
+  size_t columns_skipped_ = 0;
+  size_t signature_bytes_ = 0;
+  size_t bucket_entries_ = 0;
+  size_t bucket_collisions_ = 0;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_DISCOVERY_LSH_INDEX_H_

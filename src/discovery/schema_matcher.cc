@@ -18,7 +18,12 @@ double NameSimilarity(std::string_view a, std::string_view b) {
   std::string ca = strip(la);
   std::string cb = strip(lb);
   if (ca == cb) return 1.0;
-  return std::max(LevenshteinSimilarity(ca, cb), QGramJaccard(ca, cb));
+  // The q-gram score floors the Levenshtein pass: only a Levenshtein
+  // similarity above it can change the max, so the DP may bail out early on
+  // clearly dissimilar names (it runs on every candidate column-name pair).
+  double qgram = QGramJaccard(ca, cb);
+  if (qgram >= 1.0) return 1.0;
+  return std::max(qgram, BoundedLevenshteinSimilarity(ca, cb, qgram));
 }
 
 double ValueOverlap(const Column& a, const Column& b, size_t max_sample) {

@@ -15,10 +15,24 @@
 #include <string_view>
 #include <vector>
 
+#include "discovery/lsh_index.h"
 #include "discovery/sketch_cache.h"
 #include "table/table.h"
 
 namespace autofeat {
+
+/// How BuildDrgByDiscovery enumerates the table pairs to score exactly.
+enum class CandidateMode {
+  /// Score the full upper triangle — O(n²) pairs, exhaustive.
+  kAllPairs,
+  /// MinHash-LSH candidate generation (see lsh_index.h): exact scoring runs
+  /// only on table pairs with a signature-band or small-column collision.
+  /// Requires `threshold > name_weight` (every reported edge then needs
+  /// value overlap, which is what LSH collisions witness); otherwise
+  /// discovery silently falls back to kAllPairs rather than drop
+  /// name-only edges.
+  kLsh,
+};
 
 struct MatchOptions {
   /// Relative weight of name similarity vs value overlap. Equal weights
@@ -36,6 +50,12 @@ struct MatchOptions {
   /// evidence discounted proportionally: containment of a two-value column
   /// (e.g. a binary label) in a key range is meaningless.
   size_t min_distinct_for_overlap = 16;
+  /// Candidate generation strategy for BuildDrgByDiscovery. kAllPairs is a
+  /// drop-in exhaustive default; kLsh makes DRG construction sub-quadratic
+  /// in the number of tables on sparsely joinable lakes.
+  CandidateMode candidate_mode = CandidateMode::kAllPairs;
+  /// MinHash-LSH tuning (only read when candidate_mode == kLsh).
+  LshOptions lsh;
 };
 
 /// A discovered join opportunity between two columns.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "stats/information.h"
 #include "table/csv.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace autofeat::qa {
 namespace {
@@ -420,6 +422,76 @@ Status CheckThreadCountInvariance(const FuzzedLake& fz) {
   return Status::OK();
 }
 
+// Sorted edge-line fingerprint of a DRG: byte-equal fingerprints mean the
+// same nodes, edges, join columns and weights.
+std::string DrgEdgeFingerprint(const DatasetRelationGraph& drg) {
+  std::vector<std::string> lines;
+  for (size_t a = 0; a < drg.num_nodes(); ++a) {
+    for (size_t b : drg.Neighbors(a)) {
+      if (b <= a) continue;
+      for (const JoinStep& step : drg.EdgesBetween(a, b)) {
+        std::ostringstream line;
+        line.precision(17);
+        line << drg.NodeName(a) << "." << step.from_column << ">"
+             << drg.NodeName(b) << "." << step.to_column << "="
+             << step.weight;
+        lines.push_back(line.str());
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Status CheckLshDiscoveryDeterminism(const FuzzedLake& fz) {
+  // LSH-mode DRG discovery (MinHash signatures, banding, candidate pruning)
+  // must be a pure function of the lake: the graph and the deterministic
+  // obs digest may not change across reruns or thread counts.
+  auto run = [&](size_t threads, std::string* fingerprint,
+                 std::string* digest) -> Status {
+    obs::MetricsRegistry metrics;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      pool->set_metrics(&metrics);
+    }
+    MatchOptions options;
+    options.candidate_mode = CandidateMode::kLsh;
+    AF_ASSIGN_OR_RETURN(
+        DatasetRelationGraph drg,
+        BuildDrgByDiscovery(fz.lake, options, pool.get(), &metrics));
+    *fingerprint = DrgEdgeFingerprint(drg);
+    *digest = obs::DeterministicDigest(metrics, /*tracer=*/nullptr);
+    return Status::OK();
+  };
+  std::string base_fp, base_digest;
+  AF_RETURN_NOT_OK(run(1, &base_fp, &base_digest));
+  struct Variant {
+    const char* label;
+    size_t threads;
+  };
+  for (const Variant& v :
+       {Variant{"rerun", 1}, Variant{"4 threads", 4}, Variant{"8 threads", 8}}) {
+    std::string fp, digest;
+    AF_RETURN_NOT_OK(run(v.threads, &fp, &digest));
+    if (fp != base_fp) {
+      return Violated(std::string("LSH-mode DRG differs on ") + v.label +
+                      ":\n--- baseline ---\n" + base_fp + "--- " + v.label +
+                      " ---\n" + fp);
+    }
+    if (digest != base_digest) {
+      return Violated(std::string("LSH-mode obs digest differs on ") +
+                      v.label + ": " + base_digest + " vs " + digest);
+    }
+  }
+  return Status::OK();
+}
+
 Status CheckColumnPermutationInvariance(const FuzzedLake& fz) {
   // Reversing satellite column order must not change discovery output: no
   // score, no ranked path, no selected feature may depend on the physical
@@ -554,6 +626,10 @@ const std::vector<Invariant>& BuiltinInvariants() {
            "reversing satellite column order leaves ranked paths, scores "
            "and selected features unchanged",
            CheckColumnPermutationInvariance},
+          {"discovery.lsh_deterministic",
+           "LSH-mode DRG discovery yields identical graphs and obs digests "
+           "across reruns and thread counts",
+           CheckLshDiscoveryDeterminism},
           {"csv.round_trip_stabilises",
            "CSV write/read canonicalises in one pass and is a fixed point "
            "afterwards",

@@ -77,11 +77,52 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return prev[b.size()];
 }
 
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t max_dist) {
+  size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  // |len(a) - len(b)| lower-bounds the distance: insertions/deletions alone
+  // must cover the length gap.
+  if (diff > max_dist) return diff;
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    size_t row_min = curr[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+      row_min = std::min(row_min, curr[j]);
+    }
+    // Every entry of each later row is >= the minimum of this row (each DP
+    // step takes a min over neighbours that are themselves >= row_min), so
+    // the final distance is too: the cutoff can never be met again.
+    if (row_min > max_dist) return row_min;
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
   size_t max_len = std::max(a.size(), b.size());
   if (max_len == 0) return 1.0;
   return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
                    static_cast<double>(max_len);
+}
+
+double BoundedLevenshteinSimilarity(std::string_view a, std::string_view b,
+                                    double floor_sim) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  // sim >= floor  <=>  dist <= (1 - floor) * max_len; distances are
+  // integers, so flooring the budget preserves exactness at the boundary.
+  double budget = (1.0 - std::clamp(floor_sim, 0.0, 1.0)) *
+                  static_cast<double>(max_len);
+  size_t max_dist = static_cast<size_t>(budget);
+  size_t dist = BoundedLevenshteinDistance(a, b, max_dist);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
 }
 
 std::vector<std::string> QGrams(std::string_view s, size_t q) {

@@ -28,11 +28,30 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// True if `s` ends with `suffix`.
 bool EndsWith(std::string_view s, std::string_view suffix);
 
-/// Levenshtein edit distance (dynamic programming, O(|a|*|b|)).
+/// Levenshtein edit distance (two-row rolling dynamic programming,
+/// O(|a|*|b|) time, O(min-side) space).
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with a cutoff: returns the exact distance when it
+/// is <= max_dist, and otherwise some lower bound on the distance that
+/// still exceeds max_dist. Two shortcuts make it cheaper than the full DP
+/// when the answer does not matter precisely: the length difference alone
+/// can prove the cutoff unreachable before any DP work, and the DP row
+/// minimum — a lower bound on every later entry — aborts the fill as soon
+/// as it passes max_dist.
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                  size_t max_dist);
 
 /// Normalised Levenshtein similarity in [0, 1]: 1 - dist / max_len.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Levenshtein similarity with a floor: returns the exact similarity when
+/// it is >= floor_sim, and otherwise some value that is still < floor_sim
+/// (an upper bound on the true similarity). Callers that only consume
+/// max(other_evidence, leven_sim) pass floor_sim = other_evidence and skip
+/// most of the DP whenever names are clearly dissimilar.
+double BoundedLevenshteinSimilarity(std::string_view a, std::string_view b,
+                                    double floor_sim);
 
 /// The multiset of character q-grams of `s` (padded with '#'), sorted.
 std::vector<std::string> QGrams(std::string_view s, size_t q);

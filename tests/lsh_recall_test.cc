@@ -1,0 +1,88 @@
+// Differential recall: on fuzzer-generated lakes, LSH-mode discovery must
+// recover >= 95% of the edges the exhaustive all-pairs sweep finds (the
+// ISSUE-level contract of the candidate generator) and must never invent an
+// edge all-pairs would not report (it scores a subset of the pairs with the
+// same matcher, so every surviving edge carries the same score).
+//
+// Fuzzer lakes max out at 40 rows, so every column sits under the
+// small-column rescue threshold (64): any exact edge's value-overlap
+// witness is also a guaranteed rescue collision, and per-lake recall should
+// in fact be 1.0. The asserted bound stays at the contract's 0.95 so tuning
+// LshOptions defaults later cannot silently break the gate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "discovery/data_lake.h"
+#include "qa/lake_fuzzer.h"
+
+namespace autofeat {
+namespace {
+
+std::set<std::string> EdgeSet(const DatasetRelationGraph& drg) {
+  std::set<std::string> edges;
+  for (size_t a = 0; a < drg.num_nodes(); ++a) {
+    for (size_t b : drg.Neighbors(a)) {
+      if (b <= a) continue;
+      for (const JoinStep& step : drg.EdgesBetween(a, b)) {
+        std::ostringstream line;
+        line.precision(17);
+        line << drg.NodeName(a) << "." << step.from_column << ">"
+             << drg.NodeName(b) << "." << step.to_column << "="
+             << step.weight;
+        edges.insert(line.str());
+      }
+    }
+  }
+  return edges;
+}
+
+TEST(LshRecallTest, RecoversExactEdgesAcrossFuzzedLakes) {
+  qa::LakeFuzzer fuzzer;
+  size_t total_exact = 0;
+  size_t total_recovered = 0;
+  size_t lakes_with_edges = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    qa::FuzzedLake fz = fuzzer.Generate(seed);
+
+    MatchOptions exact_options;
+    auto exact = BuildDrgByDiscovery(fz.lake, exact_options);
+    ASSERT_TRUE(exact.ok()) << "seed " << seed << ": "
+                            << exact.status().ToString();
+    MatchOptions lsh_options;
+    lsh_options.candidate_mode = CandidateMode::kLsh;
+    auto lsh = BuildDrgByDiscovery(fz.lake, lsh_options);
+    ASSERT_TRUE(lsh.ok()) << "seed " << seed << ": "
+                          << lsh.status().ToString();
+
+    std::set<std::string> exact_edges = EdgeSet(*exact);
+    std::set<std::string> lsh_edges = EdgeSet(*lsh);
+    for (const std::string& edge : lsh_edges) {
+      // Scoring a pair subset can only drop edges, never add or rescore.
+      EXPECT_TRUE(exact_edges.count(edge) > 0)
+          << "seed " << seed << ": LSH invented edge " << edge;
+    }
+    size_t recovered = 0;
+    for (const std::string& edge : exact_edges) {
+      recovered += lsh_edges.count(edge);
+    }
+    total_exact += exact_edges.size();
+    total_recovered += recovered;
+    if (!exact_edges.empty()) ++lakes_with_edges;
+  }
+  // The sweep must actually exercise discovery: enough adversarial seeds
+  // overlap keys well enough to produce discovered edges that a recall
+  // regression cannot hide behind empty graphs.
+  ASSERT_GT(total_exact, 20u);
+  ASSERT_GE(lakes_with_edges, 5u);
+  double recall = static_cast<double>(total_recovered) /
+                  static_cast<double>(total_exact);
+  EXPECT_GE(recall, 0.95) << total_recovered << "/" << total_exact
+                          << " edges recovered";
+}
+
+}  // namespace
+}  // namespace autofeat

@@ -43,6 +43,7 @@ struct CliOptions {
   std::string metrics_output;
   std::string trace_output;
   std::string model = "lightgbm";
+  std::string drg_matcher = "all_pairs";
   double tau = 0.65;
   size_t kappa = 15;
   size_t top_k = 4;
@@ -61,11 +62,18 @@ void PrintUsage() {
       "                    [--tau F] [--kappa N] [--top-k N] [--max-hops N]\n"
       "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
       "                    [--threshold F] [--threads N] [--tune]\n"
+      "                    [--drg-matcher all_pairs|lsh]\n"
       "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
       "                    [--metrics-out FILE.json] [--trace-out FILE.json]\n"
       "  --threads N   worker threads for discovery + evaluation\n"
       "                (0 = all hardware threads, 1 = sequential; results\n"
       "                are identical at any thread count)\n"
+      "  --drg-matcher all_pairs|lsh\n"
+      "                candidate generation for DRG discovery: all_pairs\n"
+      "                scores every table pair (exhaustive, O(n^2));\n"
+      "                lsh prefilters pairs with a MinHash-LSH index over\n"
+      "                the column sketches (sub-quadratic on large lakes,\n"
+      "                recall >= 95%% of all_pairs edges)\n"
       "  --metrics-out FILE.json\n"
       "                write an observability report (counters, histograms,\n"
       "                memory gauges, phase spans) covering DRG discovery\n"
@@ -115,6 +123,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->model = v;
+    } else if (arg == "--drg-matcher") {
+      const char* v = next();
+      if (!v) return false;
+      options->drg_matcher = v;
     } else if (arg == "--tau") {
       const char* v = next();
       if (!v) return false;
@@ -219,6 +231,13 @@ int main(int argc, char** argv) {
 
   MatchOptions match;
   match.threshold = options.threshold;
+  if (options.drg_matcher == "lsh") {
+    match.candidate_mode = CandidateMode::kLsh;
+  } else if (options.drg_matcher != "all_pairs") {
+    std::fprintf(stderr, "unknown --drg-matcher: %s (want all_pairs|lsh)\n",
+                 options.drg_matcher.c_str());
+    return 2;
+  }
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.threads) > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);

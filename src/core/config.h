@@ -8,6 +8,7 @@
 
 #include "fs/redundancy.h"
 #include "fs/relevance.h"
+#include "util/scheduler.h"
 
 namespace autofeat {
 
@@ -76,6 +77,13 @@ struct AutoFeatConfig {
   /// and every stochastic task draws from an RNG stream derived from
   /// (seed, task_index).
   size_t num_threads = 1;
+
+  /// Loop runtime for the parallel phases (candidate evaluation, top-k path
+  /// evaluation): kMorsel deals fixed-size morsels across per-lane
+  /// work-stealing deques (skew-tolerant, no intermediate barrier),
+  /// kForkJoin is the shared-cursor ParallelFor. Both fold results in index
+  /// order — the digest is byte-identical across kinds and thread counts.
+  SchedulerKind scheduler = SchedulerKind::kMorsel;
 
   /// Observability: when true the engine records counters/histograms and
   /// hierarchical phase spans (src/obs/) across DRG caches, the BFS

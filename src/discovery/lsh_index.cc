@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
@@ -25,6 +26,21 @@ uint64_t LshValueHash(const std::string& value) {
 
 MinHashSignature ComputeMinHashSignature(const ColumnSketch& sketch,
                                          size_t num_hashes) {
+  MinHashSignature sig;
+  if (sketch.values.empty() || num_hashes == 0) return sig;
+  sig.mins.assign(num_hashes, ~uint64_t{0});
+  for (const auto& value : sketch.values) {
+    // Batched over the derivation streams: the vector kernel re-derives the
+    // splitmix64 finaliser in 64-bit lanes, bit-exact with DeriveSeed — the
+    // signatures feed the candidate list and must not depend on the
+    // build's ISA.
+    simd::MinHashUpdate(LshValueHash(value), sig.mins.data(), num_hashes);
+  }
+  return sig;
+}
+
+MinHashSignature ComputeMinHashSignatureReference(const ColumnSketch& sketch,
+                                                  size_t num_hashes) {
   MinHashSignature sig;
   if (sketch.values.empty() || num_hashes == 0) return sig;
   sig.mins.assign(num_hashes, ~uint64_t{0});

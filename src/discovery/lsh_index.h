@@ -93,8 +93,14 @@ uint64_t LshValueHash(const std::string& value);
 
 /// Signature of one sketch: mins[k] = min over values of
 /// DeriveSeed(LshValueHash(v), k). Pure function of the sketch's value set.
+/// The derivation streams are batched through the SIMD MinHash kernel.
 MinHashSignature ComputeMinHashSignature(const ColumnSketch& sketch,
                                          size_t num_hashes);
+
+/// Scalar reference of ComputeMinHashSignature (per-stream DeriveSeed loop),
+/// kept for differential testing — must be bit-exact with the batched form.
+MinHashSignature ComputeMinHashSignatureReference(const ColumnSketch& sketch,
+                                                  size_t num_hashes);
 
 /// \brief Banded LSH index over every column of a lake, emitting candidate
 /// table pairs for exact DRG scoring.

@@ -23,11 +23,16 @@ const char* RelevanceKindName(RelevanceKind kind) {
 std::vector<FeatureScore> ScoreRelevance(
     const FeatureView& view, const std::vector<size_t>& feature_indices,
     const RelevanceOptions& options) {
-  std::vector<size_t> indices = feature_indices;
-  if (indices.empty()) {
-    indices.resize(view.num_features());
-    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  // Score the caller's index list in place — this runs once per candidate
+  // under BFS evaluation, and copying the list was a per-candidate
+  // allocation. The all-features default still materialises its own list.
+  std::vector<size_t> all_features;
+  if (feature_indices.empty()) {
+    all_features.resize(view.num_features());
+    for (size_t i = 0; i < all_features.size(); ++i) all_features[i] = i;
   }
+  const std::vector<size_t>& indices =
+      feature_indices.empty() ? all_features : feature_indices;
 
   std::vector<FeatureScore> scores;
   scores.reserve(indices.size());

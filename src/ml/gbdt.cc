@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace autofeat::ml {
 
 namespace {
@@ -171,21 +173,22 @@ int Gbdt::BuildNode(const std::vector<std::vector<uint8_t>>& binned,
   int best_feature = -1;
   uint8_t best_bin = 0;
 
-  std::vector<double> bin_grad, bin_hess;
+  // Interleaved (grad, hess) histogram: both accumulators of a bin share a
+  // cache line, and the unrolled kernel overlaps the row/code loads with the
+  // dependent adds. Bit-exact against the separate-array form (adds hit each
+  // bin in row order either way); see simd::AccumulateGhReference.
+  std::vector<double> gh;
   for (size_t f : features) {
     size_t nbins = binner_.num_bins(f);
     if (nbins <= 1) continue;
-    bin_grad.assign(nbins, 0.0);
-    bin_hess.assign(nbins, 0.0);
+    gh.assign(2 * nbins, 0.0);
     const std::vector<uint8_t>& codes = binned[f];
-    for (size_t r : rows) {
-      bin_grad[codes[r]] += grad[r];
-      bin_hess[codes[r]] += hess[r];
-    }
+    simd::AccumulateGh(codes.data(), grad.data(), hess.data(), rows.data(),
+                       rows.size(), gh.data());
     double gl = 0, hl = 0;
     for (size_t b = 0; b + 1 < nbins; ++b) {
-      gl += bin_grad[b];
-      hl += bin_hess[b];
+      gl += gh[2 * b];
+      hl += gh[2 * b + 1];
       double gr = g_total - gl;
       double hr = h_total - hl;
       if (hl < options_.min_child_weight || hr < options_.min_child_weight) {

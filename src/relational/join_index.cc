@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace autofeat {
 
@@ -56,6 +57,16 @@ Column GatherColumn(const Column& src, const std::vector<uint32_t>& rows) {
 }
 
 size_t GatherNullCount(const Column& src, const std::vector<uint32_t>& rows) {
+  if (src.all_valid()) {
+    // No right-side nulls: the count is exactly the unmatched rows, which
+    // the vectorised sentinel scan finds without touching the column.
+    return simd::CountEqualU32(rows.data(), rows.size(), kNoMatchRow);
+  }
+  return GatherNullCountReference(src, rows);
+}
+
+size_t GatherNullCountReference(const Column& src,
+                                const std::vector<uint32_t>& rows) {
   size_t nulls = 0;
   for (uint32_t r : rows) {
     if (r == kNoMatchRow || src.IsNull(r)) ++nulls;
@@ -65,6 +76,21 @@ size_t GatherNullCount(const Column& src, const std::vector<uint32_t>& rows) {
 
 std::vector<double> GatherNumeric(const Column& src,
                                   const std::vector<uint32_t>& rows) {
+  if (src.type() == DataType::kDouble && src.all_valid()) {
+    // All-valid double column — the common case for feature columns after
+    // CSV ingest: branch-free masked gather, NaN where unmatched. The mask
+    // keeps sentinel lanes from dereferencing src.
+    std::vector<double> out(rows.size());
+    simd::GatherDoublesByRow(src.double_data().data(), rows.data(),
+                             rows.size(), kNoMatchRow, std::nan(""),
+                             out.data());
+    return out;
+  }
+  return GatherNumericReference(src, rows);
+}
+
+std::vector<double> GatherNumericReference(const Column& src,
+                                           const std::vector<uint32_t>& rows) {
   std::vector<double> out(rows.size());
   if (src.type() == DataType::kString) {
     // First-occurrence ordinal codes in output order — identical to

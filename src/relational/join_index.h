@@ -75,9 +75,19 @@ size_t GatherNullCount(const Column& src, const std::vector<uint32_t>& rows);
 /// Numeric view of `src` gathered through the mapping, without
 /// materialising. Equals GatherColumn(src, rows).ToNumeric() — including
 /// the first-occurrence ordinal encoding of string columns, which is
-/// assigned in output (left) row order.
+/// assigned in output (left) row order. All-valid double columns take a
+/// branch-free SIMD masked-gather path; everything else falls back to the
+/// scalar reference.
 std::vector<double> GatherNumeric(const Column& src,
                                   const std::vector<uint32_t>& rows);
+
+/// Scalar references of the two gather kernels above, kept for differential
+/// testing (tests/kernels_test.cc) — bit-identical to the SIMD paths on
+/// every input, including the NaN fill of unmatched rows.
+std::vector<double> GatherNumericReference(const Column& src,
+                                           const std::vector<uint32_t>& rows);
+size_t GatherNullCountReference(const Column& src,
+                                const std::vector<uint32_t>& rows);
 
 /// The column names Join would give `right`'s columns when appending them to
 /// `left` (collision suffixes included), without performing the join.

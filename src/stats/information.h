@@ -53,6 +53,22 @@ double ConditionalMutualInformationCorrected(const std::vector<int>& x,
                                              const std::vector<int>& y,
                                              const std::vector<int>& z);
 
+/// Pre-SIMD scalar implementations of the pairwise measures, kept as the
+/// differential oracle (tests/kernels_test.cc) and the before/after axis of
+/// bench/kernels.cc. Same estimators with independent mechanics — results
+/// agree with the optimised paths to within floating-point summation order.
+namespace reference {
+
+double Entropy(const std::vector<int>& x);
+double JointEntropy(const std::vector<int>& x, const std::vector<int>& y);
+double MutualInformation(const std::vector<int>& x, const std::vector<int>& y);
+double MutualInformationCorrected(const std::vector<int>& x,
+                                  const std::vector<int>& y);
+double SymmetricalUncertainty(const std::vector<int>& x,
+                              const std::vector<int>& y);
+
+}  // namespace reference
+
 }  // namespace autofeat
 
 #endif  // AUTOFEAT_STATS_INFORMATION_H_

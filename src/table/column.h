@@ -46,6 +46,11 @@ class Column {
   bool IsNull(size_t i) const {
     return !valid_.empty() && valid_[i] == 0;
   }
+  /// True when no row is null (no validity mask allocated) — the
+  /// precondition for the branch-free SIMD gather paths.
+  bool all_valid() const { return valid_.empty(); }
+  /// Raw double storage; only meaningful when type() == kDouble.
+  const std::vector<double>& double_data() const { return doubles_; }
   size_t null_count() const;
   /// Fraction of null entries, 0 for an empty column.
   double null_ratio() const;

@@ -1,0 +1,123 @@
+// Chase-Lev work-stealing deque over a fixed-capacity ring buffer.
+//
+// One owner thread pushes and pops at the bottom (LIFO for the owner, which
+// keeps its morsels in ascending index order when pre-filled in reverse);
+// any number of thief threads steal from the top (FIFO, so thieves take the
+// work the owner would reach last). The implementation follows the classic
+// Chase-Lev algorithm with one deliberate simplification: all index
+// operations use sequentially-consistent atomics instead of the minimal
+// fence-based orderings from the weak-memory formulation. At morsel
+// granularity the index traffic is nowhere near hot enough to matter, the
+// seq_cst form is immune to the subtle reorderings the fence version has to
+// argue away, and ThreadSanitizer models atomic operations precisely while
+// it does not model standalone memory fences — so the stress tests under
+// TSan actually verify this code rather than false-positiving on it.
+//
+// Buffer slots are themselves atomics (relaxed): a slot written by
+// PushBottom is published by the subsequent seq_cst bottom store, and a
+// claim (CAS on top, or the bottom decrement in PopBottom) is what
+// transfers ownership of the value.
+//
+// Capacity is fixed at construction; the morsel scheduler pre-fills each
+// lane's deque before any helper starts and never pushes afterwards, so
+// overflow cannot occur mid-run (PushBottom still reports it, and the
+// scheduler asserts).
+
+#ifndef AUTOFEAT_UTIL_WORK_STEALING_DEQUE_H_
+#define AUTOFEAT_UTIL_WORK_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autofeat {
+
+class WorkStealingDeque {
+ public:
+  /// A deque holding at most `capacity` items (rounded up to a power of
+  /// two, minimum 1).
+  explicit WorkStealingDeque(size_t capacity = 1) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buffer_ = std::vector<std::atomic<size_t>>(cap);
+    mask_ = cap - 1;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Movable only while no other thread touches either side (the scheduler
+  // moves deques during single-threaded container setup, never mid-run);
+  // atomics are not movable themselves, so spell the member transfer out.
+  WorkStealingDeque(WorkStealingDeque&& other) noexcept
+      : buffer_(std::move(other.buffer_)),
+        mask_(other.mask_),
+        top_(other.top_.load()),
+        bottom_(other.bottom_.load()) {}
+  WorkStealingDeque& operator=(WorkStealingDeque&& other) noexcept {
+    buffer_ = std::move(other.buffer_);
+    mask_ = other.mask_;
+    top_.store(other.top_.load());
+    bottom_.store(other.bottom_.load());
+    return *this;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Owner only. Returns false when full.
+  bool PushBottom(size_t v) {
+    int64_t b = bottom_.load();
+    int64_t t = top_.load();
+    if (b - t > static_cast<int64_t>(mask_)) return false;
+    buffer_[static_cast<size_t>(b) & mask_].store(v,
+                                                  std::memory_order_relaxed);
+    bottom_.store(b + 1);
+    return true;
+  }
+
+  /// Owner only. Returns false when the deque is empty (including the case
+  /// where a thief won the race for the final item).
+  bool PopBottom(size_t* v) {
+    int64_t b = bottom_.load() - 1;
+    bottom_.store(b);
+    int64_t t = top_.load();
+    if (t <= b) {
+      *v = buffer_[static_cast<size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last item: race the thieves for it via top.
+        if (!top_.compare_exchange_strong(t, t + 1)) {
+          bottom_.store(b + 1);
+          return false;
+        }
+        bottom_.store(b + 1);
+      }
+      return true;
+    }
+    bottom_.store(b + 1);
+    return false;
+  }
+
+  /// Thieves. Returns false when empty or when another thief (or the owner,
+  /// on the final item) won the race — a false return does NOT mean the
+  /// deque is empty, only that this attempt claimed nothing.
+  bool StealTop(size_t* v) {
+    int64_t t = top_.load();
+    int64_t b = bottom_.load();
+    if (t >= b) return false;
+    *v = buffer_[static_cast<size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1);
+  }
+
+ private:
+  std::vector<std::atomic<size_t>> buffer_;
+  size_t mask_ = 0;
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_UTIL_WORK_STEALING_DEQUE_H_

@@ -84,5 +84,78 @@ TEST(LshRecallTest, RecoversExactEdgesAcrossFuzzedLakes) {
                           << " edges recovered";
 }
 
+// Shrunk reproduction of the documented containment recall gap (DESIGN.md
+// "Candidate generation"): an FK domain that is (a) too large for the
+// default small-column rescue and (b) a tiny fraction of the PK range, so
+// its Jaccard similarity sits far below the banding threshold. The hashes
+// are fixed and platform-stable, so both the miss and the rescue are
+// deterministic, not flaky.
+class LshContainmentGapTest : public ::testing::Test {
+ protected:
+  // 120 distinct FK values inside a 4000-value PK range: Jaccard 0.03 (band
+  // hit probability ~3% over 32 x 2 bands — and deterministically zero for
+  // these values), distinct count above the default rescue threshold of 64.
+  static constexpr size_t kFkDistinct = 120;
+  static constexpr size_t kPkDistinct = 4000;
+
+  DataLake MakeLake() {
+    std::vector<std::string> fk_values;
+    for (size_t r = 0; r < 3 * kFkDistinct; ++r) {
+      fk_values.push_back("cust" + std::to_string(r % kFkDistinct));
+    }
+    Table orders("orders");
+    orders.AddColumn("customer_id", Column::Strings(fk_values)).Abort();
+
+    std::vector<std::string> pk_values;
+    std::vector<double> scores;
+    for (size_t r = 0; r < kPkDistinct; ++r) {
+      pk_values.push_back("cust" + std::to_string(r));
+      scores.push_back(static_cast<double>(r % 7));
+    }
+    Table customers("customers");
+    customers.AddColumn("customer_id", Column::Strings(pk_values)).Abort();
+    customers.AddColumn("score", Column::Doubles(scores)).Abort();
+
+    DataLake lake;
+    lake.AddTable(std::move(orders)).Abort();
+    lake.AddTable(std::move(customers)).Abort();
+    return lake;
+  }
+};
+
+TEST_F(LshContainmentGapTest, DefaultRescueMissesRaisedRescueRecovers) {
+  DataLake lake = MakeLake();
+
+  // Ground truth: the exhaustive sweep reports the FK -> PK edge (identical
+  // names, full containment).
+  MatchOptions exact_options;
+  auto exact = BuildDrgByDiscovery(lake, exact_options);
+  ASSERT_TRUE(exact.ok());
+  std::set<std::string> exact_edges = EdgeSet(*exact);
+  ASSERT_GE(exact_edges.size(), 1u)
+      << "the regression lake no longer produces the exact edge";
+
+  // The gap: at the default rescue threshold (64 < 120 distinct FK values)
+  // banding is the only collision mechanism and the pair's Jaccard is far
+  // too low — the edge is dropped. If this starts failing, the default
+  // closed the gap and the DESIGN.md wording should change with it.
+  MatchOptions lsh_options;
+  lsh_options.candidate_mode = CandidateMode::kLsh;
+  ASSERT_LT(lsh_options.lsh.small_column_rescue, kFkDistinct);
+  auto missed = BuildDrgByDiscovery(lake, lsh_options);
+  ASSERT_TRUE(missed.ok());
+  EXPECT_EQ(0u, EdgeSet(*missed).size())
+      << "expected the containment miss at the default rescue threshold";
+
+  // The knob: the rescue only pairs columns that are BOTH under the
+  // threshold, so it must clear the PK's distinct count too — then any
+  // intersecting sketches are guaranteed a collision and the full exact
+  // edge set comes back.
+  lsh_options.lsh.small_column_rescue = 4096;
+  auto rescued = BuildDrgByDiscovery(lake, lsh_options);
+  ASSERT_TRUE(rescued.ok());
+  EXPECT_EQ(exact_edges, EdgeSet(*rescued));
+}
+
 }  // namespace
 }  // namespace autofeat

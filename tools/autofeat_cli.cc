@@ -44,6 +44,9 @@ struct CliOptions {
   std::string trace_output;
   std::string model = "lightgbm";
   std::string drg_matcher = "all_pairs";
+  std::string scheduler = "morsel";
+  /// < 0 = keep the LshOptions default.
+  long lsh_rescue = -1;
   double tau = 0.65;
   size_t kappa = 15;
   size_t top_k = 4;
@@ -62,18 +65,34 @@ void PrintUsage() {
       "                    [--tau F] [--kappa N] [--top-k N] [--max-hops N]\n"
       "                    [--model lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
       "                    [--threshold F] [--threads N] [--tune]\n"
-      "                    [--drg-matcher all_pairs|lsh]\n"
+      "                    [--drg-matcher all_pairs|lsh] [--lsh-rescue N]\n"
+      "                    [--scheduler forkjoin|morsel]\n"
       "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
       "                    [--metrics-out FILE.json] [--trace-out FILE.json]\n"
       "  --threads N   worker threads for discovery + evaluation\n"
       "                (0 = all hardware threads, 1 = sequential; results\n"
       "                are identical at any thread count)\n"
+      "  --scheduler forkjoin|morsel\n"
+      "                parallel-loop runtime: morsel (default) deals\n"
+      "                fixed-size morsels across per-worker work-stealing\n"
+      "                deques; forkjoin is the shared-cursor loop. Results\n"
+      "                (and the metrics digest) are identical under both\n"
       "  --drg-matcher all_pairs|lsh\n"
       "                candidate generation for DRG discovery: all_pairs\n"
       "                scores every table pair (exhaustive, O(n^2));\n"
       "                lsh prefilters pairs with a MinHash-LSH index over\n"
       "                the column sketches (sub-quadratic on large lakes,\n"
       "                recall >= 95%% of all_pairs edges)\n"
+      "  --lsh-rescue N\n"
+      "                containment-rescue threshold of the lsh matcher:\n"
+      "                columns with at most N distinct values index every\n"
+      "                sketch value, catching small-FK-in-huge-PK joins\n"
+      "                whose Jaccard similarity is too low for banding\n"
+      "                (0 disables the rescue; default %zu). Raise it when\n"
+      "                dimension tables are missed at the default\n",
+      LshOptions{}.small_column_rescue);
+  std::fprintf(
+      stderr,
       "  --metrics-out FILE.json\n"
       "                write an observability report (counters, histograms,\n"
       "                memory gauges, phase spans) covering DRG discovery\n"
@@ -127,6 +146,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->drg_matcher = v;
+    } else if (arg == "--scheduler") {
+      const char* v = next();
+      if (!v) return false;
+      options->scheduler = v;
+    } else if (arg == "--lsh-rescue") {
+      const char* v = next();
+      if (!v) return false;
+      options->lsh_rescue = std::atol(v);
     } else if (arg == "--tau") {
       const char* v = next();
       if (!v) return false;
@@ -238,6 +265,15 @@ int main(int argc, char** argv) {
                  options.drg_matcher.c_str());
     return 2;
   }
+  if (options.lsh_rescue >= 0) {
+    match.lsh.small_column_rescue = static_cast<size_t>(options.lsh_rescue);
+  }
+  SchedulerKind scheduler = SchedulerKind::kMorsel;
+  if (!ParseSchedulerKind(options.scheduler, &scheduler)) {
+    std::fprintf(stderr, "unknown --scheduler: %s (want forkjoin|morsel)\n",
+                 options.scheduler.c_str());
+    return 2;
+  }
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.threads) > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);
@@ -271,6 +307,7 @@ int main(int argc, char** argv) {
   config.top_k_paths = options.top_k;
   config.max_hops = options.max_hops;
   config.num_threads = options.threads;
+  config.scheduler = scheduler;
   if (metrics != nullptr) {
     config.metrics_enabled = true;
     config.metrics = metrics.get();

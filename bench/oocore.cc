@@ -1,0 +1,193 @@
+// Out-of-core discovery: the memory-budgeted join-index cache against a
+// lake much larger than the budget.
+//
+// Generates a snowflake lake, runs discovery unbudgeted to measure the
+// cache's natural high-water mark, then reruns with a budget of a sixteenth
+// of that peak — forcing LRU eviction + rebuild-on-miss throughout the BFS
+// — and with the adversarial evict-everything-between-rounds schedule, at
+// 1, 2 and 8 threads. Self-gating: exits non-zero when
+//
+//  * the lake is not at least 10x larger than the budget (the run would
+//    not demonstrate out-of-core operation),
+//  * any budgeted run's peak cache bytes exceed the budget,
+//  * any run's discovery fingerprint or deterministic obs digest differs
+//    from the unbudgeted single-thread baseline (results must be
+//    byte-identical under every eviction schedule, the
+//    cache.eviction_oblivious contract), or
+//  * the budgeted single-thread run is more than 3x slower than the
+//    unbudgeted one (rebuild-on-miss must stay bounded).
+//
+// Quick mode uses a small lake; AUTOFEAT_BENCH_MODE=full scales it up.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "core/autofeat.h"
+#include "datagen/lake_builder.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "qa/invariants.h"
+#include "util/timer.h"
+
+namespace autofeat::benchx {
+namespace {
+
+struct OocoreRun {
+  std::string fingerprint;
+  std::string digest;
+  double seconds = 0.0;
+  int64_t cache_peak_bytes = 0;
+};
+
+OocoreRun RunOnce(const datagen::BuiltLake& built,
+                  const DatasetRelationGraph& drg, size_t threads,
+                  size_t budget_bytes, EvictionStress stress,
+                  std::unique_ptr<AutoFeat>* engine_out = nullptr) {
+  AutoFeatConfig config;
+  config.seed = 42;
+  config.num_threads = threads;
+  config.metrics_enabled = true;
+  config.memory_budget_bytes = budget_bytes;
+  config.eviction_stress = stress;
+  auto engine = std::make_unique<AutoFeat>(&built.lake, &drg, config);
+  Timer timer;
+  auto result =
+      engine->DiscoverFeatures(built.base_table, built.label_column);
+  result.status().Abort("oocore discovery");
+  OocoreRun run;
+  run.seconds = timer.ElapsedSeconds();
+  run.fingerprint = qa::DiscoveryFingerprint(*result);
+  run.digest = obs::DeterministicDigest(*engine->metrics(), engine->tracer());
+  run.cache_peak_bytes =
+      engine->metrics()->GaugeValue("join_index_cache.bytes_peak");
+  if (engine_out != nullptr) *engine_out = std::move(engine);
+  return run;
+}
+
+int Main() {
+  datagen::LakeSpec spec;
+  spec.rows = FullMode() ? 8000 : 1500;
+  spec.joinable_tables = FullMode() ? 16 : 10;
+  spec.total_features = FullMode() ? 96 : 48;
+  spec.seed = 42;
+  datagen::BuiltLake built = datagen::BuildLake(spec);
+  size_t lake_bytes = 0;
+  for (const Table& table : built.lake.tables()) {
+    lake_bytes += table.ApproxBytes();
+  }
+  auto drg = BuildDrgFromKfk(built.lake);
+  drg.status().Abort("oocore drg");
+
+  std::printf("oocore: %zu tables, lake %.1f KiB\n", built.lake.num_tables(),
+              lake_bytes / 1024.0);
+
+  // Unbudgeted baseline: the fingerprint/digest every other run must
+  // reproduce, and the cache's natural peak. The engine stays alive so its
+  // metrics registry can back the BENCH json.
+  std::unique_ptr<AutoFeat> baseline_engine;
+  OocoreRun baseline = RunOnce(built, *drg, /*threads=*/1, /*budget=*/0,
+                               EvictionStress::kNone, &baseline_engine);
+  // Budget: a sixteenth of what the workload naturally wants (the cache's
+  // unbudgeted peak covers essentially every key column of the lake), so
+  // the lake is well past 10x the budget and eviction churns throughout.
+  const size_t budget = std::min(static_cast<size_t>(baseline.cache_peak_bytes),
+                                 lake_bytes) /
+                        16;
+  std::printf(
+      "  unbudgeted: %.3fs, cache peak %.1f KiB -> budget %.1f KiB "
+      "(lake/budget = %.0fx)\n",
+      baseline.seconds, baseline.cache_peak_bytes / 1024.0, budget / 1024.0,
+      budget > 0 ? static_cast<double>(lake_bytes) / budget : 0.0);
+
+  int failures = 0;
+  if (budget == 0) {
+    std::fprintf(stderr, "FAIL: unbudgeted cache peak is zero\n");
+    return 1;
+  }
+  if (lake_bytes < 10 * budget) {
+    std::fprintf(stderr,
+                 "FAIL: lake (%zu bytes) is not 10x the budget (%zu bytes); "
+                 "the run does not demonstrate out-of-core operation\n",
+                 lake_bytes, budget);
+    ++failures;
+  }
+
+  std::vector<BenchTiming> timings;
+  timings.push_back({"unbudgeted_t1", 1, baseline.seconds});
+
+  struct Variant {
+    const char* label;
+    size_t threads;
+    size_t budget;
+    EvictionStress stress;
+  };
+  const Variant variants[] = {
+      {"budget_lru_t1", 1, budget, EvictionStress::kNone},
+      {"budget_lru_t2", 2, budget, EvictionStress::kNone},
+      {"budget_lru_t8", 8, budget, EvictionStress::kNone},
+      {"evict_all_t1", 1, budget, EvictionStress::kEvictAll},
+      {"evict_all_t2", 2, budget, EvictionStress::kEvictAll},
+      {"evict_all_t8", 8, budget, EvictionStress::kEvictAll},
+      {"unbudgeted_t8", 8, 0, EvictionStress::kNone},
+  };
+  double budget_t1_seconds = 0.0;
+  for (const Variant& v : variants) {
+    OocoreRun run = RunOnce(built, *drg, v.threads, v.budget, v.stress);
+    timings.push_back({v.label, v.threads, run.seconds});
+    const bool budgeted = v.budget > 0;
+    std::printf("  %-14s %.3fs, cache peak %.1f KiB%s\n", v.label,
+                run.seconds, run.cache_peak_bytes / 1024.0,
+                budgeted ? "" : " (unbounded)");
+    if (run.fingerprint != baseline.fingerprint) {
+      std::fprintf(stderr, "FAIL: %s diverged from the baseline features\n",
+                   v.label);
+      ++failures;
+    }
+    if (run.digest != baseline.digest) {
+      std::fprintf(stderr,
+                   "FAIL: %s deterministic obs digest differs from the "
+                   "baseline\n",
+                   v.label);
+      ++failures;
+    }
+    if (budgeted &&
+        run.cache_peak_bytes > static_cast<int64_t>(v.budget)) {
+      std::fprintf(stderr,
+                   "FAIL: %s cache peak %lld bytes exceeds the budget %zu\n",
+                   v.label, static_cast<long long>(run.cache_peak_bytes),
+                   v.budget);
+      ++failures;
+    }
+    if (std::string(v.label) == "budget_lru_t1") {
+      budget_t1_seconds = run.seconds;
+    }
+  }
+
+  // Slowdown gate with a 50 ms absolute floor: quick-mode baselines are a
+  // few milliseconds and scheduler noise would dominate a pure ratio.
+  const double allowed =
+      baseline.seconds * 3.0 + (FullMode() ? 0.0 : 0.05);
+  if (budget_t1_seconds > allowed) {
+    std::fprintf(stderr,
+                 "FAIL: budgeted run took %.3fs, more than 3x the "
+                 "unbudgeted %.3fs\n",
+                 budget_t1_seconds, baseline.seconds);
+    ++failures;
+  }
+
+  WriteBenchJson("oocore", timings, baseline_engine->metrics());
+  if (failures > 0) {
+    std::fprintf(stderr, "oocore: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("oocore: all gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace autofeat::benchx
+
+int main() { return autofeat::benchx::Main(); }

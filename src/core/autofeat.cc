@@ -148,6 +148,27 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
   // not depend on how many threads interleaved their draws.
   uint64_t candidate_counter = 0;
 
+  // Eviction-schedule stress (qa/bench): between BFS rounds, drop cache
+  // entries so later rounds exercise rebuild-on-miss. Runs on the
+  // coordinating thread with a counter-derived draw, so the schedule is a
+  // pure function of the seed — and the invariant that results do not
+  // depend on it is checked by qa's cache.eviction_oblivious.
+  uint64_t stress_round = 0;
+  auto stress_evict = [&] {
+    if (join_cache_ == nullptr) return;
+    switch (config_.eviction_stress) {
+      case EvictionStress::kNone:
+        return;
+      case EvictionStress::kEvictAll:
+        join_cache_->EvictAll();
+        return;
+      case EvictionStress::kRandom:
+        join_cache_->EvictRandomHalf(
+            DeriveSeed(config_.seed, 0xE71C7ULL + stress_round++));
+        return;
+    }
+  };
+
   while (!frontier.empty() && result.paths_explored < config_.max_paths) {
     obs::Record(m_frontier, frontier.size());
     obs::UpdateMax(m_frontier_peak, frontier.size());
@@ -407,6 +428,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
         frontier.push_back(std::move(next));
       }
     }
+    stress_evict();
   }
 
   // Descending score; stable keeps BFS (shortest-first) order for ties.
@@ -440,8 +462,9 @@ Result<Table> AutoFeat::MaterializeAugmentedTable(
     JoinResult joined;
     if (join_cache_ != nullptr) {
       // The shared cache means the full-data materialisation picks the same
-      // per-key representatives the discovery phase scored.
-      AF_ASSIGN_OR_RETURN(const JoinKeyIndex* index,
+      // per-key representatives the discovery phase scored (rebuilds after
+      // eviction reproduce them exactly).
+      AF_ASSIGN_OR_RETURN(JoinIndexCache::IndexPin index,
                           join_cache_->GetOrBuild(right_name, step.to_column));
       AF_ASSIGN_OR_RETURN(
           joined, LeftJoinWithIndex(current, step.from_column, *right, *index));

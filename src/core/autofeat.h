@@ -99,8 +99,9 @@ class AutoFeat {
       if (tracer_ != nullptr) pool_->set_tracer(tracer_);
     }
     if (config_.join_fast_path) {
-      join_cache_ = std::make_unique<JoinIndexCache>(lake_, config_.seed,
-                                                     metrics_, tracer_);
+      join_cache_ = std::make_unique<JoinIndexCache>(
+          lake_, config_.seed, metrics_, tracer_,
+          config_.memory_budget_bytes);
     }
   }
 

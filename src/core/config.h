@@ -17,6 +17,20 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace obs
 
+/// \brief Cache-eviction stress schedules (qa/bench only). Discovery output
+/// must be byte-identical under every schedule — cache entries are pure
+/// functions of (table contents, column, seed) — which the
+/// `cache.eviction_oblivious` fuzzer invariant enforces.
+enum class EvictionStress {
+  /// Production behaviour: evict only when the budget demands it.
+  kNone,
+  /// Adversarial: evict every resident entry between BFS rounds.
+  kEvictAll,
+  /// Evict a seeded pseudo-random half of the entries between BFS rounds
+  /// (deterministic given config.seed).
+  kRandom,
+};
+
 /// \brief Configuration of the AutoFeat discovery algorithm.
 struct AutoFeatConfig {
   /// Data-quality (completeness) threshold tau: joins whose appended
@@ -84,6 +98,20 @@ struct AutoFeatConfig {
   /// kForkJoin is the shared-cursor ParallelFor. Both fold results in index
   /// order — the digest is byte-identical across kinds and thread counts.
   SchedulerKind scheduler = SchedulerKind::kMorsel;
+
+  /// Global memory budget in bytes for the lake-wide caches (join-key
+  /// indexes during discovery; column sketches during DRG construction —
+  /// the phases do not overlap, so each cache is bounded by the full
+  /// budget). 0 = unbounded. Under a budget the caches evict
+  /// least-recently-used entries (largest first within a batch) and rebuild
+  /// them on the next miss; results are byte-identical at any budget, only
+  /// wall time changes (bench/oocore gates the slowdown).
+  size_t memory_budget_bytes = 0;
+
+  /// Eviction-schedule stress for qa/bench runs: evict everything (or a
+  /// seeded random half) between BFS rounds to prove results are
+  /// eviction-oblivious. Leave at kNone in production.
+  EvictionStress eviction_stress = EvictionStress::kNone;
 
   /// Observability: when true the engine records counters/histograms and
   /// hierarchical phase spans (src/obs/) across DRG caches, the BFS

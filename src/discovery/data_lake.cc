@@ -7,10 +7,41 @@
 #include "discovery/lsh_index.h"
 #include "discovery/sketch_cache.h"
 #include "obs/metrics.h"
+#include "table/columnar.h"
 #include "table/csv.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
+
+Result<LakeFormat> ParseLakeFormat(const std::string& name) {
+  if (name == "csv") return LakeFormat::kCsv;
+  if (name == "columnar") return LakeFormat::kColumnar;
+  return Status::InvalidArgument("unknown lake format: " + name +
+                                 " (expected csv or columnar)");
+}
+
+namespace {
+
+// Shared directory walk: every regular `extension` file, sorted — the
+// lake's table order must not depend on directory enumeration order.
+Result<std::vector<std::string>> SortedFilesWithExtension(
+    const std::string& directory, const std::string& extension) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::IOError("not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == extension) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
 
 Status DataLake::AddTable(Table table) {
   if (table.name().empty()) {
@@ -49,24 +80,37 @@ std::vector<std::string> DataLake::TableNames() const {
 }
 
 Result<DataLake> DataLake::FromCsvDirectory(const std::string& directory) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(directory, ec)) {
-    return Status::IOError("not a directory: " + directory);
-  }
-  std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(directory)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
-      paths.push_back(entry.path().string());
-    }
-  }
-  std::sort(paths.begin(), paths.end());  // Deterministic load order.
+  AF_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                      SortedFilesWithExtension(directory, ".csv"));
   DataLake lake;
   for (const auto& path : paths) {
     AF_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path));
     AF_RETURN_NOT_OK(lake.AddTable(std::move(table)));
   }
   return lake;
+}
+
+Result<DataLake> DataLake::FromColumnarDirectory(
+    const std::string& directory) {
+  AF_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                      SortedFilesWithExtension(directory, kColumnarExtension));
+  DataLake lake;
+  for (const auto& path : paths) {
+    AF_ASSIGN_OR_RETURN(Table table, ReadColumnarFile(path));
+    AF_RETURN_NOT_OK(lake.AddTable(std::move(table)));
+  }
+  return lake;
+}
+
+Result<DataLake> DataLake::FromDirectory(const std::string& directory,
+                                         LakeFormat format) {
+  switch (format) {
+    case LakeFormat::kCsv:
+      return FromCsvDirectory(directory);
+    case LakeFormat::kColumnar:
+      return FromColumnarDirectory(directory);
+  }
+  return Status::InvalidArgument("unhandled lake format");
 }
 
 Result<DatasetRelationGraph> BuildDrgFromKfk(const DataLake& lake,
@@ -152,7 +196,8 @@ Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
   // Sketch every column once (in parallel over tables), then score pairs
   // over the shared cache instead of re-scanning column values per pair.
   LakeSketchCache cache =
-      LakeSketchCache::Build(lake, options.max_sample_values, pool, metrics);
+      LakeSketchCache::Build(lake, options.max_sample_values, pool, metrics,
+                             options.memory_budget_bytes);
 
   // Candidate generation. LSH filtering is sound only while every
   // reportable edge needs value overlap (a collision witness); when the
@@ -182,8 +227,11 @@ Result<DatasetRelationGraph> BuildDrgByDiscovery(const DataLake& lake,
       lake, pairs, pool, metrics, [&](size_t i, size_t j) {
         obs::Increment(sketch_hits,
                        tables[i].num_columns() + tables[j].num_columns());
-        return MatchSchemas(tables[i], cache.table_sketches(i), tables[j],
-                            cache.table_sketches(j), options);
+        // Pins keep both entries alive for the duration of the match even
+        // if a concurrent pair's rebuild evicts them under a budget.
+        LakeSketchCache::TableSketchesPin left = cache.GetOrBuild(i);
+        LakeSketchCache::TableSketchesPin right = cache.GetOrBuild(j);
+        return MatchSchemas(tables[i], *left, tables[j], *right, options);
       });
 }
 

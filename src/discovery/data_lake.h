@@ -27,6 +27,18 @@ namespace obs {
 class MetricsRegistry;
 }  // namespace obs
 
+/// \brief On-disk representation of a lake directory.
+enum class LakeFormat {
+  /// One *.csv file per table (text; types inferred on load).
+  kCsv,
+  /// One *.afc file per table (the binary columnar format of
+  /// table/columnar.h: dictionary-encoded, null bitmaps, checksummed).
+  kColumnar,
+};
+
+/// Parses "csv" / "columnar" (the --lake-format CLI values).
+Result<LakeFormat> ParseLakeFormat(const std::string& name);
+
 /// \brief A declared key/foreign-key relationship between two tables.
 struct KfkConstraint {
   std::string from_table;
@@ -59,6 +71,14 @@ class DataLake {
 
   /// Loads every *.csv file of a directory as a table.
   static Result<DataLake> FromCsvDirectory(const std::string& directory);
+
+  /// Loads every *.afc (binary columnar) file of a directory as a table.
+  static Result<DataLake> FromColumnarDirectory(const std::string& directory);
+
+  /// Loads a directory in the given format (sorted file order either way,
+  /// so the lake's table order is format-independent).
+  static Result<DataLake> FromDirectory(const std::string& directory,
+                                        LakeFormat format);
 
  private:
   std::vector<Table> tables_;

@@ -16,7 +16,8 @@ namespace autofeat {
 namespace {
 
 // FNV-1a over "table\0column": a stable per-entry stream id, so the
-// representative draws do not depend on which caller builds an entry first.
+// representative draws do not depend on which caller builds an entry first
+// (and rebuilds after eviction reproduce the exact same index).
 uint64_t EntryStream(const std::string& table, const std::string& column) {
   uint64_t h = 0xCBF29CE484222325ULL;
   auto mix = [&h](const std::string& s) {
@@ -32,45 +33,162 @@ uint64_t EntryStream(const std::string& table, const std::string& column) {
   return h;
 }
 
+uint64_t KeyHash(const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
+JoinIndexCache::JoinIndexCache(const DataLake* lake, uint64_t seed,
+                               obs::MetricsRegistry* metrics,
+                               obs::Tracer* tracer, size_t budget_bytes)
+    : lake_(lake),
+      seed_(seed),
+      budget_bytes_(budget_bytes),
+      tracer_(tracer),
+      requests_(obs::GetCounter(metrics, "join_index_cache.requests")),
+      builds_(obs::GetCounter(metrics, "join_index_cache.builds")),
+      // Everything below depends on the eviction schedule (and, under a
+      // budget, on build interleaving), so it is excluded from the
+      // deterministic digest — see the header's metrics-semantics note.
+      hits_(obs::GetCounter(metrics, "join_index_cache.hits",
+                            /*deterministic=*/false)),
+      rebuilds_(obs::GetCounter(metrics, "join_index_cache.rebuilds",
+                                /*deterministic=*/false)),
+      evictions_(obs::GetCounter(metrics, "join_index_cache.evictions",
+                                 /*deterministic=*/false)),
+      bytes_(obs::GetGauge(metrics, "join_index_cache.bytes",
+                           /*deterministic=*/false)),
+      bytes_peak_(obs::GetGauge(metrics, "join_index_cache.bytes_peak",
+                                /*deterministic=*/false)),
+      key_cardinality_(
+          obs::GetHistogram(metrics, "join_index_cache.key_cardinality")) {}
+
+void JoinIndexCache::Account(int64_t delta) {
+  obs::AddBytesWithPeak(bytes_, bytes_peak_, delta);
+}
+
 std::shared_ptr<JoinIndexCache::Entry> JoinIndexCache::EntryFor(
-    const std::string& table, const std::string& column) {
-  std::string key = table + '\0' + column;
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::shared_ptr<Entry>& slot = entries_[std::move(key)];
+    const std::string& key, uint64_t tick) {
+  std::shared_ptr<Entry>& slot = entries_[key];
   if (slot == nullptr) slot = std::make_shared<Entry>();
+  slot->last_used = std::max(slot->last_used, tick);
   return slot;
 }
 
-Result<const JoinKeyIndex*> JoinIndexCache::GetOrBuild(
+void JoinIndexCache::EvictForLocked(size_t incoming, const Entry* keep) {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ + incoming > budget_bytes_) {
+    // Victim: least-recently-used resident entry; among entries touched by
+    // the same batch tick, the largest footprint goes first (most bytes
+    // reclaimed per rebuild risked — the cost-aware tie-break). The final
+    // key comparison only makes victim order deterministic.
+    Entry* victim = nullptr;
+    const std::string* victim_key = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (entry->index == nullptr || entry.get() == keep) continue;
+      if (victim == nullptr ||
+          entry->last_used < victim->last_used ||
+          (entry->last_used == victim->last_used &&
+           (entry->bytes > victim->bytes ||
+            (entry->bytes == victim->bytes && key < *victim_key)))) {
+        victim = entry.get();
+        victim_key = &key;
+      }
+    }
+    if (victim == nullptr) break;  // everything left is pinned-out or `keep`
+    resident_bytes_ -= victim->bytes;
+    Account(-static_cast<int64_t>(victim->bytes));
+    victim->index.reset();
+    victim->bytes = 0;
+    obs::Increment(evictions_);
+  }
+}
+
+Result<JoinIndexCache::IndexPin> JoinIndexCache::GetOrBuild(
     const std::string& table, const std::string& column) {
+  return GetOrBuildWithTick(table, column, /*tick=*/0);
+}
+
+Result<JoinIndexCache::IndexPin> JoinIndexCache::GetOrBuildWithTick(
+    const std::string& table, const std::string& column, uint64_t tick) {
   obs::Increment(requests_);
-  std::shared_ptr<Entry> entry = EntryFor(table, column);
-  bool built_here = false;
-  std::call_once(entry->once, [&] {
-    obs::ScopedWorkerSpan span(tracer_, "join_index.build");
-    built_here = true;
+  std::string key = table + '\0' + column;
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tick == 0) tick = ++tick_;
+    entry = EntryFor(key, tick);
+    if (entry->index != nullptr) {
+      obs::Increment(hits_);
+      return entry->index;
+    }
+    if (entry->failed) {
+      obs::Increment(hits_);
+      return entry->failure;
+    }
+  }
+
+  // Miss: serialise builders of this entry; latecomers re-check and count
+  // as hits. The build itself runs with only build_mutex held.
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  bool rebuild = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry->index != nullptr) {
+      obs::Increment(hits_);
+      return entry->index;
+    }
+    if (entry->failed) {
+      obs::Increment(hits_);
+      return entry->failure;
+    }
+    rebuild = entry->ever_built;
+  }
+
+  obs::ScopedWorkerSpan span(tracer_, "join_index.build");
+  auto table_result = lake_->GetTable(table);
+  Result<const Column*> column_result =
+      table_result.ok() ? (*table_result)->GetColumn(column)
+                        : Result<const Column*>(table_result.status());
+  if (!column_result.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->failed = true;
+    entry->failure = column_result.status();
+    if (!entry->ever_built) {
+      entry->ever_built = true;
+      obs::Increment(builds_);
+    }
+    return entry->failure;
+  }
+  IndexPin pin = std::make_shared<JoinKeyIndex>(BuildJoinKeyIndex(
+      **column_result, DeriveSeed(seed_, EntryStream(table, column))));
+  size_t cost = pin->ApproxBytes();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!rebuild) {
+    entry->ever_built = true;
     obs::Increment(builds_);
-    auto table_result = lake_->GetTable(table);
-    if (!table_result.ok()) {
-      entry->status = table_result.status();
-      return;
-    }
-    auto column_result = (*table_result)->GetColumn(column);
-    if (!column_result.ok()) {
-      entry->status = column_result.status();
-      return;
-    }
-    entry->index = BuildJoinKeyIndex(
-        **column_result, DeriveSeed(seed_, EntryStream(table, column)));
-    obs::Record(key_cardinality_, entry->index.num_distinct_keys());
-    obs::AddBytesWithPeak(bytes_, bytes_peak_,
-                          static_cast<int64_t>(entry->index.ApproxBytes()));
-  });
-  if (!built_here) obs::Increment(hits_);
-  if (!entry->status.ok()) return entry->status;
-  return &entry->index;
+    obs::Record(key_cardinality_, pin->num_distinct_keys());
+  } else {
+    obs::Increment(rebuilds_);
+  }
+  // Publish only while it fits: an entry larger than the whole budget is
+  // handed to the caller pin-only, so the resident gauge never exceeds the
+  // budget (the invariant cache_eviction_test asserts via bytes_peak).
+  if (budget_bytes_ == 0 || cost <= budget_bytes_) {
+    EvictForLocked(cost, entry.get());
+    entry->index = pin;
+    entry->bytes = cost;
+    resident_bytes_ += cost;
+    Account(static_cast<int64_t>(cost));
+  }
+  return pin;
 }
 
 void JoinIndexCache::Prewarm(const DatasetRelationGraph& drg,
@@ -87,15 +205,63 @@ void JoinIndexCache::Prewarm(const DatasetRelationGraph& drg,
   }
   std::sort(targets.begin(), targets.end());
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  // One recency tick for the whole batch: the prewarmed entries are equally
+  // recent, which makes the cost-aware (largest-first) tie-break decide
+  // eviction order among them under a budget.
+  uint64_t batch_tick;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_tick = ++tick_;
+  }
   ParallelFor(pool, 0, targets.size(), /*grain=*/1, [&](size_t i) {
     // Failures surface (again) at join time; prewarm just drops them.
-    GetOrBuild(targets[i].first, targets[i].second).status();
+    GetOrBuildWithTick(targets[i].first, targets[i].second, batch_tick)
+        .status();
   });
+}
+
+void JoinIndexCache::EvictAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    if (entry->index == nullptr) continue;
+    resident_bytes_ -= entry->bytes;
+    Account(-static_cast<int64_t>(entry->bytes));
+    entry->index.reset();
+    entry->bytes = 0;
+    obs::Increment(evictions_);
+  }
+}
+
+void JoinIndexCache::EvictRandomHalf(uint64_t draw) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    if (entry->index == nullptr) continue;
+    if (((KeyHash(key) ^ draw) & 1) == 0) continue;
+    resident_bytes_ -= entry->bytes;
+    Account(-static_cast<int64_t>(entry->bytes));
+    entry->index.reset();
+    entry->bytes = 0;
+    obs::Increment(evictions_);
+  }
 }
 
 size_t JoinIndexCache::num_entries() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+size_t JoinIndexCache::num_resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t resident = 0;
+  for (const auto& [key, entry] : entries_) {
+    resident += entry->index != nullptr ? 1 : 0;
+  }
+  return resident;
+}
+
+size_t JoinIndexCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
 }
 
 }  // namespace autofeat

@@ -1,19 +1,44 @@
-// Lake-wide cache of interned join-key indexes.
+// Lake-wide cache of interned join-key indexes, with an optional memory
+// budget enforced by cost-aware LRU eviction.
 //
 // Every BFS candidate edge, top-k materialisation and baseline join probes
 // some lake table on some key column. Before this cache each probe re-hashed
 // the right key column from scratch; now the dictionary + CSR index + the
 // deterministic cardinality-normalisation representative for a given
-// (table, key column) pair are built exactly once and shared — across the
+// (table, key column) pair are built at most once per residency — across the
 // discovery frontier, the ML evaluation stage and the ARDA/MAB/JoinAll
 // baselines, and across threads (sibling of LakeSketchCache, which plays
 // the same role for DRG construction).
 //
+// Memory budget: with budget_bytes > 0 the cache keeps its resident entries
+// within the budget by evicting, on each insertion, the least-recently-used
+// entries first (larger footprint first among entries touched by the same
+// batch operation — freeing the most bytes per eviction is the cost-aware
+// tie-break; Prewarm stamps all its entries with one recency tick, so the
+// tie is real there). An entry whose own footprint exceeds the budget is
+// handed to the caller but never becomes resident. Evicted entries are
+// rebuilt on the next request (rebuild-on-miss); because every entry is a
+// pure function of (table contents, column, seed) — never of build
+// interleaving or eviction schedule — results are byte-identical under any
+// eviction schedule (the `cache.eviction_oblivious` fuzzer invariant).
+//
+// Callers receive a shared_ptr pin, so an entry evicted while a worker is
+// mid-join stays alive until the last pin drops; the budget bounds the
+// cache-resident bytes (`join_index_cache.bytes` gauge), matching what
+// eviction can actually reclaim.
+//
 // Thread safety: GetOrBuild may be called concurrently from pool workers;
-// each entry is built exactly once (std::call_once) with the map mutex
-// released during the build. Entry contents are a pure function of
-// (table contents, column, seed), never of build interleaving, so cached
-// joins keep the runtime's byte-identical-at-any-thread-count contract.
+// concurrent requests for one entry build it once (the per-entry build
+// mutex serialises builders; latecomers count as hits). Lock order: a
+// build mutex may acquire the cache mutex, never the reverse — eviction
+// only takes the cache mutex, so it cannot deadlock against builders.
+//
+// Metrics semantics (and why): `requests` and `builds` (first-time builds)
+// are workload-determined and stay deterministic; `hits`, `rebuilds`,
+// `evictions` and the byte gauges depend on the eviction schedule and are
+// registered non-deterministic so the obs digest is identical between
+// evicted and unevicted runs. `key_cardinality` records only first-time
+// builds (rebuilds reproduce the same index).
 
 #ifndef AUTOFEAT_DISCOVERY_JOIN_INDEX_CACHE_H_
 #define AUTOFEAT_DISCOVERY_JOIN_INDEX_CACHE_H_
@@ -23,6 +48,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "relational/join_index.h"
@@ -38,68 +64,92 @@ class DataLake;
 class DatasetRelationGraph;
 class ThreadPool;
 
-/// \brief Thread-safe (table, key column) -> JoinKeyIndex cache over a lake.
+/// \brief Thread-safe (table, key column) -> JoinKeyIndex cache over a lake,
+/// optionally bounded by a byte budget with LRU eviction + rebuild-on-miss.
 class JoinIndexCache {
  public:
+  /// A pinned cache entry: keeps the index alive across eviction until the
+  /// caller drops it.
+  using IndexPin = std::shared_ptr<const JoinKeyIndex>;
+
   /// `lake` must outlive the cache. `seed` fixes the representative-row
-  /// draws; two caches with the same seed over the same lake are identical.
-  /// A non-null `metrics` records `join_index_cache.requests` /
-  /// `.builds` / `.hits` counters and the `join_index_cache.key_cardinality`
-  /// histogram (distinct interned keys per built entry), plus the
-  /// `join_index_cache.bytes` / `.bytes_peak` gauges (approximate index
-  /// footprint; the cache only grows, so peak == final); all are
-  /// deterministic for a fixed workload regardless of thread count. A
-  /// non-null `tracer` records each index build as a `join_index.build`
-  /// worker span.
+  /// draws; two caches with the same seed over the same lake build
+  /// interchangeable entries (eviction + rebuild reproduces them exactly).
+  /// `budget_bytes` bounds the resident footprint (0 = unbounded). A
+  /// non-null `metrics` records the counters/gauges described in the file
+  /// comment. A non-null `tracer` records each index build as a
+  /// `join_index.build` worker span.
   JoinIndexCache(const DataLake* lake, uint64_t seed,
                  obs::MetricsRegistry* metrics = nullptr,
-                 obs::Tracer* tracer = nullptr)
-      : lake_(lake),
-        seed_(seed),
-        tracer_(tracer),
-        requests_(obs::GetCounter(metrics, "join_index_cache.requests")),
-        builds_(obs::GetCounter(metrics, "join_index_cache.builds")),
-        hits_(obs::GetCounter(metrics, "join_index_cache.hits")),
-        bytes_(obs::GetGauge(metrics, "join_index_cache.bytes")),
-        bytes_peak_(obs::GetGauge(metrics, "join_index_cache.bytes_peak")),
-        key_cardinality_(
-            obs::GetHistogram(metrics, "join_index_cache.key_cardinality")) {}
+                 obs::Tracer* tracer = nullptr, size_t budget_bytes = 0);
 
-  /// The index of `table`.`column`, built on first request. The pointer
-  /// stays valid for the cache's lifetime. Fails if the table or column
-  /// does not exist.
-  Result<const JoinKeyIndex*> GetOrBuild(const std::string& table,
-                                         const std::string& column);
+  /// The index of `table`.`column`, built on first request and rebuilt
+  /// after eviction. The returned pin stays valid for as long as the caller
+  /// holds it. Fails if the table or column does not exist.
+  Result<IndexPin> GetOrBuild(const std::string& table,
+                              const std::string& column);
 
   /// Builds the index of every join target (to_node, to_column) reachable
   /// through `drg` up front, fanning out over `pool` when given. Purely an
-  /// optimisation — lazy GetOrBuild fills any entry Prewarm missed.
+  /// optimisation — lazy GetOrBuild fills any entry Prewarm missed or the
+  /// budget evicted. All prewarmed entries share one recency tick (they are
+  /// one batch), so under a budget the largest are evicted first.
   void Prewarm(const DatasetRelationGraph& drg, ThreadPool* pool = nullptr);
 
-  /// Entries created so far (built or in flight).
+  /// Evicts every resident entry (the adversarial stress schedule of the
+  /// eviction-obliviousness invariant). Outstanding pins stay valid.
+  void EvictAll();
+
+  /// Evicts the resident entries whose key hash has the same low bit as
+  /// `draw` — a deterministic function of (resident set, draw), used by the
+  /// seeded random eviction-stress schedule.
+  void EvictRandomHalf(uint64_t draw);
+
+  /// Entries ever created (resident or evicted).
   size_t num_entries() const;
+  /// Entries currently holding a built index.
+  size_t num_resident() const;
+  /// Sum of the resident entries' ApproxBytes (== the bytes gauge).
+  size_t resident_bytes() const;
+  size_t budget_bytes() const { return budget_bytes_; }
 
  private:
   struct Entry {
-    std::once_flag once;
-    Status status;
-    JoinKeyIndex index;
+    std::mutex build_mutex;  // serialises builders; see lock order above
+    // All fields below are guarded by the cache-wide mutex_.
+    IndexPin index;          // null when not built or evicted
+    size_t bytes = 0;        // ApproxBytes of `index` while resident
+    uint64_t last_used = 0;  // recency tick of the latest request
+    bool ever_built = false; // distinguishes builds from rebuilds
+    Status failure;          // sticky lookup failure (bad table/column)
+    bool failed = false;
   };
 
-  std::shared_ptr<Entry> EntryFor(const std::string& table,
-                                  const std::string& column);
+  std::shared_ptr<Entry> EntryFor(const std::string& key, uint64_t tick);
+  Result<IndexPin> GetOrBuildWithTick(const std::string& table,
+                                      const std::string& column,
+                                      uint64_t tick);
+  // Drops resident entries (skipping `keep`) until resident_bytes_ +
+  // incoming <= budget. Caller holds mutex_.
+  void EvictForLocked(size_t incoming, const Entry* keep);
+  void Account(int64_t delta);
 
   const DataLake* lake_;
   uint64_t seed_;
+  size_t budget_bytes_;
   obs::Tracer* tracer_;
   obs::Counter* requests_;
   obs::Counter* builds_;
   obs::Counter* hits_;
+  obs::Counter* rebuilds_;
+  obs::Counter* evictions_;
   obs::Gauge* bytes_;
   obs::Gauge* bytes_peak_;
   obs::Histogram* key_cardinality_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  size_t resident_bytes_ = 0;
+  uint64_t tick_ = 0;
 };
 
 }  // namespace autofeat

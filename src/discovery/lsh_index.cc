@@ -77,7 +77,7 @@ uint64_t BandContentHash(const uint64_t* mins, size_t rows) {
 }  // namespace
 
 LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
-                                           const LakeSketchCache& cache,
+                                           LakeSketchCache& cache,
                                            const LshOptions& options,
                                            ThreadPool* pool,
                                            obs::MetricsRegistry* metrics) {
@@ -94,7 +94,8 @@ LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
       obs::CaptureTaskContext(tables.empty() ? nullptr : tracer);
   ParallelFor(pool, 0, tables.size(), /*grain=*/1, [&](size_t t) {
     obs::ScopedWorkerSpan span(ctx, "sketch.minhash");
-    const auto& sketches = cache.table_sketches(t);
+    LakeSketchCache::TableSketchesPin pin = cache.GetOrBuild(t);
+    const auto& sketches = *pin;
     std::vector<MinHashSignature> sigs(sketches.size());
     for (size_t c = 0; c < sketches.size(); ++c) {
       if (sketches[c].num_distinct < options.min_distinct) continue;
@@ -113,7 +114,8 @@ LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
   std::unordered_map<uint64_t, std::vector<ColumnRef>> buckets;
   const uint64_t rescue_stream_base = 2 * options.num_bands;
   for (size_t t = 0; t < tables.size(); ++t) {
-    const auto& sketches = cache.table_sketches(t);
+    LakeSketchCache::TableSketchesPin pin = cache.GetOrBuild(t);
+    const auto& sketches = *pin;
     for (size_t c = 0; c < sketches.size(); ++c) {
       const ColumnSketch& sketch = sketches[c];
       const MinHashSignature& sig = signatures[t][c];

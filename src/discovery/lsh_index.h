@@ -117,9 +117,11 @@ class LshCandidateIndex {
   /// (cross-table column collisions before table-pair dedup) and maintains
   /// the `lsh_index.bytes` / `.bytes_peak` gauges from ApproxBytes().
   /// Signature building records `sketch.minhash` worker spans into the
-  /// pool's tracer, when both exist.
+  /// pool's tracer, when both exist. `cache` is non-const because sketches
+  /// build (and, under a memory budget, rebuild) lazily on request; the
+  /// index pins each table's entry only while signing it.
   static LshCandidateIndex Build(const DataLake& lake,
-                                 const LakeSketchCache& cache,
+                                 LakeSketchCache& cache,
                                  const LshOptions& options,
                                  ThreadPool* pool = nullptr,
                                  obs::MetricsRegistry* metrics = nullptr);

@@ -65,36 +65,180 @@ double SketchJaccard(const ColumnSketch& a, const ColumnSketch& b) {
                   : static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+LakeSketchCache::LakeSketchCache(const DataLake* lake, size_t max_sample,
+                                 obs::MetricsRegistry* metrics,
+                                 size_t budget_bytes)
+    : lake_(lake),
+      max_sample_(max_sample),
+      budget_bytes_(budget_bytes),
+      builds_(obs::GetCounter(metrics, "sketch_cache.builds")),
+      // Schedule-dependent under a budget — excluded from the deterministic
+      // digest, like the JoinIndexCache eviction metrics.
+      rebuilds_(obs::GetCounter(metrics, "sketch_cache.rebuilds",
+                                /*deterministic=*/false)),
+      evictions_(obs::GetCounter(metrics, "sketch_cache.evictions",
+                                 /*deterministic=*/false)),
+      bytes_(obs::GetGauge(metrics, "sketch_cache.bytes",
+                           /*deterministic=*/false)),
+      bytes_peak_(obs::GetGauge(metrics, "sketch_cache.bytes_peak",
+                                /*deterministic=*/false)),
+      state_(std::make_unique<State>()) {
+  state_->entries.resize(lake_->num_tables());
+  for (auto& slot : state_->entries) slot = std::make_shared<Entry>();
+}
+
 LakeSketchCache LakeSketchCache::Build(const DataLake& lake,
                                        size_t max_sample, ThreadPool* pool,
-                                       obs::MetricsRegistry* metrics) {
-  LakeSketchCache cache;
-  cache.max_sample_ = max_sample;
-  obs::Counter* builds = obs::GetCounter(metrics, "sketch_cache.builds");
-  obs::Gauge* bytes = obs::GetGauge(metrics, "sketch_cache.bytes");
-  obs::Gauge* bytes_peak = obs::GetGauge(metrics, "sketch_cache.bytes_peak");
-  const auto& tables = lake.tables();
-  cache.sketches_.resize(tables.size());
-  obs::Tracer* tracer = pool != nullptr ? pool->tracer() : nullptr;
-  obs::TaskContext ctx = obs::CaptureTaskContext(
-      tables.empty() ? nullptr : tracer);
-  // One task per table (columns of a table share value scans' cache
-  // locality); each slot is written by exactly one task.
-  ParallelFor(pool, 0, tables.size(), /*grain=*/1, [&](size_t t) {
-    obs::ScopedWorkerSpan span(ctx, "sketch.table");
-    const Table& table = tables[t];
-    std::vector<ColumnSketch> sketches;
-    sketches.reserve(table.num_columns());
-    size_t footprint = 0;
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      sketches.push_back(BuildColumnSketch(table.column(c), max_sample));
-      footprint += sketches.back().ApproxBytes();
-    }
-    obs::Increment(builds, table.num_columns());
-    obs::AddBytesWithPeak(bytes, bytes_peak, static_cast<int64_t>(footprint));
-    cache.sketches_[t] = std::move(sketches);
-  });
+                                       obs::MetricsRegistry* metrics,
+                                       size_t budget_bytes) {
+  LakeSketchCache cache(&lake, max_sample, metrics, budget_bytes);
+  cache.PrewarmAll(pool);
   return cache;
+}
+
+LakeSketchCache::TableSketchesPin LakeSketchCache::GetOrBuild(
+    size_t table_index) {
+  return GetOrBuildWithTick(table_index, /*tick=*/0, /*pool=*/nullptr);
+}
+
+LakeSketchCache::TableSketchesPin LakeSketchCache::GetOrBuildWithTick(
+    size_t table_index, uint64_t tick, ThreadPool* pool) {
+  State& st = *state_;
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (tick == 0) tick = ++st.tick;
+    entry = st.entries[table_index];
+    entry->last_used = std::max(entry->last_used, tick);
+    if (entry->sketches != nullptr) return entry->sketches;
+  }
+
+  // Miss: serialise builders of this entry; the sketch itself is built with
+  // only build_mutex held, so distinct tables sketch concurrently.
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  bool rebuild = false;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (entry->sketches != nullptr) return entry->sketches;
+    rebuild = entry->ever_built;
+  }
+
+  obs::Tracer* tracer = pool != nullptr ? pool->tracer() : nullptr;
+  obs::ScopedWorkerSpan span(tracer, "sketch.table");
+  const Table& table = lake_->tables()[table_index];
+  auto sketches = std::make_shared<std::vector<ColumnSketch>>();
+  sketches->reserve(table.num_columns());
+  size_t footprint = sizeof(std::vector<ColumnSketch>);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    sketches->push_back(BuildColumnSketch(table.column(c), max_sample_));
+    footprint += sketches->back().ApproxBytes();
+  }
+  TableSketchesPin pin = std::move(sketches);
+
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (!rebuild) {
+    entry->ever_built = true;
+    obs::Increment(builds_, table.num_columns());
+  } else {
+    obs::Increment(rebuilds_, table.num_columns());
+  }
+  // Publish only while it fits: an entry larger than the whole budget is
+  // handed to the caller pin-only, so the resident gauge never exceeds the
+  // budget.
+  if (budget_bytes_ == 0 || footprint <= budget_bytes_) {
+    EvictForLocked(footprint, entry.get());
+    entry->sketches = pin;
+    entry->bytes = footprint;
+    st.resident_bytes += footprint;
+    obs::AddBytesWithPeak(bytes_, bytes_peak_,
+                          static_cast<int64_t>(footprint));
+  }
+  return pin;
+}
+
+void LakeSketchCache::EvictForLocked(size_t incoming, const Entry* keep) {
+  State& st = *state_;
+  if (budget_bytes_ == 0) return;
+  while (st.resident_bytes + incoming > budget_bytes_) {
+    // Victim: least-recently-used resident entry; among equally recent
+    // entries (one prewarm batch) the largest footprint goes first — most
+    // bytes reclaimed per rebuild risked. Entries are scanned in table
+    // order, so victim order is deterministic.
+    Entry* victim = nullptr;
+    for (const auto& entry : st.entries) {
+      if (entry->sketches == nullptr || entry.get() == keep) continue;
+      if (victim == nullptr || entry->last_used < victim->last_used ||
+          (entry->last_used == victim->last_used &&
+           entry->bytes > victim->bytes)) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) break;  // everything left is `keep`
+    st.resident_bytes -= victim->bytes;
+    obs::AddBytesWithPeak(bytes_, bytes_peak_,
+                          -static_cast<int64_t>(victim->bytes));
+    victim->sketches.reset();
+    victim->bytes = 0;
+    obs::Increment(evictions_);
+  }
+}
+
+void LakeSketchCache::PrewarmAll(ThreadPool* pool) {
+  State& st = *state_;
+  size_t n;
+  uint64_t batch_tick;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    // One recency tick for the whole batch: prewarmed entries are equally
+    // recent, so the cost-aware (largest-first) tie-break decides eviction
+    // order among them under a budget.
+    batch_tick = ++st.tick;
+    n = st.entries.size();
+  }
+  ParallelFor(pool, 0, n, /*grain=*/1, [&](size_t t) {
+    GetOrBuildWithTick(t, batch_tick, pool);
+  });
+}
+
+void LakeSketchCache::EvictAll() {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (auto& entry : st.entries) {
+    if (entry->sketches == nullptr) continue;
+    st.resident_bytes -= entry->bytes;
+    obs::AddBytesWithPeak(bytes_, bytes_peak_,
+                          -static_cast<int64_t>(entry->bytes));
+    entry->sketches.reset();
+    entry->bytes = 0;
+    obs::Increment(evictions_);
+  }
+}
+
+const std::vector<ColumnSketch>& LakeSketchCache::table_sketches(
+    size_t table_index) {
+  // The returned reference aliases the resident entry, which is only stable
+  // on an unbudgeted cache (budgeted callers must hold a GetOrBuild pin).
+  TableSketchesPin pin = GetOrBuild(table_index);
+  return *pin;
+}
+
+size_t LakeSketchCache::num_tables() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->entries.size();
+}
+
+size_t LakeSketchCache::num_resident() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  size_t resident = 0;
+  for (const auto& entry : state_->entries) {
+    resident += entry->sketches != nullptr ? 1 : 0;
+  }
+  return resident;
+}
+
+size_t LakeSketchCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->resident_bytes;
 }
 
 }  // namespace autofeat

@@ -1,32 +1,41 @@
-// Precomputed distinct-value sketches for DRG construction.
+// Precomputed distinct-value sketches for DRG construction, with an
+// optional memory budget enforced by LRU eviction + rebuild-on-miss.
 //
 // All-pairs joinability matching is quadratic in the number of tables, and
 // the naive formulation re-scans (and re-sketches) each column once per
 // table pair it participates in. A LakeSketchCache computes every column's
-// bottom-k-by-hash sketch exactly once — in parallel over tables when a
-// ThreadPool is given — so pair scoring degenerates to set intersections
+// bottom-k-by-hash sketch once per residency — in parallel over tables when
+// a ThreadPool is given — so pair scoring degenerates to set intersections
 // over cached sketches. The sketch keeps the values with the smallest
 // hashes, so the *same* values survive on both sides of any comparison and
 // containment/Jaccard estimates are stable under sampling (see
 // schema_matcher.h).
+//
+// Memory budget: with budget_bytes > 0 the per-table entries are bounded by
+// cost-aware LRU eviction exactly as in JoinIndexCache (least recently used
+// first; largest footprint first within one batch tick; an entry bigger
+// than the whole budget is handed out pin-only). Sketches are pure
+// functions of (table contents, max_sample), so rebuilds are byte-identical
+// and eviction never changes the discovered DRG. Callers hold entries
+// through shared_ptr pins; `table_sketches()` returns a bare reference and
+// is only stable on an unbudgeted cache.
 
 #ifndef AUTOFEAT_DISCOVERY_SKETCH_CACHE_H_
 #define AUTOFEAT_DISCOVERY_SKETCH_CACHE_H_
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "table/table.h"
 
 namespace autofeat {
 
 class DataLake;
 class ThreadPool;
-
-namespace obs {
-class MetricsRegistry;
-}  // namespace obs
 
 /// \brief Distinct-value summary of one column.
 struct ColumnSketch {
@@ -57,30 +66,89 @@ double SketchContainment(const ColumnSketch& a, const ColumnSketch& b);
 /// Jaccard |A ∩ B| / |A ∪ B| of two sketches (0 if both empty).
 double SketchJaccard(const ColumnSketch& a, const ColumnSketch& b);
 
-/// \brief Sketches of every column of every table of a lake, indexed by
-/// (table position, column position).
+/// \brief Budget-aware cache of every lake column's sketch, one entry per
+/// table (columns of a table share value scans' cache locality), indexed by
+/// table position.
 class LakeSketchCache {
  public:
-  /// Sketches all columns of all `lake` tables; table-level sketching fans
-  /// out over `pool` when given (results are identical at any thread count).
-  /// A non-null `metrics` counts `sketch_cache.builds` (column sketches
-  /// computed — the cache misses of the naive per-pair formulation) and
-  /// maintains the `sketch_cache.bytes` / `.bytes_peak` footprint gauges.
-  /// Per-table sketching records `sketch.table` worker spans into the
-  /// pool's attached tracer (ThreadPool::set_tracer), when both exist.
+  /// A pinned per-table entry (sketches aligned with the table's column
+  /// order): stays valid across eviction until the caller drops it.
+  using TableSketchesPin = std::shared_ptr<const std::vector<ColumnSketch>>;
+
+  /// `lake` must outlive the cache. `budget_bytes` bounds the resident
+  /// footprint (0 = unbounded). A non-null `metrics` counts
+  /// `sketch_cache.builds` (column sketches first computed — deterministic)
+  /// plus the schedule-dependent `sketch_cache.rebuilds` /
+  /// `sketch_cache.evictions` counters and `sketch_cache.bytes` /
+  /// `.bytes_peak` gauges (all registered non-deterministic, as in
+  /// JoinIndexCache).
+  LakeSketchCache(const DataLake* lake, size_t max_sample,
+                  obs::MetricsRegistry* metrics = nullptr,
+                  size_t budget_bytes = 0);
+
+  /// Compatibility builder: constructs a cache over `lake` and prewarms
+  /// every table (fanning out over `pool` when given; per-table sketching
+  /// records `sketch.table` worker spans into the pool's attached tracer).
+  /// With budget_bytes == 0 this reproduces the old eager semantics —
+  /// every entry resident, `table_sketches()` references stable.
   static LakeSketchCache Build(const DataLake& lake, size_t max_sample,
                                ThreadPool* pool = nullptr,
-                               obs::MetricsRegistry* metrics = nullptr);
+                               obs::MetricsRegistry* metrics = nullptr,
+                               size_t budget_bytes = 0);
 
-  const std::vector<ColumnSketch>& table_sketches(size_t table_index) const {
-    return sketches_[table_index];
-  }
-  size_t num_tables() const { return sketches_.size(); }
+  /// The sketches of table `table_index`, built on first request and
+  /// rebuilt after eviction. Thread-safe; concurrent requests build once.
+  TableSketchesPin GetOrBuild(size_t table_index);
+
+  /// Builds every table's entry (one shared batch recency tick, as
+  /// JoinIndexCache::Prewarm).
+  void PrewarmAll(ThreadPool* pool = nullptr);
+
+  /// Evicts every resident entry. Outstanding pins stay valid.
+  void EvictAll();
+
+  /// Bare reference for unbudgeted caches (the pre-budget API); invalidated
+  /// by eviction, so budgeted callers must hold a GetOrBuild pin instead.
+  const std::vector<ColumnSketch>& table_sketches(size_t table_index);
+
+  size_t num_tables() const;
   size_t max_sample() const { return max_sample_; }
+  /// Entries currently holding built sketches.
+  size_t num_resident() const;
+  /// Sum of the resident entries' ApproxBytes (== the bytes gauge).
+  size_t resident_bytes() const;
+  size_t budget_bytes() const { return budget_bytes_; }
 
  private:
-  std::vector<std::vector<ColumnSketch>> sketches_;
+  struct Entry {
+    std::mutex build_mutex;  // serialises builders of this entry
+    // Guarded by State::mutex:
+    TableSketchesPin sketches;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+    bool ever_built = false;
+  };
+  // Behind a unique_ptr so the cache stays movable (mutexes are not).
+  struct State {
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<Entry>> entries;
+    size_t resident_bytes = 0;
+    uint64_t tick = 0;
+  };
+
+  TableSketchesPin GetOrBuildWithTick(size_t table_index, uint64_t tick,
+                                      ThreadPool* pool);
+  void EvictForLocked(size_t incoming, const Entry* keep);
+
+  const DataLake* lake_;
   size_t max_sample_ = 0;
+  size_t budget_bytes_ = 0;
+  obs::Counter* builds_;
+  obs::Counter* rebuilds_;
+  obs::Counter* evictions_;
+  obs::Gauge* bytes_;
+  obs::Gauge* bytes_peak_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace autofeat

@@ -17,6 +17,7 @@
 #include "relational/join_index.h"
 #include "stats/discretize.h"
 #include "stats/information.h"
+#include "table/columnar.h"
 #include "table/csv.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -39,10 +40,14 @@ struct DiscoveryRun {
 };
 
 Result<DiscoveryRun> RunDiscovery(const DataLake& lake, const FuzzedLake& fz,
-                                  size_t num_threads, bool want_digest) {
+                                  size_t num_threads, bool want_digest,
+                                  EvictionStress stress = EvictionStress::kNone,
+                                  size_t budget_bytes = 0) {
   AF_ASSIGN_OR_RETURN(DatasetRelationGraph drg, BuildDrgFromKfk(lake));
   AutoFeatConfig config = FuzzDiscoveryConfig(fz, num_threads);
   config.metrics_enabled = want_digest;
+  config.eviction_stress = stress;
+  config.memory_budget_bytes = budget_bytes;
   AutoFeat engine(&lake, &drg, config);
   DiscoveryRun run;
   AF_ASSIGN_OR_RETURN(run.result,
@@ -524,7 +529,82 @@ Status CheckColumnPermutationInvariance(const FuzzedLake& fz) {
   return Status::OK();
 }
 
+Status CheckEvictionOblivious(const FuzzedLake& fz) {
+  // Cache entries (join-key indexes) are pure functions of (table contents,
+  // column, seed), so discovery output — ranked paths, scores, selected
+  // features AND the deterministic obs digest — must be byte-identical no
+  // matter when entries are evicted and rebuilt: never (baseline), between
+  // every BFS round, on a seeded random schedule, or whenever a tiny memory
+  // budget forces it.
+  AF_ASSIGN_OR_RETURN(DiscoveryRun baseline,
+                      RunDiscovery(fz.lake, fz, 1, /*want_digest=*/true));
+  struct Variant {
+    const char* label;
+    size_t threads;
+    EvictionStress stress;
+    size_t budget_bytes;
+  };
+  constexpr size_t kTinyBudget = 32 * 1024;
+  for (const Variant& v :
+       {Variant{"evict-all between BFS rounds", 1, EvictionStress::kEvictAll,
+                0},
+        Variant{"seeded random eviction", 1, EvictionStress::kRandom, 0},
+        Variant{"32KiB budget", 1, EvictionStress::kNone, kTinyBudget},
+        Variant{"32KiB budget + evict-all", 1, EvictionStress::kEvictAll,
+                kTinyBudget},
+        Variant{"evict-all at 4 threads", 4, EvictionStress::kEvictAll, 0}}) {
+    AF_ASSIGN_OR_RETURN(DiscoveryRun stressed,
+                        RunDiscovery(fz.lake, fz, v.threads,
+                                     /*want_digest=*/true, v.stress,
+                                     v.budget_bytes));
+    if (stressed.fingerprint != baseline.fingerprint) {
+      return Violated(std::string("discovery output changed under ") +
+                      v.label + ":\n--- baseline ---\n" + baseline.fingerprint +
+                      "--- " + v.label + " ---\n" + stressed.fingerprint);
+    }
+    if (stressed.digest != baseline.digest) {
+      return Violated(std::string("obs digest changed under ") + v.label +
+                      ": " + baseline.digest + " vs " + stressed.digest);
+    }
+  }
+  return Status::OK();
+}
+
 // ---- Round trips ------------------------------------------------------------
+
+Status CheckColumnarRoundTrip(const FuzzedLake& fz) {
+  for (const Table& table : fz.lake.tables()) {
+    std::string buf = WriteColumnarBuffer(table);
+    AF_ASSIGN_OR_RETURN(Table back, ReadColumnarBuffer(buf));
+    if (back.name() != table.name()) {
+      return Violated("columnar round trip renamed " + table.name() + " to " +
+                      back.name());
+    }
+    if (!table.Equals(back)) {
+      return Violated("columnar round trip of " + table.name() +
+                      " is not value-identical (" +
+                      std::to_string(table.num_rows()) + "x" +
+                      std::to_string(table.num_columns()) + ")");
+    }
+    // Tamper detection: FNV-1a applies a bijection of the running state per
+    // payload byte, so any single-byte payload flip changes the checksum —
+    // the read must fail cleanly, never crash or return data.
+    std::string corrupt = buf;
+    size_t flip = 32 + (corrupt.size() - 32) / 2;  // mid-payload
+    corrupt[flip] = static_cast<char>(corrupt[flip] ^ 0x5A);
+    if (ReadColumnarBuffer(corrupt).ok()) {
+      return Violated("columnar reader accepted a payload with byte " +
+                      std::to_string(flip) + " flipped (table " +
+                      table.name() + ")");
+    }
+    if (ReadColumnarBuffer(std::string_view(buf).substr(0, buf.size() - 1))
+            .ok()) {
+      return Violated("columnar reader accepted a truncated buffer (table " +
+                      table.name() + ")");
+    }
+  }
+  return Status::OK();
+}
 
 Status CheckCsvRoundTripStabilises(const FuzzedLake& fz) {
   // One write/read pass may canonicalise a value ("07" -> 7, "" -> null,
@@ -634,6 +714,14 @@ const std::vector<Invariant>& BuiltinInvariants() {
            "CSV write/read canonicalises in one pass and is a fixed point "
            "afterwards",
            CheckCsvRoundTripStabilises},
+          {"cache.eviction_oblivious",
+           "discovery output and obs digest are byte-identical under "
+           "adversarial, random and budget-forced cache eviction schedules",
+           CheckEvictionOblivious},
+          {"columnar.round_trip",
+           "binary columnar write/read is value-identical for every lake "
+           "table, and corrupted or truncated buffers are rejected cleanly",
+           CheckColumnarRoundTrip},
       };
   return *kInvariants;
 }

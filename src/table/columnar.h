@@ -1,0 +1,60 @@
+// Binary columnar table format ("AFC"): the lake-on-disk alternative to CSV.
+//
+// CSV re-parses and re-infers every value on every load; the AFC format
+// stores each column in its typed binary layout so loading is a bounds-check
+// plus a bulk copy. Layout (version 1, all integers little-endian):
+//
+//   header (32 bytes, not checksummed):
+//     "AFC1" magic | u32 version | u64 payload_size | u64 fnv1a(payload)
+//     | u64 reserved
+//   payload:
+//     u32 table-name length + bytes | u64 num_rows | u32 num_columns
+//     per column:
+//       u32 name length + bytes | u8 type | u8 has_nulls | u16 reserved
+//       [has_nulls] pad to 64 | validity bitmap, bit i = row i valid
+//       double/int64: pad to 64 | num_rows x 8-byte values
+//       string:       u32 dict size | per value: u32 length + bytes
+//                     | pad to 64 | num_rows x u32 dictionary ids
+//
+// String columns are dictionary-encoded through KeyDictionary (ids in
+// first-seen row order; the sentinel id 0xFFFFFFFF marks null rows), so a
+// column with heavy key repetition stores each distinct value once. Every
+// fixed-width section (bitmaps, value arrays, id arrays) is padded to a
+// 64-byte boundary from the start of the file, so a reader may mmap the
+// file and point at the sections directly instead of copying.
+//
+// Robustness contract: ReadColumnar* never crashes on hostile input — a bad
+// magic, version, checksum, truncation or out-of-bounds id returns a
+// non-OK Status (see columnar_test.cc, which fuzzes corruption under ASan).
+
+#ifndef AUTOFEAT_TABLE_COLUMNAR_H_
+#define AUTOFEAT_TABLE_COLUMNAR_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// File extension of columnar lake tables (as ".csv" is for CSV lakes).
+inline constexpr const char kColumnarExtension[] = ".afc";
+
+/// Serialises a table into an in-memory AFC image (header + payload).
+std::string WriteColumnarBuffer(const Table& table);
+
+/// Writes a table to an AFC file.
+Status WriteColumnarFile(const Table& table, const std::string& path);
+
+/// Parses an AFC image. The table name stored in the payload wins; pass
+/// `fallback_name` for images written by tools that left it empty.
+Result<Table> ReadColumnarBuffer(std::string_view data,
+                                 const std::string& fallback_name = "");
+
+/// Reads an AFC file (fallback table name = file stem, as ReadCsvFile).
+Result<Table> ReadColumnarFile(const std::string& path);
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_TABLE_COLUMNAR_H_

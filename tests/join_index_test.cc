@@ -247,18 +247,20 @@ TEST(JoinIndexCacheTest, ConcurrentGetOrBuildIsSafeAndConsistent) {
   DataLake lake = MakeLake();
   JoinIndexCache cache(&lake, 5);
   ThreadPool pool(8);
-  std::vector<const JoinKeyIndex*> seen(64, nullptr);
+  std::vector<JoinIndexCache::IndexPin> seen(64);
   ParallelFor(&pool, 0, seen.size(), 1, [&](size_t i) {
     const char* table = (i % 2 == 0) ? "orders" : "customers";
     auto r = cache.GetOrBuild(table, "cust");
     if (r.ok()) seen[i] = *r;
   });
   EXPECT_EQ(cache.num_entries(), 2u);
-  std::unordered_set<const JoinKeyIndex*> distinct(seen.begin(), seen.end());
+  std::unordered_set<const JoinKeyIndex*> distinct;
+  for (const auto& pin : seen) distinct.insert(pin.get());
   distinct.erase(nullptr);
-  // Every thread observed one of exactly two built entries.
+  // Every thread observed one of exactly two built entries (unbudgeted:
+  // nothing evicts, so concurrent requests all pin the same two indexes).
   EXPECT_EQ(distinct.size(), 2u);
-  for (const JoinKeyIndex* p : seen) EXPECT_NE(p, nullptr);
+  for (const auto& pin : seen) EXPECT_NE(pin, nullptr);
 }
 
 }  // namespace

@@ -45,6 +45,9 @@ struct CliOptions {
   std::string model = "lightgbm";
   std::string drg_matcher = "all_pairs";
   std::string scheduler = "morsel";
+  std::string lake_format = "csv";
+  /// Lake-wide cache budget in MiB (0 = unbounded).
+  size_t memory_budget_mb = 0;
   /// < 0 = keep the LshOptions default.
   long lsh_rescue = -1;
   double tau = 0.65;
@@ -67,8 +70,18 @@ void PrintUsage() {
       "                    [--threshold F] [--threads N] [--tune]\n"
       "                    [--drg-matcher all_pairs|lsh] [--lsh-rescue N]\n"
       "                    [--scheduler forkjoin|morsel]\n"
+      "                    [--lake-format csv|columnar] [--memory-budget-mb N]\n"
       "                    [--describe] [--output FILE.csv] [--dot FILE.dot]\n"
       "                    [--metrics-out FILE.json] [--trace-out FILE.json]\n"
+      "  --lake-format csv|columnar\n"
+      "                on-disk lake layout: csv loads *.csv files, columnar\n"
+      "                loads *.afc files (the binary columnar format; see\n"
+      "                lake_convert_cli to convert a directory)\n"
+      "  --memory-budget-mb N\n"
+      "                bound the lake-wide caches (join-key indexes, column\n"
+      "                sketches) to N MiB via LRU eviction + rebuild-on-miss\n"
+      "                (0 = unbounded). Results are byte-identical at any\n"
+      "                budget; only wall time changes\n"
       "  --threads N   worker threads for discovery + evaluation\n"
       "                (0 = all hardware threads, 1 = sequential; results\n"
       "                are identical at any thread count)\n"
@@ -150,6 +163,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->scheduler = v;
+    } else if (arg == "--lake-format") {
+      const char* v = next();
+      if (!v) return false;
+      options->lake_format = v;
+    } else if (arg == "--memory-budget-mb") {
+      const char* v = next();
+      if (!v) return false;
+      options->memory_budget_mb = static_cast<size_t>(std::atol(v));
     } else if (arg == "--lsh-rescue") {
       const char* v = next();
       if (!v) return false;
@@ -228,9 +249,11 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>();
   }
 
+  auto format = ParseLakeFormat(options.lake_format);
+  format.status().Abort("parsing --lake-format");
   auto lake = [&] {
     obs::ScopedSpan span(tracer.get(), "load_lake");
-    return DataLake::FromCsvDirectory(options.lake_dir);
+    return DataLake::FromDirectory(options.lake_dir, *format);
   }();
   lake.status().Abort("loading lake");
   std::printf("loaded %zu tables from %s\n", lake->num_tables(),
@@ -256,8 +279,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  const size_t budget_bytes = options.memory_budget_mb * (size_t{1} << 20);
   MatchOptions match;
   match.threshold = options.threshold;
+  match.memory_budget_bytes = budget_bytes;
   if (options.drg_matcher == "lsh") {
     match.candidate_mode = CandidateMode::kLsh;
   } else if (options.drg_matcher != "all_pairs") {
@@ -308,6 +333,7 @@ int main(int argc, char** argv) {
   config.max_hops = options.max_hops;
   config.num_threads = options.threads;
   config.scheduler = scheduler;
+  config.memory_budget_bytes = budget_bytes;
   if (metrics != nullptr) {
     config.metrics_enabled = true;
     config.metrics = metrics.get();

@@ -77,9 +77,9 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
 
   // Fast path: every (right table, key column) the DRG can reach is
   // interned once up front, in parallel, and shared by all candidates.
-  if (join_cache_ != nullptr) {
+  if (join_cache_ptr_ != nullptr) {
     obs::ScopedSpan span(tracer_, "discover.prewarm");
-    join_cache_->Prewarm(*drg_, pool_.get());
+    join_cache_ptr_->Prewarm(*drg_, pool_.get());
   }
 
   // Stratified sampling speeds up feature selection without biasing the
@@ -155,15 +155,15 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
   // depend on it is checked by qa's cache.eviction_oblivious.
   uint64_t stress_round = 0;
   auto stress_evict = [&] {
-    if (join_cache_ == nullptr) return;
+    if (join_cache_ptr_ == nullptr) return;
     switch (config_.eviction_stress) {
       case EvictionStress::kNone:
         return;
       case EvictionStress::kEvictAll:
-        join_cache_->EvictAll();
+        join_cache_ptr_->EvictAll();
         return;
       case EvictionStress::kRandom:
-        join_cache_->EvictRandomHalf(
+        join_cache_ptr_->EvictRandomHalf(
             DeriveSeed(config_.seed, 0xE71C7ULL + stress_round++));
         return;
     }
@@ -275,8 +275,8 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
           obs::ScopedWorkerSpan task_span(bfs_ctx, "bfs.candidate");
           const Candidate& cand = candidates[c];
           Eval ev;
-          if (join_cache_ != nullptr) {
-            auto index = join_cache_->GetOrBuild(
+          if (join_cache_ptr_ != nullptr) {
+            auto index = join_cache_ptr_->GetOrBuild(
                 drg_->NodeName(cand.neighbor), cand.edge.to_column);
             auto lkey = state.table.GetColumn(cand.edge.from_column);
             if (!index.ok() || !lkey.ok()) {
@@ -413,7 +413,7 @@ Result<DiscoveryResult> AutoFeat::DiscoverFeatures(
       // Table — pruned candidates and hop-limit leaves never pay for one.
       if (next.path.length() < config_.max_hops) {
         obs::Increment(m_materialised);
-        if (join_cache_ != nullptr) {
+        if (join_cache_ptr_ != nullptr) {
           Table joined = state.table;
           const Table& right = *candidates[c].right;
           for (size_t col = 0; col < right.num_columns(); ++col) {
@@ -460,12 +460,12 @@ Result<Table> AutoFeat::MaterializeAugmentedTable(
                               step.from_column);
     }
     JoinResult joined;
-    if (join_cache_ != nullptr) {
+    if (join_cache_ptr_ != nullptr) {
       // The shared cache means the full-data materialisation picks the same
       // per-key representatives the discovery phase scored (rebuilds after
       // eviction reproduce them exactly).
       AF_ASSIGN_OR_RETURN(JoinIndexCache::IndexPin index,
-                          join_cache_->GetOrBuild(right_name, step.to_column));
+                          join_cache_ptr_->GetOrBuild(right_name, step.to_column));
       AF_ASSIGN_OR_RETURN(
           joined, LeftJoinWithIndex(current, step.from_column, *right, *index));
     } else {

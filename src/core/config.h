@@ -12,6 +12,8 @@
 
 namespace autofeat {
 
+class JoinIndexCache;
+
 namespace obs {
 class MetricsRegistry;
 class Tracer;
@@ -126,6 +128,14 @@ struct AutoFeatConfig {
   /// --metrics-out). Ignored when metrics_enabled is false.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  /// Optional externally owned join-index cache (serving layer): when
+  /// non-null and join_fast_path is set, the engine uses it instead of
+  /// constructing a private one, so the cache outlives the engine and is
+  /// shared across queries. The cache must be built over the same lake the
+  /// engine reads and with the same seed (its entries are pure functions of
+  /// (table contents, column, seed), so sharing never changes results).
+  JoinIndexCache* join_cache = nullptr;
 
   uint64_t seed = 42;
 };

@@ -9,15 +9,17 @@
 #include "obs/metrics.h"
 #include "table/columnar.h"
 #include "table/csv.h"
+#include "util/string_utils.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
 
 Result<LakeFormat> ParseLakeFormat(const std::string& name) {
-  if (name == "csv") return LakeFormat::kCsv;
-  if (name == "columnar") return LakeFormat::kColumnar;
-  return Status::InvalidArgument("unknown lake format: " + name +
-                                 " (expected csv or columnar)");
+  const std::string lower = ToLower(Trim(name));
+  if (lower == "csv") return LakeFormat::kCsv;
+  if (lower == "columnar") return LakeFormat::kColumnar;
+  return Status::InvalidArgument("unknown lake format: \"" + name +
+                                 "\" (valid values: csv, columnar)");
 }
 
 namespace {
@@ -44,13 +46,17 @@ Result<std::vector<std::string>> SortedFilesWithExtension(
 }  // namespace
 
 Status DataLake::AddTable(Table table) {
-  if (table.name().empty()) {
+  return AddTable(std::make_shared<const Table>(std::move(table)));
+}
+
+Status DataLake::AddTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr || table->name().empty()) {
     return Status::InvalidArgument("lake tables must be named");
   }
-  if (index_.count(table.name()) > 0) {
-    return Status::InvalidArgument("duplicate table name: " + table.name());
+  if (index_.count(table->name()) > 0) {
+    return Status::InvalidArgument("duplicate table name: " + table->name());
   }
-  index_[table.name()] = tables_.size();
+  index_[table->name()] = tables_.size();
   tables_.push_back(std::move(table));
   return Status::OK();
 }
@@ -60,7 +66,48 @@ Status DataLake::ReplaceTable(Table table) {
   if (it == index_.end()) {
     return Status::KeyError("no such table to replace: " + table.name());
   }
-  tables_[it->second] = std::move(table);
+  tables_[it->second] = std::make_shared<const Table>(std::move(table));
+  return Status::OK();
+}
+
+Status DataLake::RemoveTable(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no such table to remove: " + name);
+  }
+  tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(it->second));
+  index_.clear();
+  for (size_t i = 0; i < tables_.size(); ++i) index_[tables_[i]->name()] = i;
+  kfk_.erase(std::remove_if(kfk_.begin(), kfk_.end(),
+                            [&](const KfkConstraint& k) {
+                              return k.from_table == name ||
+                                     k.to_table == name;
+                            }),
+             kfk_.end());
+  return Status::OK();
+}
+
+Status DataLake::AppendRows(const std::string& name, const Table& rows) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no such table to append to: " + name);
+  }
+  const Table& current = *tables_[it->second];
+  if (!(current.schema().fields() == rows.schema().fields())) {
+    return Status::InvalidArgument(
+        "append schema mismatch for table " + name +
+        ": column names and types must match the stored table exactly");
+  }
+  Table updated(current.name());
+  for (size_t c = 0; c < current.num_columns(); ++c) {
+    Column merged = current.column(c);
+    merged.Reserve(current.num_rows() + rows.num_rows());
+    const Column& extra = rows.column(c);
+    for (size_t r = 0; r < rows.num_rows(); ++r) merged.AppendFrom(extra, r);
+    AF_RETURN_NOT_OK(
+        updated.AddColumn(current.schema().field(c).name, std::move(merged)));
+  }
+  tables_[it->second] = std::make_shared<const Table>(std::move(updated));
   return Status::OK();
 }
 
@@ -69,13 +116,22 @@ Result<const Table*> DataLake::GetTable(const std::string& name) const {
   if (it == index_.end()) {
     return Status::KeyError("no such table in lake: " + name);
   }
-  return &tables_[it->second];
+  return tables_[it->second].get();
+}
+
+Result<std::shared_ptr<const Table>> DataLake::GetTableShared(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no such table in lake: " + name);
+  }
+  return tables_[it->second];
 }
 
 std::vector<std::string> DataLake::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
-  for (const auto& t : tables_) names.push_back(t.name());
+  for (const auto& t : tables_) names.push_back(t->name());
   return names;
 }
 

@@ -10,6 +10,7 @@
 #define AUTOFEAT_DISCOVERY_DATA_LAKE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,8 +37,68 @@ enum class LakeFormat {
   kColumnar,
 };
 
-/// Parses "csv" / "columnar" (the --lake-format CLI values).
+/// Parses "csv" / "columnar" (the --lake-format CLI values),
+/// case-insensitively.
 Result<LakeFormat> ParseLakeFormat(const std::string& name);
+
+/// \brief Read-only, indexable view over the lake's tables.
+///
+/// The lake stores tables behind shared_ptr so that copying a DataLake is
+/// O(tables) pointer copies rather than a deep copy of every column — the
+/// property the serving layer's snapshot-per-mutation scheme depends on.
+/// This view keeps the historical `for (const Table& t : lake.tables())`
+/// and `lake.tables()[i]` call shapes working over that storage.
+class TableListView {
+ public:
+  explicit TableListView(const std::vector<std::shared_ptr<const Table>>* t)
+      : tables_(t) {}
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Table;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Table*;
+    using reference = const Table&;
+
+    iterator(const std::vector<std::shared_ptr<const Table>>* t, size_t i)
+        : tables_(t), i_(i) {}
+    const Table& operator*() const { return *(*tables_)[i_]; }
+    const Table* operator->() const { return (*tables_)[i_].get(); }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const std::vector<std::shared_ptr<const Table>>* tables_;
+    size_t i_;
+  };
+
+  iterator begin() const { return iterator(tables_, 0); }
+  iterator end() const { return iterator(tables_, tables_->size()); }
+  const Table& operator[](size_t i) const { return *(*tables_)[i]; }
+  size_t size() const { return tables_->size(); }
+  bool empty() const { return tables_->empty(); }
+
+  /// Deep-copies every table (for callers that mutate, e.g. the shrinker).
+  std::vector<Table> Materialize() const {
+    std::vector<Table> out;
+    out.reserve(tables_->size());
+    for (const auto& t : *tables_) out.push_back(*t);
+    return out;
+  }
+
+ private:
+  const std::vector<std::shared_ptr<const Table>>* tables_;
+};
 
 /// \brief A declared key/foreign-key relationship between two tables.
 struct KfkConstraint {
@@ -53,15 +114,34 @@ class DataLake {
   /// Adds a table (name taken from table.name()); fails on duplicates.
   Status AddTable(Table table);
 
+  /// Adds an already-shared table without copying its columns.
+  Status AddTable(std::shared_ptr<const Table> table);
+
   /// Replaces an existing table of the same name.
   Status ReplaceTable(Table table);
 
+  /// Removes a table by name. Later tables shift down one position (lake
+  /// order stays the relative insertion order of the survivors). KFK
+  /// constraints referencing the table are dropped with it.
+  Status RemoveTable(const std::string& name);
+
+  /// Appends the rows of `rows` to an existing table. The schemas must
+  /// match exactly (same column names and types, in order). The stored
+  /// table is replaced, not mutated — snapshots sharing the old version
+  /// are unaffected.
+  Status AppendRows(const std::string& name, const Table& rows);
+
   Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Shared handle to a table — keeps it alive past RemoveTable/AppendRows.
+  Result<std::shared_ptr<const Table>> GetTableShared(
+      const std::string& name) const;
+
   bool HasTable(const std::string& name) const {
     return index_.count(name) > 0;
   }
   size_t num_tables() const { return tables_.size(); }
-  const std::vector<Table>& tables() const { return tables_; }
+  TableListView tables() const { return TableListView(&tables_); }
   std::vector<std::string> TableNames() const;
 
   void AddKfk(KfkConstraint constraint) {
@@ -81,7 +161,10 @@ class DataLake {
                                         LakeFormat format);
 
  private:
-  std::vector<Table> tables_;
+  // shared_ptr<const Table> so lake copies (serving snapshots) share table
+  // storage; every mutation path replaces pointers instead of editing
+  // tables in place.
+  std::vector<std::shared_ptr<const Table>> tables_;
   std::unordered_map<std::string, size_t> index_;
   std::vector<KfkConstraint> kfk_;
 };

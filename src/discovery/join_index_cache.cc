@@ -220,6 +220,55 @@ void JoinIndexCache::Prewarm(const DatasetRelationGraph& drg,
   });
 }
 
+void JoinIndexCache::CarryOver(
+    const JoinIndexCache& prev,
+    const std::unordered_set<std::string>& invalidated_tables) {
+  if (prev.seed_ != seed_) return;
+  // Snapshot the survivors under prev's lock, then install under ours —
+  // never both at once (no lock-order relationship between two caches).
+  struct Carried {
+    std::string key;
+    IndexPin index;
+    size_t bytes;
+    uint64_t last_used;
+  };
+  std::vector<Carried> carried;
+  uint64_t prev_tick = 0;
+  {
+    std::lock_guard<std::mutex> lock(prev.mutex_);
+    prev_tick = prev.tick_;
+    for (const auto& [key, entry] : prev.entries_) {
+      if (entry->index == nullptr) continue;
+      const std::string table = key.substr(0, key.find('\0'));
+      if (invalidated_tables.count(table) > 0) continue;
+      if (!lake_->HasTable(table)) continue;
+      carried.push_back({key, entry->index, entry->bytes, entry->last_used});
+    }
+  }
+  // Largest last_used installed last so budget eviction (LRU) sheds the
+  // least recently used survivors first, preserving prev's recency order.
+  std::sort(carried.begin(), carried.end(), [](const Carried& a,
+                                               const Carried& b) {
+    return a.last_used != b.last_used ? a.last_used < b.last_used
+                                      : a.key < b.key;
+  });
+  std::lock_guard<std::mutex> lock(mutex_);
+  tick_ = std::max(tick_, prev_tick);
+  for (Carried& c : carried) {
+    if (budget_bytes_ != 0 && c.bytes > budget_bytes_) continue;
+    std::shared_ptr<Entry>& slot = entries_[c.key];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    if (slot->index != nullptr) continue;
+    EvictForLocked(c.bytes, slot.get());
+    slot->index = std::move(c.index);
+    slot->bytes = c.bytes;
+    slot->last_used = c.last_used;
+    slot->ever_built = true;
+    resident_bytes_ += c.bytes;
+    Account(static_cast<int64_t>(c.bytes));
+  }
+}
+
 void JoinIndexCache::EvictAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [key, entry] : entries_) {

@@ -48,6 +48,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -95,6 +96,19 @@ class JoinIndexCache {
   /// budget evicted. All prewarmed entries share one recency tick (they are
   /// one batch), so under a budget the largest are evicted first.
   void Prewarm(const DatasetRelationGraph& drg, ThreadPool* pool = nullptr);
+
+  /// Copies the resident entries of `prev` whose table is neither in
+  /// `invalidated_tables` nor absent from this cache's lake — the serving
+  /// layer's precise invalidation: a mutation touching one table evicts
+  /// exactly that table's entries from the next snapshot's cache, and
+  /// every other entry survives by pointer copy. Both caches must share
+  /// the seed (entries are pure functions of (table contents, column,
+  /// seed); with differing seeds nothing is carried). Sticky failures are
+  /// not carried — they re-resolve against the new lake. Respects this
+  /// cache's budget. Call before publishing the cache; `prev` may be
+  /// serving concurrent readers.
+  void CarryOver(const JoinIndexCache& prev,
+                 const std::unordered_set<std::string>& invalidated_tables);
 
   /// Evicts every resident entry (the adversarial stress schedule of the
   /// eviction-obliviousness invariant). Outstanding pins stay valid.

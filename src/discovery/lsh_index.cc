@@ -74,7 +74,93 @@ uint64_t BandContentHash(const uint64_t* mins, size_t rows) {
   return h;
 }
 
+// Shared by Build and the pairwise profile path — the two must agree on
+// which columns enter buckets for the candidate decisions to be identical.
+bool RescuedByContainment(const ColumnSketch& sketch,
+                          const LshOptions& options) {
+  return options.small_column_rescue > 0 && !sketch.values.empty() &&
+         sketch.num_distinct >= options.min_distinct &&
+         sketch.num_distinct <= options.small_column_rescue;
+}
+
 }  // namespace
+
+ColumnLshProfile ComputeColumnLshProfile(const ColumnSketch& sketch,
+                                         DataType type,
+                                         const LshOptions& options) {
+  ColumnLshProfile profile;
+  profile.num_distinct = sketch.num_distinct;
+  MinHashSignature sig;
+  if (sketch.num_distinct >= options.min_distinct) {
+    sig = ComputeMinHashSignature(sketch, options.num_hashes());
+  }
+  const bool rescued = RescuedByContainment(sketch, options);
+  if (sig.empty() && !rescued) return profile;
+  profile.indexed = true;
+  const uint64_t group = type != DataType::kDouble ? 1 : 0;
+  for (size_t b = 0; b * options.rows_per_band < sig.mins.size(); ++b) {
+    uint64_t content = BandContentHash(
+        sig.mins.data() + b * options.rows_per_band,
+        std::min(options.rows_per_band,
+                 sig.mins.size() - b * options.rows_per_band));
+    profile.bucket_keys.push_back(DeriveSeed(content, 2 * b + group));
+  }
+  if (rescued) {
+    const uint64_t rescue_stream_base = 2 * options.num_bands;
+    for (const auto& value : sketch.values) {
+      profile.bucket_keys.push_back(
+          DeriveSeed(LshValueHash(value), rescue_stream_base + group));
+    }
+  }
+  std::sort(profile.bucket_keys.begin(), profile.bucket_keys.end());
+  return profile;
+}
+
+std::vector<ColumnLshProfile> ComputeTableLshProfiles(
+    const Table& table, const std::vector<ColumnSketch>& sketches,
+    const LshOptions& options) {
+  std::vector<ColumnLshProfile> profiles(sketches.size());
+  for (size_t c = 0; c < sketches.size(); ++c) {
+    profiles[c] = ComputeColumnLshProfile(
+        sketches[c], table.schema().field(c).type, options);
+  }
+  return profiles;
+}
+
+bool LshProfilesCollide(const ColumnLshProfile& a, const ColumnLshProfile& b,
+                        const LshOptions& options) {
+  if (!a.indexed || !b.indexed) return false;
+  if (options.max_cardinality_ratio > 0) {
+    uint64_t lo = std::min(a.num_distinct, b.num_distinct);
+    uint64_t hi = std::max(a.num_distinct, b.num_distinct);
+    if (static_cast<double>(hi) >
+        options.max_cardinality_ratio * static_cast<double>(lo)) {
+      return false;
+    }
+  }
+  // Sorted-list intersection over the bucket keys.
+  size_t i = 0, j = 0;
+  while (i < a.bucket_keys.size() && j < b.bucket_keys.size()) {
+    if (a.bucket_keys[i] == b.bucket_keys[j]) return true;
+    if (a.bucket_keys[i] < b.bucket_keys[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool LshTablesCollide(const std::vector<ColumnLshProfile>& a,
+                      const std::vector<ColumnLshProfile>& b,
+                      const LshOptions& options) {
+  for (const ColumnLshProfile& ca : a) {
+    for (const ColumnLshProfile& cb : b) {
+      if (LshProfilesCollide(ca, cb, options)) return true;
+    }
+  }
+  return false;
+}
 
 LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
                                            LakeSketchCache& cache,
@@ -119,9 +205,7 @@ LshCandidateIndex LshCandidateIndex::Build(const DataLake& lake,
     for (size_t c = 0; c < sketches.size(); ++c) {
       const ColumnSketch& sketch = sketches[c];
       const MinHashSignature& sig = signatures[t][c];
-      bool rescued = options.small_column_rescue > 0 && !sketch.values.empty() &&
-                     sketch.num_distinct >= options.min_distinct &&
-                     sketch.num_distinct <= options.small_column_rescue;
+      bool rescued = RescuedByContainment(sketch, options);
       if (sig.empty() && !rescued) {
         ++index.columns_skipped_;
         continue;

@@ -102,6 +102,52 @@ MinHashSignature ComputeMinHashSignature(const ColumnSketch& sketch,
 MinHashSignature ComputeMinHashSignatureReference(const ColumnSketch& sketch,
                                                   size_t num_hashes);
 
+/// \brief Pairwise view of one column's LSH state: the exact set of bucket
+/// keys LshCandidateIndex::Build would file the column under.
+///
+/// The serving layer's incremental matcher cannot afford to rebuild the
+/// whole lake-wide index per mutation, but it must reproduce the cold
+/// index's candidate decisions exactly (the incremental DRG is gated
+/// byte-identical to a cold rebuild). Profiles make the bucket structure a
+/// pure per-column function: two columns collide in the cold index iff
+/// their profiles share a bucket key, so candidate generation for a touched
+/// table is a pairwise check against every other table's cached profiles.
+struct ColumnLshProfile {
+  /// Sorted bucket keys (band streams + rescue streams, group-separated —
+  /// see LshCandidateIndex::Build stage 2).
+  std::vector<uint64_t> bucket_keys;
+  uint64_t num_distinct = 0;
+  /// False when the column enters no bucket (empty/filtered sketch).
+  bool indexed = false;
+
+  size_t ApproxBytes() const {
+    return sizeof(ColumnLshProfile) + bucket_keys.size() * sizeof(uint64_t);
+  }
+};
+
+/// The profile Build would index this column under. Pure function of
+/// (sketch, column type, options).
+ColumnLshProfile ComputeColumnLshProfile(const ColumnSketch& sketch,
+                                         DataType type,
+                                         const LshOptions& options);
+
+/// Profiles for every column of `table` over its sketches.
+std::vector<ColumnLshProfile> ComputeTableLshProfiles(
+    const Table& table, const std::vector<ColumnSketch>& sketches,
+    const LshOptions& options);
+
+/// True iff the two columns would share a bucket in the cold index (sorted
+/// key intersection), subject to the same cardinality-ratio bound Build
+/// applies to collisions.
+bool LshProfilesCollide(const ColumnLshProfile& a, const ColumnLshProfile& b,
+                        const LshOptions& options);
+
+/// True iff any column pair across the two tables collides — i.e. the cold
+/// index would emit this table pair as a candidate.
+bool LshTablesCollide(const std::vector<ColumnLshProfile>& a,
+                      const std::vector<ColumnLshProfile>& b,
+                      const LshOptions& options);
+
 /// \brief Banded LSH index over every column of a lake, emitting candidate
 /// table pairs for exact DRG scoring.
 class LshCandidateIndex {

@@ -200,6 +200,63 @@ void LakeSketchCache::PrewarmAll(ThreadPool* pool) {
   });
 }
 
+void LakeSketchCache::CarryOver(
+    const LakeSketchCache& prev,
+    const std::unordered_set<std::string>& invalidated_tables) {
+  if (prev.max_sample_ != max_sample_) return;
+  // Positions shift when tables are dropped, so survivors are matched by
+  // name: for each table of our lake, find its position in prev's lake.
+  std::unordered_map<std::string, size_t> prev_pos;
+  {
+    const auto prev_tables = prev.lake_->tables();
+    for (size_t t = 0; t < prev_tables.size(); ++t) {
+      prev_pos[prev_tables[t].name()] = t;
+    }
+  }
+  struct Carried {
+    size_t index;
+    TableSketchesPin sketches;
+    size_t bytes;
+    uint64_t last_used;
+  };
+  std::vector<Carried> carried;
+  uint64_t prev_tick = 0;
+  {
+    std::lock_guard<std::mutex> lock(prev.state_->mutex);
+    prev_tick = prev.state_->tick;
+    const auto tables = lake_->tables();
+    for (size_t t = 0; t < tables.size(); ++t) {
+      const std::string& name = tables[t].name();
+      if (invalidated_tables.count(name) > 0) continue;
+      auto it = prev_pos.find(name);
+      if (it == prev_pos.end()) continue;
+      const auto& entry = prev.state_->entries[it->second];
+      if (entry->sketches == nullptr) continue;
+      carried.push_back({t, entry->sketches, entry->bytes, entry->last_used});
+    }
+  }
+  std::sort(carried.begin(), carried.end(),
+            [](const Carried& a, const Carried& b) {
+              return a.last_used != b.last_used ? a.last_used < b.last_used
+                                                : a.index < b.index;
+            });
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.tick = std::max(st.tick, prev_tick);
+  for (Carried& c : carried) {
+    if (budget_bytes_ != 0 && c.bytes > budget_bytes_) continue;
+    auto& slot = st.entries[c.index];
+    if (slot->sketches != nullptr) continue;
+    EvictForLocked(c.bytes, slot.get());
+    slot->sketches = std::move(c.sketches);
+    slot->bytes = c.bytes;
+    slot->last_used = c.last_used;
+    slot->ever_built = true;
+    st.resident_bytes += c.bytes;
+    obs::AddBytesWithPeak(bytes_, bytes_peak_, static_cast<int64_t>(c.bytes));
+  }
+}
+
 void LakeSketchCache::EvictAll() {
   State& st = *state_;
   std::lock_guard<std::mutex> lock(st.mutex);

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -103,6 +104,17 @@ class LakeSketchCache {
   /// Builds every table's entry (one shared batch recency tick, as
   /// JoinIndexCache::Prewarm).
   void PrewarmAll(ThreadPool* pool = nullptr);
+
+  /// Copies the resident entries of `prev` for every table of this cache's
+  /// lake that exists in `prev`'s lake under the same *name* and is not in
+  /// `invalidated_tables` (serving-layer precise invalidation; entries are
+  /// matched by name because positions shift when a table is dropped).
+  /// Both caches must share max_sample; sketches are pure functions of
+  /// (table contents, max_sample), so carried pins equal a rebuild.
+  /// Respects this cache's budget. `prev` may be serving concurrent
+  /// readers.
+  void CarryOver(const LakeSketchCache& prev,
+                 const std::unordered_set<std::string>& invalidated_tables);
 
   /// Evicts every resident entry. Outstanding pins stay valid.
   void EvictAll();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <sstream>
 #include <unordered_set>
 
 namespace autofeat {
@@ -188,6 +189,27 @@ double DatasetRelationGraph::JoinAllPathCountLog10(size_t start) const {
     level = std::move(next);
   }
   return log10_paths;
+}
+
+std::vector<DrgEdge> DatasetRelationGraph::AllEdges() const {
+  std::vector<DrgEdge> out;
+  out.reserve(edges_.size());
+  for (const EdgeRecord& e : edges_) {
+    out.push_back({e.a, e.b, e.a_column, e.b_column, e.weight});
+  }
+  return out;
+}
+
+std::string DatasetRelationGraph::OrderedFingerprint() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const std::string& name : node_names_) out << name << ";";
+  out << "\n";
+  for (const EdgeRecord& e : edges_) {
+    out << e.a << "." << e.a_column << ">" << e.b << "." << e.b_column << "="
+        << e.weight << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace autofeat

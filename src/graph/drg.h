@@ -16,6 +16,26 @@
 
 namespace autofeat {
 
+/// \brief One edge instance as stored: node ids plus the join columns.
+///
+/// Exposed (in insertion order) so that callers can compare two graphs
+/// *exactly* — including edge order, which is observable through
+/// Neighbors/EnumeratePaths BFS ordering and hence through discovery
+/// tie-breaks. The serving layer's incremental-vs-cold equivalence gates
+/// are built on this.
+struct DrgEdge {
+  size_t a = 0;
+  size_t b = 0;
+  std::string a_column;
+  std::string b_column;
+  double weight = 0.0;
+
+  bool operator==(const DrgEdge& other) const {
+    return a == other.a && b == other.b && a_column == other.a_column &&
+           b_column == other.b_column && weight == other.weight;
+  }
+};
+
 /// \brief The joinability multigraph over a dataset collection.
 class DatasetRelationGraph {
  public:
@@ -63,6 +83,14 @@ class DatasetRelationGraph {
   /// Nodes NOT reachable from `start` — diagnosed by the CLI as isolated
   /// datasets the discovery step found no join for.
   std::vector<size_t> UnreachableFrom(size_t start) const;
+
+  /// Every edge instance, in insertion order.
+  std::vector<DrgEdge> AllEdges() const;
+
+  /// An order-sensitive FNV-1a fingerprint of the node list and edge list
+  /// (names, columns, weights, insertion order). Two graphs with equal
+  /// fingerprints behave identically in every traversal above.
+  std::string OrderedFingerprint() const;
 
  private:
   struct EdgeRecord {

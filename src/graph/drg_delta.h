@@ -1,0 +1,90 @@
+// Incremental DRG maintenance: a canonical per-table-pair match store that
+// a mutation path updates in place and rebuilds a DatasetRelationGraph from.
+//
+// Why a store + rebuild rather than editing the graph? Edge *insertion
+// order* is observable: Neighbors() lists nodes in first-edge order, BFS
+// path enumeration follows it, and discovery ranking breaks ties by BFS
+// order. A cold BuildDrgByDiscovery folds matches in ascending (i, j)
+// lake-order — so an incrementally maintained graph is byte-identical to a
+// cold rebuild only if its edges are folded in exactly that order too.
+// Appending "just the new edges" to a live graph would diverge.
+//
+// The store therefore keeps matches keyed by *table-name pair* and rebuilds
+// the graph object canonically (nodes in lake order, pair edges ascending
+// (i, j)) after every mutation. Rebuilding is O(nodes + edges) — trivially
+// cheap next to re-matching — while the expensive part (scoring) stays
+// incremental: a mutation re-scores only pairs touching mutated tables.
+
+#ifndef AUTOFEAT_GRAPH_DRG_DELTA_H_
+#define AUTOFEAT_GRAPH_DRG_DELTA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/drg.h"
+#include "util/status.h"
+
+namespace autofeat {
+
+/// \brief One scored column pair between two tables (graph-layer mirror of
+/// the discovery layer's ColumnMatch, kept here so graph does not depend on
+/// discovery).
+struct PairMatch {
+  std::string left_column;
+  std::string right_column;
+  double score = 0.0;
+
+  bool operator==(const PairMatch& other) const {
+    return left_column == other.left_column &&
+           right_column == other.right_column && score == other.score;
+  }
+};
+
+/// \brief Canonical store of per-pair schema matches, the source of truth
+/// the serving layer rebuilds its DRG from after each mutation.
+class DrgMatchStore {
+ public:
+  /// Replaces the matches for the unordered pair {left, right}. `matches`
+  /// must be oriented left -> right where `left` precedes `right` in lake
+  /// order *at call time*; the store keys pairs order-insensitively and
+  /// re-orients at build time, so later mutations shifting relative order
+  /// (drop + re-add) stay correct. An empty vector erases the pair.
+  void SetMatches(const std::string& left, const std::string& right,
+                  std::vector<PairMatch> matches);
+
+  /// Drops every pair involving `table` (table dropped or about to be
+  /// re-matched from scratch).
+  void PurgeTable(const std::string& table);
+
+  /// The stored matches for {a, b} oriented a -> b (empty if none).
+  std::vector<PairMatch> MatchesFor(const std::string& a,
+                                    const std::string& b) const;
+
+  /// Rebuilds the graph canonically: one node per lake table in
+  /// `lake_order`, then for ascending (i, j) the stored matches of pair
+  /// (table i, table j) as edges, in stored (match-score) order — exactly
+  /// the fold order of a cold BuildDrgByDiscovery. Stored pairs whose
+  /// tables are absent from `lake_order` are ignored (they belong to
+  /// dropped tables awaiting purge).
+  Result<DatasetRelationGraph> BuildGraph(
+      const std::vector<std::string>& lake_order) const;
+
+  size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  struct StoredPair {
+    // Orientation the matches were stored under.
+    std::string left;
+    std::string right;
+    std::vector<PairMatch> matches;
+  };
+
+  static std::string PairKey(const std::string& a, const std::string& b);
+
+  std::unordered_map<std::string, StoredPair> pairs_;
+};
+
+}  // namespace autofeat
+
+#endif  // AUTOFEAT_GRAPH_DRG_DELTA_H_

@@ -15,6 +15,7 @@
 #include "obs/report.h"
 #include "relational/join.h"
 #include "relational/join_index.h"
+#include "serve/lake_service.h"
 #include "stats/discretize.h"
 #include "stats/information.h"
 #include "table/columnar.h"
@@ -570,6 +571,95 @@ Status CheckEvictionOblivious(const FuzzedLake& fz) {
   return Status::OK();
 }
 
+// ---- Serving ----------------------------------------------------------------
+
+Status CheckServeIncrementalEquivalence(const FuzzedLake& fz) {
+  // Replays the fuzzed mutation trace through a live LakeService (incremental
+  // DRG maintenance + cache carry-over) and, in parallel, through a plain
+  // cold lake. After the sequence the service's published DRG must be
+  // byte-identical to a cold BuildDrgByDiscovery over the final lake state,
+  // and a Discover query (ranked output AND deterministic obs digest) must
+  // match a cold service built at that state. Mutation failures must be
+  // symmetric: an op rejected by the service must be rejected cold too.
+  struct Arm {
+    const char* label;
+    CandidateMode mode;
+    size_t threads;
+  };
+  for (const Arm& arm :
+       {Arm{"all-pairs, 1 thread", CandidateMode::kAllPairs, 1},
+        Arm{"all-pairs, 4 threads", CandidateMode::kAllPairs, 4},
+        Arm{"lsh, 1 thread", CandidateMode::kLsh, 1}}) {
+    serve::ServeOptions opts;
+    opts.match.candidate_mode = arm.mode;
+    opts.config = FuzzDiscoveryConfig(fz, arm.threads);
+    AF_ASSIGN_OR_RETURN(std::unique_ptr<serve::LakeService> service,
+                        serve::LakeService::Create(fz.lake, opts));
+    DataLake cold = fz.lake;
+    size_t oi = 0;
+    for (const serve::LakeMutation& op : fz.trace) {
+      Result<uint64_t> incremental = service->Apply(op);
+      Status replay = serve::ApplyMutationToLake(&cold, op);
+      if (incremental.ok() != replay.ok()) {
+        return Violated("mutation " + std::to_string(oi) + " (" +
+                        serve::MutationSummary(op) + ") " +
+                        (incremental.ok()
+                             ? "succeeded on the service but failed cold: " +
+                                   replay.message()
+                             : "failed on the service but succeeded cold: " +
+                                   incremental.status().message()) +
+                        " [" + arm.label + "]");
+      }
+      ++oi;
+    }
+
+    // DRG equivalence against a cold discovery build at the final state.
+    std::unique_ptr<ThreadPool> pool;
+    if (arm.threads > 1) pool = std::make_unique<ThreadPool>(arm.threads);
+    AF_ASSIGN_OR_RETURN(
+        DatasetRelationGraph cold_drg,
+        BuildDrgByDiscovery(cold, opts.match, pool.get(), nullptr));
+    serve::LakeService::SnapshotPin snap = service->snapshot();
+    if (snap->drg.OrderedFingerprint() != cold_drg.OrderedFingerprint()) {
+      return Violated(std::string("incrementally maintained DRG diverged "
+                                  "from a cold rebuild after ") +
+                      std::to_string(fz.trace.size()) + " mutation(s) [" +
+                      arm.label + "]:\n--- incremental ---\n" +
+                      snap->drg.OrderedFingerprint() + "--- cold ---\n" +
+                      cold_drg.OrderedFingerprint());
+    }
+
+    // Query equivalence against a cold service built at the final state.
+    AF_ASSIGN_OR_RETURN(std::unique_ptr<serve::LakeService> cold_service,
+                        serve::LakeService::Create(std::move(cold), opts));
+    auto query = [&](serve::LakeService* s, std::string* fingerprint,
+                     std::string* digest) -> Status {
+      obs::MetricsRegistry metrics;
+      AF_ASSIGN_OR_RETURN(
+          serve::LakeService::DiscoverOutcome out,
+          s->Discover(fz.base_table, fz.label_column, &metrics));
+      *fingerprint = DiscoveryFingerprint(out.discovery);
+      *digest = obs::DeterministicDigest(metrics, /*tracer=*/nullptr);
+      return Status::OK();
+    };
+    std::string inc_fp, inc_digest, cold_fp, cold_digest;
+    AF_RETURN_NOT_OK(query(service.get(), &inc_fp, &inc_digest));
+    AF_RETURN_NOT_OK(query(cold_service.get(), &cold_fp, &cold_digest));
+    if (inc_fp != cold_fp) {
+      return Violated(std::string("Discover output diverged between the "
+                                  "mutated service and a cold service [") +
+                      arm.label + "]:\n--- incremental ---\n" + inc_fp +
+                      "--- cold ---\n" + cold_fp);
+    }
+    if (inc_digest != cold_digest) {
+      return Violated(std::string("Discover obs digest diverged between the "
+                                  "mutated service and a cold service [") +
+                      arm.label + "]: " + inc_digest + " vs " + cold_digest);
+    }
+  }
+  return Status::OK();
+}
+
 // ---- Round trips ------------------------------------------------------------
 
 Status CheckColumnarRoundTrip(const FuzzedLake& fz) {
@@ -714,6 +804,12 @@ const std::vector<Invariant>& BuiltinInvariants() {
            "CSV write/read canonicalises in one pass and is a fixed point "
            "afterwards",
            CheckCsvRoundTripStabilises},
+          {"serve.incremental_equivalence",
+           "after any fuzzed mutation sequence the serving layer's "
+           "incrementally maintained DRG, Discover output and obs digest "
+           "are byte-identical to a cold rebuild at the final lake state "
+           "(all-pairs at 1/4 threads, LSH at 1)",
+           CheckServeIncrementalEquivalence},
           {"cache.eviction_oblivious",
            "discovery output and obs digest are byte-identical under "
            "adversarial, random and budget-forced cache eviction schedules",

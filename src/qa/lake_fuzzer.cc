@@ -18,6 +18,7 @@ namespace {
 constexpr uint64_t kShapeStream = 1;
 constexpr uint64_t kTableStreamBase = 100;
 constexpr uint64_t kColumnStreamBase = 10000;
+constexpr uint64_t kMutationStream = 500000;
 
 enum class KeyStyle { kUnique, kDuplicated, kConstant, kSkewed };
 
@@ -146,6 +147,77 @@ Column MakeFeatureColumn(Rng* rng, size_t rows, const Table& table,
       return c;
     }
   }
+}
+
+// Rows appended to `current` under its exact schema (names and types);
+// schema-matched by construction so the append succeeds on both the
+// incremental and the cold side.
+Table MakeAppendPayload(Rng* rng, const Table& current, size_t rows) {
+  Table payload(current.name());
+  for (size_t c = 0; c < current.num_columns(); ++c) {
+    const Field& field = current.schema().field(c);
+    Column col(field.type);
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng->Bernoulli(0.1)) {
+        col.AppendNull();
+        continue;
+      }
+      switch (field.type) {
+        case DataType::kInt64:
+          col.AppendInt64(rng->UniformInt(-5, 5));
+          break;
+        case DataType::kDouble:
+          col.AppendDouble(rng->Normal());
+          break;
+        default:
+          AppendKeyValue(&col, DataType::kString,
+                         rng->UniformIndex(kStringKeyPoolSize + 4));
+          break;
+      }
+    }
+    payload.AddColumn(field.name, std::move(col)).Abort("fuzz append payload");
+  }
+  return payload;
+}
+
+// A fresh satellite-shaped table for an add mutation. `feature_prefix`
+// exercises the "re-add a dropped name with renamed columns" corner: the
+// re-added table has the same name but g*-named features, so stale
+// per-column cache entries or matches would be observable.
+Table MakeMutationTable(Rng* rng, const std::string& name, uint64_t seed,
+                        size_t op_index, const char* feature_prefix,
+                        size_t max_feature_columns) {
+  DataType key_type = DataType::kInt64;
+  switch (rng->UniformIndex(3)) {
+    case 0: key_type = DataType::kInt64; break;
+    case 1: key_type = DataType::kDouble; break;
+    default: key_type = DataType::kString; break;
+  }
+  size_t rows = 1 + rng->UniformIndex(10);
+  Column key(key_type);
+  for (size_t i = 0; i < rows; ++i) {
+    if (rng->Bernoulli(0.05)) {
+      key.AppendNull();
+    } else if (rng->Bernoulli(0.3)) {
+      AppendDisjointKeyValue(&key, key_type, i);
+    } else {
+      // AppendKeyValue draws from the same domain the base key uses, so
+      // added tables overlap the base when the key types line up.
+      AppendKeyValue(&key, key_type, rng->UniformIndex(rows));
+    }
+  }
+  Table table(name);
+  table.AddColumn("k", std::move(key)).Abort("fuzz mutation table");
+  size_t num_features = 1 + rng->UniformIndex(std::max<size_t>(
+                                1, max_feature_columns / 2));
+  for (size_t f = 0; f < num_features; ++f) {
+    Rng col_rng(DeriveSeed(seed, kMutationStream + 1000 + op_index * 64 + f));
+    table
+        .AddColumn(feature_prefix + std::to_string(f),
+                   MakeFeatureColumn(&col_rng, rows, table, f))
+        .Abort("fuzz mutation table");
+  }
+  return table;
 }
 
 }  // namespace
@@ -279,6 +351,75 @@ FuzzedLake LakeFuzzer::Generate(uint64_t seed) const {
     fz.lake.AddTable(std::move(table)).Abort();
     fz.lake.AddKfk(KfkConstraint{parent_name, parent_key_column, name, "k"});
   }
+
+  // ---- Mutation trace -------------------------------------------------------
+  // Generated against a simulated lake copy so every op is well-formed for
+  // the state it runs in (append payloads match the schema *at that point
+  // in the sequence*), with a sprinkling of deliberately failing ops to
+  // check failure symmetry. The base table is never dropped.
+  Rng mrng(DeriveSeed(seed, kMutationStream));
+  size_t num_mutations = mrng.UniformIndex(options_.max_mutations + 1);
+  DataLake sim = fz.lake;  // COW storage: O(tables) pointer copies
+  std::vector<std::string> dropped;
+  for (size_t m = 0; m < num_mutations; ++m) {
+    serve::LakeMutation op;
+    if (mrng.Bernoulli(0.1)) {
+      // A drop of a table that does not exist: must fail as a no-op on
+      // both the incremental service and a cold replay.
+      op.kind = serve::LakeMutation::Kind::kDropTable;
+      op.table = "fz_no_such_table";
+      fz.trace.push_back(std::move(op));
+      continue;
+    }
+    std::vector<std::string> non_base;
+    for (const std::string& name : sim.TableNames()) {
+      if (name != fz.base_table) non_base.push_back(name);
+    }
+    size_t roll = mrng.UniformIndex(10);
+    if (roll < 4 || non_base.empty()) {
+      // Add: usually a fresh name; sometimes a previously dropped name
+      // re-added with renamed (g*) feature columns.
+      op.kind = serve::LakeMutation::Kind::kAddTable;
+      const char* prefix = "f";
+      std::string name = "fz_m" + std::to_string(m);
+      if (!dropped.empty() && mrng.Bernoulli(0.6)) {
+        std::string candidate = dropped[mrng.UniformIndex(dropped.size())];
+        if (!sim.HasTable(candidate)) {
+          name = std::move(candidate);
+          prefix = "g";
+        }
+      }
+      Rng trng(DeriveSeed(seed, kMutationStream + 1 + m));
+      op.payload = MakeMutationTable(&trng, name, seed, m, prefix,
+                                     options_.max_feature_columns);
+    } else if (roll < 7) {
+      // Append to any table (the base included) under its current schema.
+      size_t pick = mrng.UniformIndex(sim.num_tables());
+      const Table& current = sim.tables()[pick];
+      op.kind = serve::LakeMutation::Kind::kAppendRows;
+      op.table = current.name();
+      Rng prng(DeriveSeed(seed, kMutationStream + 1 + m));
+      op.payload = MakeAppendPayload(&prng, current, 1 + prng.UniformIndex(5));
+    } else {
+      // Drop a satellite; prefer one that is itself a join-path parent
+      // (severing a transitive chain mid-path).
+      op.kind = serve::LakeMutation::Kind::kDropTable;
+      std::vector<std::string> parents;
+      for (const KfkConstraint& kfk : sim.kfk_constraints()) {
+        if (kfk.from_table != fz.base_table && sim.HasTable(kfk.from_table)) {
+          parents.push_back(kfk.from_table);
+        }
+      }
+      if (!parents.empty() && mrng.Bernoulli(0.5)) {
+        op.table = parents[mrng.UniformIndex(parents.size())];
+      } else {
+        op.table = non_base[mrng.UniformIndex(non_base.size())];
+      }
+      dropped.push_back(op.table);
+    }
+    serve::ApplyMutationToLake(&sim, op).Abort("fuzz trace simulation");
+    fz.trace.push_back(std::move(op));
+  }
   return fz;
 }
 
@@ -302,6 +443,10 @@ bool FuzzedLakesEqual(const FuzzedLake& a, const FuzzedLake& b) {
         ka[i].to_column != kb[i].to_column) {
       return false;
     }
+  }
+  if (a.trace.size() != b.trace.size()) return false;
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    if (!serve::MutationsEqual(a.trace[i], b.trace[i])) return false;
   }
   return true;
 }

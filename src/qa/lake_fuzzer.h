@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "discovery/data_lake.h"
+#include "serve/mutation.h"
 
 namespace autofeat::qa {
 
@@ -24,6 +26,13 @@ struct FuzzedLake {
   std::string base_table = "fz_base";
   std::string label_column = "label";
   uint64_t seed = 0;
+  /// Seeded mutation sequence against `lake` (the serving layer's write
+  /// vocabulary): interleaved add/append/drop, including dropping a table
+  /// mid-join-path and re-adding a dropped name with renamed feature
+  /// columns, plus the occasional deliberately failing op (failure must be
+  /// symmetric between the incremental service and a cold replay). The
+  /// base table is never dropped. Empty for trace-free invariants.
+  std::vector<serve::LakeMutation> trace;
 };
 
 /// Size envelope of generated lakes. Defaults keep a single lake small
@@ -33,6 +42,8 @@ struct LakeFuzzOptions {
   size_t max_satellites = 4;
   size_t max_rows = 40;
   size_t max_feature_columns = 10;
+  /// Upper bound on generated mutation-trace length.
+  size_t max_mutations = 5;
 };
 
 /// \brief Deterministic adversarial lake generator.
@@ -49,7 +60,8 @@ class LakeFuzzer {
   LakeFuzzOptions options_;
 };
 
-/// Structural equality of two fuzzed lakes (tables, values, KFK metadata).
+/// Structural equality of two fuzzed lakes (tables, values, KFK metadata,
+/// mutation trace).
 bool FuzzedLakesEqual(const FuzzedLake& a, const FuzzedLake& b);
 
 }  // namespace autofeat::qa

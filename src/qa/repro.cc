@@ -48,6 +48,17 @@ Status WriteRepro(const FuzzedLake& lake, const std::string& invariant_name,
     manifest << "kfk " << kfk.from_table << " " << kfk.from_column << " "
              << kfk.to_table << " " << kfk.to_column << "\n";
   }
+  size_t oi = 0;
+  for (const serve::LakeMutation& op : lake.trace) {
+    std::string payload = "-";
+    if (op.kind != serve::LakeMutation::Kind::kDropTable) {
+      payload = "op" + std::to_string(oi) + ".csv";
+      AF_RETURN_NOT_OK(WriteCsvFile(op.payload, directory + "/" + payload));
+    }
+    manifest << "op " << serve::MutationKindName(op.kind) << " "
+             << op.TargetTable() << " " << payload << "\n";
+    ++oi;
+  }
   return Status::OK();
 }
 
@@ -62,6 +73,12 @@ Result<FuzzedLake> LoadRepro(const std::string& directory,
   ReproManifest parsed;
   std::vector<std::string> table_names;
   std::vector<KfkConstraint> constraints;
+  struct PendingOp {
+    serve::LakeMutation::Kind kind;
+    std::string table;
+    std::string payload_file;  // "-" for drops
+  };
+  std::vector<PendingOp> ops;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -90,6 +107,16 @@ Result<FuzzedLake> LoadRepro(const std::string& directory,
                                        line);
       }
       constraints.push_back(std::move(kfk));
+    } else if (key == "op") {
+      std::istringstream fields(value);
+      std::string kind_text;
+      PendingOp op;
+      if (!(fields >> kind_text >> op.table >> op.payload_file)) {
+        return Status::InvalidArgument("malformed op line in MANIFEST.txt: " +
+                                       line);
+      }
+      AF_ASSIGN_OR_RETURN(op.kind, serve::ParseMutationKind(kind_text));
+      ops.push_back(std::move(op));
     } else {
       return Status::InvalidArgument("unknown MANIFEST.txt key: " + key);
     }
@@ -106,6 +133,18 @@ Result<FuzzedLake> LoadRepro(const std::string& directory,
   }
   for (KfkConstraint& kfk : constraints) {
     lake.lake.AddKfk(std::move(kfk));
+  }
+  for (PendingOp& op : ops) {
+    serve::LakeMutation mutation;
+    mutation.kind = op.kind;
+    mutation.table = op.table;
+    if (op.payload_file != "-") {
+      AF_ASSIGN_OR_RETURN(
+          mutation.payload,
+          ReadCsvFile(directory + "/" + op.payload_file));
+      mutation.payload.set_name(op.table);
+    }
+    lake.trace.push_back(std::move(mutation));
   }
   lake.base_table = parsed.base_table;
   lake.label_column = parsed.label_column;

@@ -1,6 +1,7 @@
 // Self-contained failure repros: a shrunk lake serialised as a CSV
 // directory plus a MANIFEST.txt recording the seed, entry points, KFK
-// metadata and the violated invariant. A repro replays without the fuzzer:
+// metadata, the violated invariant and the mutation trace (`op` lines with
+// per-op payload CSVs). A repro replays without the fuzzer:
 // `lake_fuzz_cli --replay DIR` (or LoadRepro + the invariant registry).
 
 #ifndef AUTOFEAT_QA_REPRO_H_

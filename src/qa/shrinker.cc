@@ -14,6 +14,7 @@ FuzzedLake RebuildLake(const FuzzedLake& proto, std::vector<Table> tables) {
   out.base_table = proto.base_table;
   out.label_column = proto.label_column;
   out.seed = proto.seed;
+  out.trace = proto.trace;
   for (Table& table : tables) {
     out.lake.AddTable(std::move(table)).Abort("shrinker rebuild");
   }
@@ -82,6 +83,23 @@ Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
   while (progress && res.checks < options.max_checks) {
     progress = false;
 
+    // Pass 0: drop mutation-trace ops (coarsest first — a shorter failing
+    // *sequence* is worth more to a reader than a smaller lake). Removing
+    // an op can invalidate later ops (an append whose target was never
+    // added), but mutation failures are defined as symmetric no-ops, so
+    // every shortened trace is still a valid candidate.
+    for (size_t m = 0; m < res.lake.trace.size();) {
+      FuzzedLake candidate = res.lake;
+      candidate.trace.erase(candidate.trace.begin() +
+                            static_cast<std::ptrdiff_t>(m));
+      if (still_fails(candidate)) {
+        accept(std::move(candidate));
+        progress = true;
+      } else {
+        ++m;
+      }
+    }
+
     // Pass 1: drop whole satellite tables (never the base).
     for (size_t t = 0; t < res.lake.lake.num_tables();) {
       if (res.lake.lake.tables()[t].name() == res.lake.base_table) {
@@ -112,7 +130,7 @@ Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
           ++c;
           continue;
         }
-        std::vector<Table> tables(res.lake.lake.tables());
+        std::vector<Table> tables = res.lake.lake.tables().Materialize();
         tables[t].DropColumn(column).Abort("shrinker drop column");
         FuzzedLake candidate = RebuildLake(res.lake, std::move(tables));
         if (still_fails(candidate)) {
@@ -138,7 +156,7 @@ Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
           for (size_t i = 0; i < rows; ++i) {
             if (i < start || i >= end) indices.push_back(i);
           }
-          std::vector<Table> tables(res.lake.lake.tables());
+          std::vector<Table> tables = res.lake.lake.tables().Materialize();
           Table reduced = table.TakeRows(indices);
           reduced.set_name(table.name());
           tables[t] = std::move(reduced);
@@ -161,7 +179,7 @@ Result<ShrinkResult> ShrinkLake(const FuzzedLake& input,
         const Column& original = table.column(c);
         Column simplified = SimplifiedColumn(original);
         if (simplified.Equals(original)) continue;
-        std::vector<Table> tables(res.lake.lake.tables());
+        std::vector<Table> tables = res.lake.lake.tables().Materialize();
         tables[t]
             .SetColumn(table.schema().field(c).name, std::move(simplified))
             .Abort("shrinker simplify column");

@@ -1,9 +1,11 @@
-// Greedy lake shrinker: given a lake that violates an invariant, searches
-// for a smaller lake that still violates it — the counterexample a human
-// actually wants to read. Transformations are tried coarse to fine (drop
-// whole tables, drop columns, drop row chunks, simplify values) and a
-// transformation is kept iff the invariant still fails, so the result is a
-// local minimum: removing any one more piece makes the failure disappear.
+// Greedy lake shrinker: given a lake (plus its mutation trace) that
+// violates an invariant, searches for a smaller counterexample that still
+// violates it — the one a human actually wants to read. Transformations are
+// tried coarse to fine (drop mutation-trace ops, drop whole tables, drop
+// columns, drop row chunks, simplify values) and a transformation is kept
+// iff the invariant still fails, so the result is a local minimum: removing
+// any one more piece — table, column, row chunk or trace op — makes the
+// failure disappear.
 
 #ifndef AUTOFEAT_QA_SHRINKER_H_
 #define AUTOFEAT_QA_SHRINKER_H_

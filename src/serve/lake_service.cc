@@ -1,0 +1,310 @@
+#include "serve/lake_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace autofeat::serve {
+
+namespace {
+
+std::vector<PairMatch> ToPairMatches(std::vector<ColumnMatch> matches) {
+  std::vector<PairMatch> out;
+  out.reserve(matches.size());
+  for (ColumnMatch& m : matches) {
+    out.push_back({std::move(m.left_column), std::move(m.right_column),
+                   m.score});
+  }
+  return out;
+}
+
+}  // namespace
+
+LakeService::LakeService(ServeOptions options, obs::MetricsRegistry* metrics,
+                         obs::Tracer* tracer)
+    : options_(std::move(options)),
+      metrics_(metrics),
+      tracer_(tracer),
+      mutations_(obs::GetCounter(metrics, "serve.mutations")),
+      mutations_failed_(obs::GetCounter(metrics, "serve.mutations_failed")),
+      queries_(obs::GetCounter(metrics, "serve.queries")),
+      tables_rematched_(obs::GetCounter(metrics, "serve.tables_rematched")),
+      pairs_rescored_(obs::GetCounter(metrics, "serve.pairs_rescored")),
+      pairs_skipped_(obs::GetCounter(metrics, "serve.pairs_skipped")),
+      epoch_gauge_(obs::GetGauge(metrics, "serve.epoch")) {
+  if (ResolveNumThreads(options_.config.num_threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.config.num_threads);
+    if (metrics_ != nullptr) pool_->set_metrics(metrics_);
+    if (tracer_ != nullptr) pool_->set_tracer(tracer_);
+  }
+}
+
+Result<std::unique_ptr<LakeService>> LakeService::Create(
+    DataLake initial, ServeOptions options, obs::MetricsRegistry* metrics,
+    obs::Tracer* tracer) {
+  std::unique_ptr<LakeService> service(
+      new LakeService(std::move(options), metrics, tracer));
+  auto snap = std::make_shared<LakeSnapshot>();
+  snap->epoch = 0;
+  snap->lake = std::move(initial);
+  snap->sketch_cache = std::make_shared<LakeSketchCache>(
+      &snap->lake, service->options_.match.max_sample_values, metrics,
+      service->options_.match.memory_budget_bytes);
+  snap->sketch_cache->PrewarmAll(service->pool_.get());
+  AF_RETURN_NOT_OK(service->MatchAllPairs(*snap));
+  AF_ASSIGN_OR_RETURN(snap->drg,
+                      service->match_store_.BuildGraph(snap->lake.TableNames()));
+  snap->join_cache = std::make_shared<JoinIndexCache>(
+      &snap->lake, service->options_.config.seed, metrics, tracer,
+      service->options_.config.memory_budget_bytes);
+  obs::Set(service->epoch_gauge_, 0);
+  service->current_ = std::move(snap);
+  return service;
+}
+
+bool LakeService::LshFilteringActive() const {
+  // Mirrors the BuildDrgByDiscovery fallback: LSH filtering is sound only
+  // while every reportable edge needs value overlap. When the threshold is
+  // reachable on name evidence alone, every pair must be scored.
+  return options_.match.candidate_mode == CandidateMode::kLsh &&
+         options_.match.threshold > options_.match.name_weight;
+}
+
+const std::vector<ColumnLshProfile>& LakeService::ProfileFor(
+    const LakeSnapshot& snap, size_t index, const std::string& name) {
+  auto it = profiles_.find(name);
+  if (it != profiles_.end()) return it->second;
+  LakeSketchCache::TableSketchesPin pin = snap.sketch_cache->GetOrBuild(index);
+  return profiles_
+      .emplace(name, ComputeTableLshProfiles(snap.lake.tables()[index], *pin,
+                                             options_.match.lsh))
+      .first->second;
+}
+
+Status LakeService::MatchAllPairs(const LakeSnapshot& snap) {
+  match_store_ = DrgMatchStore();
+  profiles_.clear();
+  const auto tables = snap.lake.tables();
+  const size_t n = tables.size();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (LshFilteringActive()) {
+    for (size_t i = 0; i < n; ++i) ProfileFor(snap, i, tables[i].name());
+    for (size_t i = 0; i < n; ++i) {
+      const auto& pi = profiles_.at(tables[i].name());
+      for (size_t j = i + 1; j < n; ++j) {
+        if (LshTablesCollide(pi, profiles_.at(tables[j].name()),
+                             options_.match.lsh)) {
+          pairs.emplace_back(i, j);
+        } else {
+          obs::Increment(pairs_skipped_);
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+    }
+  }
+
+  // Score candidates (fanning out over the pool; each score is a pure
+  // function of the two tables' sketches) and install them in the store.
+  std::vector<std::vector<ColumnMatch>> matches =
+      ParallelMap<std::vector<ColumnMatch>>(
+          pool_.get(), pairs.size(), /*grain=*/1, [&](size_t p) {
+            const auto& [i, j] = pairs[p];
+            LakeSketchCache::TableSketchesPin left =
+                snap.sketch_cache->GetOrBuild(i);
+            LakeSketchCache::TableSketchesPin right =
+                snap.sketch_cache->GetOrBuild(j);
+            return MatchSchemas(tables[i], *left, tables[j], *right,
+                                options_.match);
+          });
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs[p];
+    match_store_.SetMatches(tables[i].name(), tables[j].name(),
+                            ToPairMatches(std::move(matches[p])));
+  }
+  obs::Increment(pairs_rescored_, pairs.size());
+  return Status::OK();
+}
+
+Status LakeService::RematchTable(const LakeSnapshot& snap,
+                                 const std::string& target) {
+  const auto tables = snap.lake.tables();
+  const size_t n = tables.size();
+  size_t target_idx = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (tables[i].name() == target) {
+      target_idx = i;
+      break;
+    }
+  }
+  if (target_idx == n) {
+    return Status::KeyError("re-match target not in lake: " + target);
+  }
+
+  const bool lsh = LshFilteringActive();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (lsh) {
+    // `tprof` stays valid across later ProfileFor insertions —
+    // unordered_map references survive rehashing.
+    const auto& tprof = ProfileFor(snap, target_idx, target);
+    for (size_t u = 0; u < n; ++u) {
+      if (u == target_idx) continue;
+      if (LshTablesCollide(tprof, ProfileFor(snap, u, tables[u].name()),
+                           options_.match.lsh)) {
+        pairs.emplace_back(std::min(u, target_idx),
+                           std::max(u, target_idx));
+      } else {
+        obs::Increment(pairs_skipped_);
+      }
+    }
+  } else {
+    for (size_t u = 0; u < n; ++u) {
+      if (u == target_idx) continue;
+      pairs.emplace_back(std::min(u, target_idx), std::max(u, target_idx));
+    }
+  }
+
+  std::vector<std::vector<ColumnMatch>> matches =
+      ParallelMap<std::vector<ColumnMatch>>(
+          pool_.get(), pairs.size(), /*grain=*/1, [&](size_t p) {
+            const auto& [i, j] = pairs[p];
+            LakeSketchCache::TableSketchesPin left =
+                snap.sketch_cache->GetOrBuild(i);
+            LakeSketchCache::TableSketchesPin right =
+                snap.sketch_cache->GetOrBuild(j);
+            return MatchSchemas(tables[i], *left, tables[j], *right,
+                                options_.match);
+          });
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs[p];
+    match_store_.SetMatches(tables[i].name(), tables[j].name(),
+                            ToPairMatches(std::move(matches[p])));
+  }
+  obs::Increment(pairs_rescored_, pairs.size());
+  obs::Increment(tables_rematched_);
+  return Status::OK();
+}
+
+Result<uint64_t> LakeService::Apply(const LakeMutation& mutation) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  SnapshotPin prev = snapshot();
+  auto next = std::make_shared<LakeSnapshot>();
+  next->epoch = prev->epoch + 1;
+  next->lake = prev->lake;  // O(tables) pointer copies (COW storage)
+  Status applied = ApplyMutationToLake(&next->lake, mutation);
+  if (!applied.ok()) {
+    // Failed mutations are no-ops: nothing published, epoch unchanged —
+    // the same contract a cold replay of the trace observes.
+    obs::Increment(mutations_failed_);
+    return applied;
+  }
+  const std::string target = mutation.TargetTable();
+  const std::unordered_set<std::string> invalidated{target};
+
+  // Precise invalidation: every untouched table's sketches carry over by
+  // pointer; the target's entry (if any) is left behind.
+  next->sketch_cache = std::make_shared<LakeSketchCache>(
+      &next->lake, options_.match.max_sample_values, metrics_,
+      options_.match.memory_budget_bytes);
+  next->sketch_cache->CarryOver(*prev->sketch_cache, invalidated);
+
+  // Incremental DRG maintenance: drop the target's pairs, re-score only
+  // pairs touching it, rebuild the graph canonically (see drg_delta.h).
+  match_store_.PurgeTable(target);
+  profiles_.erase(target);
+  if (mutation.kind != LakeMutation::Kind::kDropTable) {
+    AF_RETURN_NOT_OK(RematchTable(*next, target));
+  }
+  AF_ASSIGN_OR_RETURN(next->drg,
+                      match_store_.BuildGraph(next->lake.TableNames()));
+
+  next->join_cache = std::make_shared<JoinIndexCache>(
+      &next->lake, options_.config.seed, metrics_, tracer_,
+      options_.config.memory_budget_bytes);
+  next->join_cache->CarryOver(*prev->join_cache, invalidated);
+
+  obs::Increment(mutations_);
+  obs::Set(epoch_gauge_, static_cast<int64_t>(next->epoch));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    current_ = std::move(next);
+  }
+  return epoch();
+}
+
+Result<uint64_t> LakeService::AddTable(Table table) {
+  LakeMutation m;
+  m.kind = LakeMutation::Kind::kAddTable;
+  m.payload = std::move(table);
+  return Apply(m);
+}
+
+Result<uint64_t> LakeService::AppendRows(const std::string& table,
+                                         const Table& rows) {
+  LakeMutation m;
+  m.kind = LakeMutation::Kind::kAppendRows;
+  m.table = table;
+  m.payload = rows;
+  return Apply(m);
+}
+
+Result<uint64_t> LakeService::DropTable(const std::string& table) {
+  LakeMutation m;
+  m.kind = LakeMutation::Kind::kDropTable;
+  m.table = table;
+  return Apply(m);
+}
+
+LakeService::SnapshotPin LakeService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return current_;
+}
+
+AutoFeatConfig LakeService::QueryConfig(const LakeSnapshot& snap,
+                                        obs::MetricsRegistry* metrics,
+                                        obs::Tracer* tracer) const {
+  AutoFeatConfig config = options_.config;
+  config.join_cache = snap.join_cache.get();
+  if (metrics != nullptr || tracer != nullptr) {
+    config.metrics_enabled = true;
+    config.metrics = metrics;
+    config.tracer = tracer;
+  }
+  return config;
+}
+
+Result<LakeService::DiscoverOutcome> LakeService::Discover(
+    const std::string& base_table, const std::string& label_column,
+    obs::MetricsRegistry* metrics, obs::Tracer* tracer) const {
+  obs::Increment(queries_);
+  // Pin one snapshot for the whole query: concurrent mutations publish new
+  // snapshots but never touch this one.
+  SnapshotPin snap = snapshot();
+  AutoFeat engine(&snap->lake, &snap->drg,
+                  QueryConfig(*snap, metrics, tracer));
+  AF_ASSIGN_OR_RETURN(DiscoveryResult discovery,
+                      engine.DiscoverFeatures(base_table, label_column));
+  DiscoverOutcome outcome;
+  outcome.epoch = snap->epoch;
+  outcome.discovery = std::move(discovery);
+  return outcome;
+}
+
+Result<LakeService::AugmentOutcome> LakeService::Augment(
+    const std::string& base_table, const std::string& label_column,
+    ml::ModelKind model, obs::MetricsRegistry* metrics,
+    obs::Tracer* tracer) const {
+  obs::Increment(queries_);
+  SnapshotPin snap = snapshot();
+  AutoFeat engine(&snap->lake, &snap->drg,
+                  QueryConfig(*snap, metrics, tracer));
+  AF_ASSIGN_OR_RETURN(AugmentationResult augmentation,
+                      engine.Augment(base_table, label_column, model));
+  AugmentOutcome outcome;
+  outcome.epoch = snap->epoch;
+  outcome.augmentation = std::move(augmentation);
+  return outcome;
+}
+
+}  // namespace autofeat::serve

@@ -1,0 +1,57 @@
+#include "serve/mutation.h"
+
+#include "util/string_utils.h"
+
+namespace autofeat::serve {
+
+const char* MutationKindName(LakeMutation::Kind kind) {
+  switch (kind) {
+    case LakeMutation::Kind::kAddTable:
+      return "add";
+    case LakeMutation::Kind::kAppendRows:
+      return "append";
+    case LakeMutation::Kind::kDropTable:
+      return "drop";
+  }
+  return "unknown";
+}
+
+Result<LakeMutation::Kind> ParseMutationKind(const std::string& text) {
+  const std::string lower = ToLower(Trim(text));
+  if (lower == "add") return LakeMutation::Kind::kAddTable;
+  if (lower == "append") return LakeMutation::Kind::kAppendRows;
+  if (lower == "drop") return LakeMutation::Kind::kDropTable;
+  return Status::InvalidArgument("unknown mutation kind: \"" + text +
+                                 "\" (valid values: add, append, drop)");
+}
+
+Status ApplyMutationToLake(DataLake* lake, const LakeMutation& mutation) {
+  switch (mutation.kind) {
+    case LakeMutation::Kind::kAddTable:
+      return lake->AddTable(mutation.payload);
+    case LakeMutation::Kind::kAppendRows:
+      return lake->AppendRows(mutation.table, mutation.payload);
+    case LakeMutation::Kind::kDropTable:
+      return lake->RemoveTable(mutation.table);
+  }
+  return Status::InvalidArgument("unhandled mutation kind");
+}
+
+std::string MutationSummary(const LakeMutation& mutation) {
+  std::string out = MutationKindName(mutation.kind);
+  out += " ";
+  out += mutation.TargetTable();
+  if (mutation.kind != LakeMutation::Kind::kDropTable) {
+    out += " (" + std::to_string(mutation.payload.num_rows()) + " rows, " +
+           std::to_string(mutation.payload.num_columns()) + " cols)";
+  }
+  return out;
+}
+
+bool MutationsEqual(const LakeMutation& a, const LakeMutation& b) {
+  if (a.kind != b.kind || a.TargetTable() != b.TargetTable()) return false;
+  if (a.kind == LakeMutation::Kind::kDropTable) return true;
+  return a.payload.Equals(b.payload);
+}
+
+}  // namespace autofeat::serve

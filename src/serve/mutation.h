@@ -1,0 +1,66 @@
+// Lake mutations: the serving layer's write vocabulary, shared with the qa
+// mutation-trace fuzzer so a trace replays identically through the
+// incremental LakeService and through a plain cold DataLake.
+
+#ifndef AUTOFEAT_SERVE_MUTATION_H_
+#define AUTOFEAT_SERVE_MUTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/data_lake.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace autofeat::serve {
+
+/// \brief One write against the lake.
+struct LakeMutation {
+  enum class Kind {
+    /// Adds `payload` as a new table named payload.name().
+    kAddTable,
+    /// Appends the rows of `payload` to existing table `table` (schemas
+    /// must match exactly).
+    kAppendRows,
+    /// Removes table `table` (and any KFK constraints referencing it).
+    kDropTable,
+  };
+
+  Kind kind = Kind::kAddTable;
+  /// Target table name (kAppendRows / kDropTable; for kAddTable it is
+  /// payload.name()).
+  std::string table;
+  /// The new table (kAddTable) or the appended rows (kAppendRows); unused
+  /// for kDropTable.
+  Table payload;
+
+  /// The table the mutation touches.
+  const std::string& TargetTable() const {
+    return kind == Kind::kAddTable ? payload.name() : table;
+  }
+};
+
+/// "add" / "append" / "drop" (stable CLI / repro-manifest vocabulary).
+const char* MutationKindName(LakeMutation::Kind kind);
+
+/// Case-insensitive inverse of MutationKindName; the Status reports the
+/// valid values on failure.
+Result<LakeMutation::Kind> ParseMutationKind(const std::string& text);
+
+/// Applies one mutation to a plain lake: the cold half of the
+/// incremental-vs-rebuild equivalence contract. The serving layer applies
+/// exactly this to its snapshot's lake copy, so for any trace the two
+/// final lake states are identical — including which mutations *fail*
+/// (failed mutations change nothing on either side).
+Status ApplyMutationToLake(DataLake* lake, const LakeMutation& mutation);
+
+/// One-line human-readable description (CLI and driver logs).
+std::string MutationSummary(const LakeMutation& mutation);
+
+/// Structural equality (kind, target, payload contents) — fuzzer
+/// determinism checks.
+bool MutationsEqual(const LakeMutation& a, const LakeMutation& b);
+
+}  // namespace autofeat::serve
+
+#endif  // AUTOFEAT_SERVE_MUTATION_H_

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/string_utils.h"
 #include "util/work_stealing_deque.h"
 
 namespace autofeat {
@@ -24,15 +25,18 @@ const char* SchedulerKindName(SchedulerKind kind) {
 }
 
 bool ParseSchedulerKind(const std::string& text, SchedulerKind* out) {
-  if (text == "forkjoin") {
-    *out = SchedulerKind::kForkJoin;
-    return true;
-  }
-  if (text == "morsel") {
-    *out = SchedulerKind::kMorsel;
-    return true;
-  }
-  return false;
+  Result<SchedulerKind> parsed = ParseScheduler(text);
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
+}
+
+Result<SchedulerKind> ParseScheduler(const std::string& text) {
+  const std::string lower = ToLower(Trim(text));
+  if (lower == "forkjoin") return SchedulerKind::kForkJoin;
+  if (lower == "morsel") return SchedulerKind::kMorsel;
+  return Status::InvalidArgument("unknown scheduler: \"" + text +
+                                 "\" (valid values: forkjoin, morsel)");
 }
 
 namespace {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace autofeat {
@@ -48,6 +49,10 @@ const char* SchedulerKindName(SchedulerKind kind);
 /// Parses the SchedulerKindName vocabulary; returns false (and leaves *out
 /// untouched) on anything else.
 bool ParseSchedulerKind(const std::string& text, SchedulerKind* out);
+
+/// Case-insensitive parse that reports the valid vocabulary in the Status
+/// on failure (the --scheduler CLI path).
+Result<SchedulerKind> ParseScheduler(const std::string& text);
 
 /// Runs `fn(i)` for every i in [begin, end) using morsel-driven work
 /// stealing: the range is cut into morsels of `morsel_size` iterations

@@ -44,6 +44,45 @@ TEST(DataLakeTest, ReplaceTable) {
   EXPECT_FALSE(lake.ReplaceTable(MakeTable("zz", "id", {1})).ok());
 }
 
+TEST(DataLakeTest, RemoveTableShiftsLaterTablesAndPrunesKfk) {
+  DataLake lake;
+  lake.AddTable(MakeTable("a", "id", {1})).Abort();
+  lake.AddTable(MakeTable("b", "id", {1})).Abort();
+  lake.AddTable(MakeTable("c", "id", {1})).Abort();
+  lake.AddKfk(KfkConstraint{"a", "id", "b", "id"});
+  lake.AddKfk(KfkConstraint{"a", "id", "c", "id"});
+  ASSERT_TRUE(lake.RemoveTable("b").ok());
+  EXPECT_EQ(lake.TableNames(), (std::vector<std::string>{"a", "c"}));
+  ASSERT_EQ(lake.kfk_constraints().size(), 1u);
+  EXPECT_EQ(lake.kfk_constraints()[0].to_table, "c");
+  EXPECT_TRUE((*lake.GetTable("c"))->HasColumn("id"));
+  EXPECT_FALSE(lake.RemoveTable("b").ok()) << "double remove must fail";
+}
+
+TEST(DataLakeTest, AppendRowsRequiresExactSchema) {
+  DataLake lake;
+  lake.AddTable(MakeTable("a", "id", {1, 2})).Abort();
+  ASSERT_TRUE(lake.AppendRows("a", MakeTable("rows", "id", {3})).ok());
+  EXPECT_EQ((*lake.GetTable("a"))->num_rows(), 3u);
+  // Wrong column name and wrong type must both be rejected unchanged.
+  EXPECT_FALSE(lake.AppendRows("a", MakeTable("rows", "other", {4})).ok());
+  Table wrong_type("rows");
+  wrong_type.AddColumn("id", Column::Doubles({4.5})).Abort();
+  EXPECT_FALSE(lake.AppendRows("a", wrong_type).ok());
+  EXPECT_FALSE(lake.AppendRows("missing", MakeTable("rows", "id", {4})).ok());
+  EXPECT_EQ((*lake.GetTable("a"))->num_rows(), 3u);
+}
+
+TEST(ParseLakeFormatTest, NormalisesCaseAndReportsValidValues) {
+  EXPECT_EQ(*ParseLakeFormat("CSV"), LakeFormat::kCsv);
+  EXPECT_EQ(*ParseLakeFormat(" Columnar "), LakeFormat::kColumnar);
+  Result<LakeFormat> bad = ParseLakeFormat("parquet");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("valid values: csv, columnar"),
+            std::string::npos)
+      << bad.status().message();
+}
+
 TEST(DataLakeTest, TableNames) {
   DataLake lake;
   lake.AddTable(MakeTable("x", "id", {1})).Abort();

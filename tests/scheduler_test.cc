@@ -28,6 +28,19 @@ TEST(SchedulerKindTest, NamesAndParsingRoundTrip) {
   EXPECT_EQ(SchedulerKind::kForkJoin, kind) << "failed parse must not write";
 }
 
+TEST(SchedulerKindTest, ParseSchedulerNormalisesCaseAndReportsValidValues) {
+  EXPECT_EQ(*ParseScheduler("Morsel"), SchedulerKind::kMorsel);
+  EXPECT_EQ(*ParseScheduler(" FORKJOIN "), SchedulerKind::kForkJoin);
+  Result<SchedulerKind> bad = ParseScheduler("steal");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("valid values: forkjoin, morsel"),
+            std::string::npos)
+      << bad.status().message();
+  SchedulerKind kind = SchedulerKind::kMorsel;
+  EXPECT_TRUE(ParseSchedulerKind("MoRsEl", &kind));
+  EXPECT_EQ(SchedulerKind::kMorsel, kind);
+}
+
 TEST(WorkStealingDequeTest, OwnerLifoThiefFifo) {
   WorkStealingDeque dq(8);
   for (size_t v : {10, 11, 12, 13}) ASSERT_TRUE(dq.PushBottom(v));

@@ -1,0 +1,262 @@
+// LakeService: mutation semantics, epoch/snapshot consistency, precise
+// cache invalidation, incremental-vs-cold equivalence and a concurrent
+// mutator+readers stress suite (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "discovery/data_lake.h"
+#include "qa/invariants.h"
+#include "qa/lake_fuzzer.h"
+#include "serve/lake_service.h"
+#include "serve/mutation.h"
+#include "support/lake_fixtures.h"
+#include "table/column.h"
+
+namespace autofeat::serve {
+namespace {
+
+// A one-key-column satellite joinable with MakeOrdersCustomersLake's
+// "cust" columns.
+Table MakeCustSatellite(const std::string& name, double offset) {
+  Table table(name);
+  table.AddColumn("cust", Column::Int64s({1, 2, 3})).Abort();
+  table.AddColumn("score",
+                  Column::Doubles({offset + 1, offset + 2, offset + 3}))
+      .Abort();
+  return table;
+}
+
+std::unique_ptr<LakeService> MakeService(DataLake lake,
+                                         ServeOptions options = {}) {
+  Result<std::unique_ptr<LakeService>> service =
+      LakeService::Create(std::move(lake), std::move(options));
+  EXPECT_TRUE(service.ok()) << service.status().message();
+  return service.MoveValue();
+}
+
+TEST(MutationTest, ParseMutationKindIsCaseInsensitive) {
+  EXPECT_EQ(*ParseMutationKind("add"), LakeMutation::Kind::kAddTable);
+  EXPECT_EQ(*ParseMutationKind(" Append "), LakeMutation::Kind::kAppendRows);
+  EXPECT_EQ(*ParseMutationKind("DROP"), LakeMutation::Kind::kDropTable);
+  Result<LakeMutation::Kind> bad = ParseMutationKind("upsert");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("valid values: add, append, drop"),
+            std::string::npos);
+}
+
+TEST(LakeServiceTest, MutationsAdvanceTheEpoch) {
+  std::unique_ptr<LakeService> service =
+      MakeService(testsupport::MakeOrdersCustomersLake());
+  EXPECT_EQ(service->epoch(), 0u);
+
+  Result<uint64_t> added = service->AddTable(MakeCustSatellite("regions", 0));
+  ASSERT_TRUE(added.ok()) << added.status().message();
+  EXPECT_EQ(*added, 1u);
+
+  Table extra("regions");
+  extra.AddColumn("cust", Column::Int64s({4})).Abort();
+  extra.AddColumn("score", Column::Doubles({9})).Abort();
+  Result<uint64_t> appended = service->AppendRows("regions", extra);
+  ASSERT_TRUE(appended.ok()) << appended.status().message();
+  EXPECT_EQ(*appended, 2u);
+  EXPECT_EQ((*service->snapshot()->lake.GetTable("regions"))->num_rows(), 4u);
+
+  Result<uint64_t> dropped = service->DropTable("regions");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().message();
+  EXPECT_EQ(*dropped, 3u);
+  EXPECT_FALSE(service->snapshot()->lake.HasTable("regions"));
+}
+
+TEST(LakeServiceTest, FailedMutationsAreNoOps) {
+  std::unique_ptr<LakeService> service =
+      MakeService(testsupport::MakeOrdersCustomersLake());
+
+  // Duplicate add.
+  Table dup("orders");
+  dup.AddColumn("cust", Column::Int64s({1})).Abort();
+  EXPECT_FALSE(service->AddTable(std::move(dup)).ok());
+
+  // Schema-mismatched append (missing the amount column).
+  Table rows("orders");
+  rows.AddColumn("cust", Column::Int64s({7})).Abort();
+  EXPECT_FALSE(service->AppendRows("orders", rows).ok());
+
+  // Missing drop target.
+  EXPECT_FALSE(service->DropTable("no_such_table").ok());
+
+  EXPECT_EQ(service->epoch(), 0u);
+  EXPECT_EQ(service->snapshot()->lake.num_tables(), 2u);
+}
+
+TEST(LakeServiceTest, PinnedSnapshotIsImmutableAcrossMutations) {
+  std::unique_ptr<LakeService> service =
+      MakeService(testsupport::MakeOrdersCustomersLake());
+  LakeService::SnapshotPin pinned = service->snapshot();
+  ASSERT_TRUE(service->DropTable("customers").ok());
+  ASSERT_TRUE(service->AddTable(MakeCustSatellite("regions", 5)).ok());
+
+  // The pin still sees epoch 0 in full: the dropped table, its sketches and
+  // the old DRG — no use-after-evict, the snapshot owns its caches.
+  EXPECT_EQ(pinned->epoch, 0u);
+  ASSERT_TRUE(pinned->lake.HasTable("customers"));
+  EXPECT_FALSE(pinned->lake.HasTable("regions"));
+  LakeSketchCache::TableSketchesPin sketches =
+      pinned->sketch_cache->GetOrBuild(1);
+  EXPECT_EQ(sketches->size(),
+            (*pinned->lake.GetTable("customers"))->num_columns());
+  EXPECT_NE(pinned->drg.OrderedFingerprint(),
+            service->snapshot()->drg.OrderedFingerprint());
+
+  EXPECT_EQ(service->epoch(), 2u);
+  EXPECT_FALSE(service->snapshot()->lake.HasTable("customers"));
+}
+
+TEST(LakeServiceTest, UntouchedSketchEntriesCarryOverByPointer) {
+  std::unique_ptr<LakeService> service =
+      MakeService(testsupport::MakeOrdersCustomersLake());
+  LakeService::SnapshotPin before = service->snapshot();
+  LakeSketchCache::TableSketchesPin orders_before =
+      before->sketch_cache->GetOrBuild(0);
+  LakeSketchCache::TableSketchesPin customers_before =
+      before->sketch_cache->GetOrBuild(1);
+
+  Table rows("customers");
+  rows.AddColumn("cust", Column::Int64s({4})).Abort();
+  rows.AddColumn("age", Column::Doubles({64})).Abort();
+  ASSERT_TRUE(service->AppendRows("customers", rows).ok());
+
+  LakeService::SnapshotPin after = service->snapshot();
+  // Precise invalidation: the untouched table's entry is the *same object*
+  // (carried by pointer), the mutated table's entry was rebuilt.
+  EXPECT_EQ(after->sketch_cache->GetOrBuild(0).get(), orders_before.get());
+  EXPECT_NE(after->sketch_cache->GetOrBuild(1).get(), customers_before.get());
+}
+
+TEST(LakeServiceTest, IncrementalDrgMatchesColdRebuildAfterMutations) {
+  DataLake initial = testsupport::MakeOrdersCustomersLake();
+  std::unique_ptr<LakeService> service = MakeService(initial);
+
+  // Add, append, drop-mid-path, re-add under the same name with a renamed
+  // feature column — the corners incremental maintenance can get wrong.
+  ASSERT_TRUE(service->AddTable(MakeCustSatellite("regions", 0)).ok());
+  Table rows("regions");
+  rows.AddColumn("cust", Column::Int64s({2})).Abort();
+  rows.AddColumn("score", Column::Doubles({8})).Abort();
+  ASSERT_TRUE(service->AppendRows("regions", rows).ok());
+  ASSERT_TRUE(service->DropTable("customers").ok());
+  Table readded("customers");
+  readded.AddColumn("cust", Column::Int64s({1, 3})).Abort();
+  readded.AddColumn("renamed_age", Column::Doubles({30, 50})).Abort();
+  ASSERT_TRUE(service->AddTable(std::move(readded)).ok());
+  EXPECT_EQ(service->epoch(), 4u);
+
+  // Cold replay of the same sequence, then a from-scratch discovery build.
+  DataLake cold = std::move(initial);
+  ASSERT_TRUE(cold.AddTable(MakeCustSatellite("regions", 0)).ok());
+  ASSERT_TRUE(cold.AppendRows("regions", rows).ok());
+  ASSERT_TRUE(cold.RemoveTable("customers").ok());
+  Table cold_readded("customers");
+  cold_readded.AddColumn("cust", Column::Int64s({1, 3})).Abort();
+  cold_readded.AddColumn("renamed_age", Column::Doubles({30, 50})).Abort();
+  ASSERT_TRUE(cold.AddTable(std::move(cold_readded)).ok());
+
+  Result<DatasetRelationGraph> cold_drg =
+      BuildDrgByDiscovery(cold, service->options().match);
+  ASSERT_TRUE(cold_drg.ok()) << cold_drg.status().message();
+  EXPECT_EQ(service->snapshot()->drg.OrderedFingerprint(),
+            cold_drg->OrderedFingerprint());
+}
+
+TEST(LakeServiceTest, IncrementalEquivalenceInvariantPassesFuzzedTraces) {
+  const qa::Invariant* invariant = nullptr;
+  for (const qa::Invariant& inv : qa::BuiltinInvariants()) {
+    if (inv.name == "serve.incremental_equivalence") invariant = &inv;
+  }
+  ASSERT_NE(invariant, nullptr);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    qa::FuzzedLake fz = testsupport::MakeAdversarialLake(seed);
+    Status status = invariant->check(fz);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.message();
+  }
+}
+
+TEST(LakeServiceStressTest, ConcurrentReadersSeeOnlyPublishedStates) {
+  // One mutator applies a known sequence of successful mutations while N
+  // reader threads run Discover; every result must carry an epoch in
+  // [0, kMutations] and be byte-identical to a cold service built at that
+  // epoch's lake state — a reader can never observe a half-applied
+  // mutation or a cache entry from a different epoch.
+  qa::FuzzedLake fz = testsupport::MakeAdversarialLake(11);
+  ServeOptions options;
+  options.config = qa::FuzzDiscoveryConfig(fz, 1);
+  std::unique_ptr<LakeService> service = MakeService(fz.lake, options);
+
+  constexpr size_t kMutations = 6;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kQueriesPerReader = 12;
+
+  std::vector<Table> to_add;
+  for (size_t m = 0; m < kMutations; ++m) {
+    Table table("stress_t" + std::to_string(m));
+    table.AddColumn("key", Column::Int64s({0, 1, 2})).Abort();
+    table.AddColumn("v", Column::Doubles({1.0 + m, 2.0 + m, 3.0 + m}))
+        .Abort();
+    to_add.push_back(std::move(table));
+  }
+
+  // Expected Discover fingerprint per epoch, from cold services over the
+  // replayed mutation prefixes.
+  std::vector<std::string> expected;
+  {
+    DataLake cold = fz.lake;
+    for (size_t e = 0; e <= kMutations; ++e) {
+      std::unique_ptr<LakeService> cold_service = MakeService(cold, options);
+      Result<LakeService::DiscoverOutcome> out =
+          cold_service->Discover(fz.base_table, fz.label_column);
+      ASSERT_TRUE(out.ok()) << out.status().message();
+      expected.push_back(qa::DiscoveryFingerprint(out->discovery));
+      if (e < kMutations) ASSERT_TRUE(cold.AddTable(to_add[e]).ok());
+    }
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, std::string>> observed;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (size_t q = 0; q < kQueriesPerReader; ++q) {
+        Result<LakeService::DiscoverOutcome> out =
+            service->Discover(fz.base_table, fz.label_column);
+        ASSERT_TRUE(out.ok()) << out.status().message();
+        std::lock_guard<std::mutex> lock(mu);
+        observed.emplace_back(out->epoch,
+                              qa::DiscoveryFingerprint(out->discovery));
+      }
+    });
+  }
+  for (size_t m = 0; m < kMutations; ++m) {
+    Result<uint64_t> epoch = service->AddTable(to_add[m]);
+    ASSERT_TRUE(epoch.ok()) << epoch.status().message();
+    EXPECT_EQ(*epoch, m + 1);
+  }
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(observed.size(), kReaders * kQueriesPerReader);
+  for (const auto& [epoch, fingerprint] : observed) {
+    ASSERT_LE(epoch, kMutations);
+    EXPECT_EQ(fingerprint, expected[epoch]) << "at epoch " << epoch;
+  }
+  EXPECT_EQ(service->epoch(), kMutations);
+}
+
+}  // namespace
+}  // namespace autofeat::serve

@@ -293,12 +293,13 @@ int main(int argc, char** argv) {
   if (options.lsh_rescue >= 0) {
     match.lsh.small_column_rescue = static_cast<size_t>(options.lsh_rescue);
   }
-  SchedulerKind scheduler = SchedulerKind::kMorsel;
-  if (!ParseSchedulerKind(options.scheduler, &scheduler)) {
-    std::fprintf(stderr, "unknown --scheduler: %s (want forkjoin|morsel)\n",
-                 options.scheduler.c_str());
+  auto scheduler_parse = ParseScheduler(options.scheduler);
+  if (!scheduler_parse.ok()) {
+    std::fprintf(stderr, "--scheduler: %s\n",
+                 scheduler_parse.status().message().c_str());
     return 2;
   }
+  SchedulerKind scheduler = *scheduler_parse;
   std::unique_ptr<ThreadPool> pool;
   if (ResolveNumThreads(options.threads) > 1) {
     pool = std::make_unique<ThreadPool>(options.threads);

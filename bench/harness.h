@@ -25,6 +25,7 @@
 #include "discovery/data_lake.h"
 #include "ml/trainer.h"
 #include "obs/chrome_trace.h"
+#include "obs/event_log.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/string_utils.h"
@@ -196,6 +197,22 @@ inline bool WriteBenchJson(const std::string& name,
   }
   out << "\n}\n";
   std::printf("timings written to %s\n", path.c_str());
+  return true;
+}
+
+/// Writes `EVENTS_<name>.jsonl` — the structured serving event log of one
+/// instrumented bench run (same destination rules as WriteBenchJson). CI
+/// uploads it next to the trace so "what happened, in order" ships with
+/// every run.
+inline bool WriteBenchEvents(const std::string& name,
+                             const obs::EventLog& events) {
+  std::string path = BenchJsonDir() + "/EVENTS_" + name + ".jsonl";
+  if (!events.WriteFile(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("event log written to %s (%zu events)\n", path.c_str(),
+              events.size());
   return true;
 }
 

@@ -13,9 +13,17 @@
 //     match a cold service built at the final state.
 //  2. YCSB-style workloads (separate, unexported service): A (50/50
 //     mutation/query), B (95/5 read-heavy) and C (read-only), each with 4
-//     reader threads + 1 mutator, reporting per-op p50/p99 latency and
-//     wall time in the autofeat.bench.v1 timings (CI diffs them with an
-//     absolute --min-seconds noise floor; latency phases sit below it).
+//     reader threads + 1 mutator. Per-op latencies land in mergeable
+//     quantile histograms (obs/quantile.h) registered as
+//     `<workload>.query_latency_ns` / `<workload>.mutation_latency_ns`;
+//     the p50/p99 they report feed both the autofeat.bench.v1 timings and
+//     the embedded obs report, where tools/bench_diff gates them with the
+//     timing threshold + --min-seconds noise floor (latency quantiles sit
+//     below the CI floor).
+//
+// Artifacts: BENCH_serving.json (timings + obs report), TRACE_serving.json
+// (gate-phase span tree) and EVENTS_serving.jsonl (structured serving
+// events) at the repo root.
 //
 // Self-gating: exits non-zero on any fingerprint divergence or when the
 // incremental speedup falls under 5x. Quick mode shrinks rows and op
@@ -32,7 +40,10 @@
 
 #include "harness.h"
 #include "datagen/scale_lake.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/quantile.h"
+#include "obs/trace.h"
 #include "qa/invariants.h"
 #include "serve/lake_service.h"
 #include "serve/mutation.h"
@@ -106,49 +117,41 @@ Table MakeAppendRows(const Table& current, uint64_t seed, size_t rows) {
   return payload;
 }
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  size_t index = static_cast<size_t>(p * static_cast<double>(samples.size()));
-  return samples[std::min(index, samples.size() - 1)];
-}
-
 std::string QueryFingerprint(serve::LakeService* service) {
   auto out = service->Discover(kBaseTable, kLabelColumn);
   out.status().Abort("serving discover");
   return qa::DiscoveryFingerprint(out->discovery);
 }
 
-struct WorkloadStats {
-  std::vector<double> query_seconds;
-  std::vector<double> mutation_seconds;
-  double wall_seconds = 0.0;
-};
+inline uint64_t ToNanos(double seconds) {
+  return static_cast<uint64_t>(seconds * 1e9);
+}
 
 // `queries` Discover calls split over `readers` threads, racing one
-// mutator applying `mutations` schema-preserving appends.
-WorkloadStats RunWorkload(serve::LakeService* service, size_t queries,
-                          size_t mutations, size_t readers) {
-  WorkloadStats stats;
-  std::mutex mu;
+// mutator applying `mutations` schema-preserving appends. Per-op latencies
+// go straight into the quantile histograms: each reader records into a
+// thread-local histogram and merges once at the end (the merge is
+// associative, so the aggregate is identical to a single shared sink
+// without readers contending on its buckets). Returns the wall time.
+double RunWorkload(serve::LakeService* service, size_t queries,
+                   size_t mutations, size_t readers,
+                   obs::QuantileHistogram* query_latency,
+                   obs::QuantileHistogram* mutation_latency) {
   Timer wall;
   std::vector<std::thread> threads;
   threads.reserve(readers);
   const size_t per_reader = readers > 0 ? queries / readers : 0;
   for (size_t r = 0; r < readers; ++r) {
     size_t count = per_reader + (r < queries % readers ? 1 : 0);
-    threads.emplace_back([service, count, &mu, &stats] {
-      std::vector<double> local;
-      local.reserve(count);
+    threads.emplace_back([service, count, query_latency] {
+      obs::QuantileHistogram local;
       for (size_t q = 0; q < count; ++q) {
         Timer timer;
         auto out = service->Discover(kBaseTable, kLabelColumn);
         out.status().Abort("workload query");
-        local.push_back(timer.ElapsedSeconds());
+        local.Record(ToNanos(timer.ElapsedSeconds()));
       }
-      std::lock_guard<std::mutex> lock(mu);
-      stats.query_seconds.insert(stats.query_seconds.end(), local.begin(),
-                                 local.end());
+      query_latency->Merge(local);
     });
   }
   for (size_t m = 0; m < mutations; ++m) {
@@ -158,11 +161,10 @@ WorkloadStats RunWorkload(serve::LakeService* service, size_t queries,
     Table rows = MakeAppendRows(*current, DeriveSeed(777, m), 4);
     Timer timer;
     service->AppendRows(target, rows).status().Abort("workload mutation");
-    stats.mutation_seconds.push_back(timer.ElapsedSeconds());
+    obs::Record(mutation_latency, ToNanos(timer.ElapsedSeconds()));
   }
   for (std::thread& t : threads) t.join();
-  stats.wall_seconds = wall.ElapsedSeconds();
-  return stats;
+  return wall.ElapsedSeconds();
 }
 
 int Main() {
@@ -179,9 +181,12 @@ int Main() {
   options.config.seed = 42;
   options.config.num_threads = 1;  // gate phase: sequential, deterministic
   obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  obs::EventLog events;
 
   Timer create_timer;
-  auto service_result = serve::LakeService::Create(lake, options, &metrics);
+  auto service_result =
+      serve::LakeService::Create(lake, options, &metrics, &tracer, &events);
   service_result.status().Abort("serving create");
   std::unique_ptr<serve::LakeService> service = service_result.MoveValue();
   const double create_seconds = create_timer.ElapsedSeconds();
@@ -281,32 +286,44 @@ int Main() {
   for (const Workload& w : workloads) {
     auto fresh = serve::LakeService::Create(service->snapshot()->lake, options);
     fresh.status().Abort("workload service");
-    WorkloadStats stats =
-        RunWorkload(fresh->get(), w.queries, w.mutations, /*readers=*/4);
+    // Per-workload latency sinks, registered in the exported registry so
+    // bench_diff gates their p50/p99 from the embedded obs report.
+    obs::QuantileHistogram* query_latency = metrics.GetQuantile(
+        std::string(w.label) + ".query_latency_ns");
+    obs::QuantileHistogram* mutation_latency = metrics.GetQuantile(
+        std::string(w.label) + ".mutation_latency_ns");
+    const double wall_seconds =
+        RunWorkload(fresh->get(), w.queries, w.mutations, /*readers=*/4,
+                    query_latency, mutation_latency);
     const double throughput =
-        stats.wall_seconds > 0
-            ? static_cast<double>(w.queries + w.mutations) / stats.wall_seconds
+        wall_seconds > 0
+            ? static_cast<double>(w.queries + w.mutations) / wall_seconds
             : 0.0;
+    auto quantile_seconds = [&](const obs::QuantileHistogram& h, double q) {
+      return static_cast<double>(h.ValueAtQuantile(q)) / 1e9;
+    };
     std::printf(
         "  %s: %zu queries + %zu mutations in %.3fs (%.0f ops/s), query "
         "p50 %.1fms p99 %.1fms\n",
-        w.label, w.queries, w.mutations, stats.wall_seconds, throughput,
-        Percentile(stats.query_seconds, 0.50) * 1e3,
-        Percentile(stats.query_seconds, 0.99) * 1e3);
-    timings.push_back({std::string(w.label) + "_wall", 4, stats.wall_seconds});
+        w.label, w.queries, w.mutations, wall_seconds, throughput,
+        quantile_seconds(*query_latency, 0.50) * 1e3,
+        quantile_seconds(*query_latency, 0.99) * 1e3);
+    timings.push_back({std::string(w.label) + "_wall", 4, wall_seconds});
     timings.push_back({std::string(w.label) + "_query_p50", 4,
-                       Percentile(stats.query_seconds, 0.50)});
+                       quantile_seconds(*query_latency, 0.50)});
     timings.push_back({std::string(w.label) + "_query_p99", 4,
-                       Percentile(stats.query_seconds, 0.99)});
+                       quantile_seconds(*query_latency, 0.99)});
     if (w.mutations > 0) {
       timings.push_back({std::string(w.label) + "_mutation_p50", 1,
-                         Percentile(stats.mutation_seconds, 0.50)});
+                         quantile_seconds(*mutation_latency, 0.50)});
       timings.push_back({std::string(w.label) + "_mutation_p99", 1,
-                         Percentile(stats.mutation_seconds, 0.99)});
+                         quantile_seconds(*mutation_latency, 0.99)});
     }
   }
 
   WriteBenchJson("serving", timings, &metrics);
+  WriteBenchTrace("serving", tracer);
+  WriteBenchEvents("serving", events);
   if (failures > 0) {
     std::fprintf(stderr, "serving: %d gate failure(s)\n", failures);
     return 1;

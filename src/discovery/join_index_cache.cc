@@ -6,6 +6,7 @@
 
 #include "discovery/data_lake.h"
 #include "graph/drg.h"
+#include "obs/event_log.h"
 #include "obs/memory.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -104,6 +105,12 @@ void JoinIndexCache::EvictForLocked(size_t incoming, const Entry* keep) {
     if (victim == nullptr) break;  // everything left is pinned-out or `keep`
     resident_bytes_ -= victim->bytes;
     Account(-static_cast<int64_t>(victim->bytes));
+    const size_t sep = victim_key->find('\0');
+    obs::Append(event_log_, "cache_evict",
+                {{"cache", "join_index"},
+                 {"table", victim_key->substr(0, sep)},
+                 {"column", victim_key->substr(sep + 1)},
+                 {"bytes", victim->bytes}});
     victim->index.reset();
     victim->bytes = 0;
     obs::Increment(evictions_);
@@ -177,6 +184,11 @@ Result<JoinIndexCache::IndexPin> JoinIndexCache::GetOrBuildWithTick(
     obs::Record(key_cardinality_, pin->num_distinct_keys());
   } else {
     obs::Increment(rebuilds_);
+    obs::Append(event_log_, "cache_rebuild",
+                {{"cache", "join_index"},
+                 {"table", table},
+                 {"column", column},
+                 {"bytes", cost}});
   }
   // Publish only while it fits: an entry larger than the whole budget is
   // handed to the caller pin-only, so the resident gauge never exceeds the
@@ -220,10 +232,10 @@ void JoinIndexCache::Prewarm(const DatasetRelationGraph& drg,
   });
 }
 
-void JoinIndexCache::CarryOver(
+size_t JoinIndexCache::CarryOver(
     const JoinIndexCache& prev,
     const std::unordered_set<std::string>& invalidated_tables) {
-  if (prev.seed_ != seed_) return;
+  if (prev.seed_ != seed_) return 0;
   // Snapshot the survivors under prev's lock, then install under ours —
   // never both at once (no lock-order relationship between two caches).
   struct Carried {
@@ -254,6 +266,7 @@ void JoinIndexCache::CarryOver(
   });
   std::lock_guard<std::mutex> lock(mutex_);
   tick_ = std::max(tick_, prev_tick);
+  size_t installed = 0;
   for (Carried& c : carried) {
     if (budget_bytes_ != 0 && c.bytes > budget_bytes_) continue;
     std::shared_ptr<Entry>& slot = entries_[c.key];
@@ -266,7 +279,9 @@ void JoinIndexCache::CarryOver(
     slot->ever_built = true;
     resident_bytes_ += c.bytes;
     Account(static_cast<int64_t>(c.bytes));
+    ++installed;
   }
+  return installed;
 }
 
 void JoinIndexCache::EvictAll() {
@@ -275,6 +290,12 @@ void JoinIndexCache::EvictAll() {
     if (entry->index == nullptr) continue;
     resident_bytes_ -= entry->bytes;
     Account(-static_cast<int64_t>(entry->bytes));
+    const size_t sep = key.find('\0');
+    obs::Append(event_log_, "cache_evict",
+                {{"cache", "join_index"},
+                 {"table", key.substr(0, sep)},
+                 {"column", key.substr(sep + 1)},
+                 {"bytes", entry->bytes}});
     entry->index.reset();
     entry->bytes = 0;
     obs::Increment(evictions_);
@@ -288,6 +309,12 @@ void JoinIndexCache::EvictRandomHalf(uint64_t draw) {
     if (((KeyHash(key) ^ draw) & 1) == 0) continue;
     resident_bytes_ -= entry->bytes;
     Account(-static_cast<int64_t>(entry->bytes));
+    const size_t sep = key.find('\0');
+    obs::Append(event_log_, "cache_evict",
+                {{"cache", "join_index"},
+                 {"table", key.substr(0, sep)},
+                 {"column", key.substr(sep + 1)},
+                 {"bytes", entry->bytes}});
     entry->index.reset();
     entry->bytes = 0;
     obs::Increment(evictions_);

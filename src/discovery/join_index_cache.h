@@ -58,6 +58,7 @@
 namespace autofeat {
 
 namespace obs {
+class EventLog;
 class Tracer;
 }  // namespace obs
 
@@ -106,9 +107,15 @@ class JoinIndexCache {
   /// seed); with differing seeds nothing is carried). Sticky failures are
   /// not carried — they re-resolve against the new lake. Respects this
   /// cache's budget. Call before publishing the cache; `prev` may be
-  /// serving concurrent readers.
-  void CarryOver(const JoinIndexCache& prev,
-                 const std::unordered_set<std::string>& invalidated_tables);
+  /// serving concurrent readers. Returns the number of entries installed
+  /// (the serving layer's epoch-lineage carry-over count).
+  size_t CarryOver(const JoinIndexCache& prev,
+                   const std::unordered_set<std::string>& invalidated_tables);
+
+  /// Attaches a structured event log: evictions append `cache_evict` and
+  /// post-eviction rebuilds append `cache_rebuild` events (obs/event_log.h).
+  /// Call before the cache is shared across threads.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
   /// Evicts every resident entry (the adversarial stress schedule of the
   /// eviction-obliviousness invariant). Outstanding pins stay valid.
@@ -152,6 +159,7 @@ class JoinIndexCache {
   uint64_t seed_;
   size_t budget_bytes_;
   obs::Tracer* tracer_;
+  obs::EventLog* event_log_ = nullptr;
   obs::Counter* requests_;
   obs::Counter* builds_;
   obs::Counter* hits_;

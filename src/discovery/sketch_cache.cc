@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "discovery/data_lake.h"
+#include "obs/event_log.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -141,6 +142,10 @@ LakeSketchCache::TableSketchesPin LakeSketchCache::GetOrBuildWithTick(
     obs::Increment(builds_, table.num_columns());
   } else {
     obs::Increment(rebuilds_, table.num_columns());
+    obs::Append(event_log_, "cache_rebuild",
+                {{"cache", "sketch"},
+                 {"table", table.name()},
+                 {"bytes", footprint}});
   }
   // Publish only while it fits: an entry larger than the whole budget is
   // handed to the caller pin-only, so the resident gauge never exceeds the
@@ -165,18 +170,25 @@ void LakeSketchCache::EvictForLocked(size_t incoming, const Entry* keep) {
     // bytes reclaimed per rebuild risked. Entries are scanned in table
     // order, so victim order is deterministic.
     Entry* victim = nullptr;
-    for (const auto& entry : st.entries) {
+    size_t victim_index = 0;
+    for (size_t i = 0; i < st.entries.size(); ++i) {
+      const auto& entry = st.entries[i];
       if (entry->sketches == nullptr || entry.get() == keep) continue;
       if (victim == nullptr || entry->last_used < victim->last_used ||
           (entry->last_used == victim->last_used &&
            entry->bytes > victim->bytes)) {
         victim = entry.get();
+        victim_index = i;
       }
     }
     if (victim == nullptr) break;  // everything left is `keep`
     st.resident_bytes -= victim->bytes;
     obs::AddBytesWithPeak(bytes_, bytes_peak_,
                           -static_cast<int64_t>(victim->bytes));
+    obs::Append(event_log_, "cache_evict",
+                {{"cache", "sketch"},
+                 {"table", lake_->tables()[victim_index].name()},
+                 {"bytes", victim->bytes}});
     victim->sketches.reset();
     victim->bytes = 0;
     obs::Increment(evictions_);
@@ -200,10 +212,10 @@ void LakeSketchCache::PrewarmAll(ThreadPool* pool) {
   });
 }
 
-void LakeSketchCache::CarryOver(
+size_t LakeSketchCache::CarryOver(
     const LakeSketchCache& prev,
     const std::unordered_set<std::string>& invalidated_tables) {
-  if (prev.max_sample_ != max_sample_) return;
+  if (prev.max_sample_ != max_sample_) return 0;
   // Positions shift when tables are dropped, so survivors are matched by
   // name: for each table of our lake, find its position in prev's lake.
   std::unordered_map<std::string, size_t> prev_pos;
@@ -243,6 +255,7 @@ void LakeSketchCache::CarryOver(
   State& st = *state_;
   std::lock_guard<std::mutex> lock(st.mutex);
   st.tick = std::max(st.tick, prev_tick);
+  size_t installed = 0;
   for (Carried& c : carried) {
     if (budget_bytes_ != 0 && c.bytes > budget_bytes_) continue;
     auto& slot = st.entries[c.index];
@@ -254,7 +267,9 @@ void LakeSketchCache::CarryOver(
     slot->ever_built = true;
     st.resident_bytes += c.bytes;
     obs::AddBytesWithPeak(bytes_, bytes_peak_, static_cast<int64_t>(c.bytes));
+    ++installed;
   }
+  return installed;
 }
 
 void LakeSketchCache::EvictAll() {

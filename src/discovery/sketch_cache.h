@@ -35,6 +35,10 @@
 
 namespace autofeat {
 
+namespace obs {
+class EventLog;
+}  // namespace obs
+
 class DataLake;
 class ThreadPool;
 
@@ -112,9 +116,15 @@ class LakeSketchCache {
   /// Both caches must share max_sample; sketches are pure functions of
   /// (table contents, max_sample), so carried pins equal a rebuild.
   /// Respects this cache's budget. `prev` may be serving concurrent
-  /// readers.
-  void CarryOver(const LakeSketchCache& prev,
-                 const std::unordered_set<std::string>& invalidated_tables);
+  /// readers. Returns the number of entries installed (the serving layer's
+  /// epoch-lineage carry-over count).
+  size_t CarryOver(const LakeSketchCache& prev,
+                   const std::unordered_set<std::string>& invalidated_tables);
+
+  /// Attaches a structured event log: evictions append `cache_evict` and
+  /// post-eviction rebuilds append `cache_rebuild` events (obs/event_log.h).
+  /// Call before the cache is shared across threads.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
   /// Evicts every resident entry. Outstanding pins stay valid.
   void EvictAll();
@@ -160,6 +170,7 @@ class LakeSketchCache {
   obs::Counter* evictions_;
   obs::Gauge* bytes_;
   obs::Gauge* bytes_peak_;
+  obs::EventLog* event_log_ = nullptr;
   std::unique_ptr<State> state_;
 };
 

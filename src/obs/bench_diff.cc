@@ -62,6 +62,27 @@ Result<std::map<std::string, double>> CollectTimings(const JsonValue& doc) {
   return out;
 }
 
+// `name/pXX` -> seconds for the `_ns`-suffixed latency quantile series in
+// the embedded report's metrics.quantiles block. Only nanosecond series are
+// gated — they are the latency convention; anything else has no known unit.
+std::map<std::string, double> CollectQuantiles(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return out;
+  const JsonValue* block = metrics->Find("quantiles");
+  if (block == nullptr || !block->is_object()) return out;
+  for (const auto& [name, value] : block->fields) {
+    if (!value.is_object() || !EndsWith(name, "_ns")) continue;
+    for (const char* q : {"p50", "p99"}) {
+      const JsonValue* v = value.Find(q);
+      if (v != nullptr && v->is_number()) {
+        out[name + "/" + q] = v->number / 1e9;
+      }
+    }
+  }
+  return out;
+}
+
 // Flattens metrics.counters and metrics.gauges into one name -> value map.
 std::map<std::string, double> CollectMetrics(const JsonValue& doc) {
   std::map<std::string, double> out;
@@ -84,6 +105,7 @@ bool BenchDiffReport::ok() const { return num_regressions() == 0; }
 size_t BenchDiffReport::num_regressions() const {
   size_t n = 0;
   for (const BenchDiffEntry& e : timings) n += e.regression ? 1 : 0;
+  for (const BenchDiffEntry& e : quantiles) n += e.regression ? 1 : 0;
   for (const BenchDiffEntry& e : metrics) n += e.regression ? 1 : 0;
   return n;
 }
@@ -102,6 +124,7 @@ std::string BenchDiffReport::Summary() const {
     }
   };
   print("timing", timings);
+  print("quantile", quantiles);
   print("metric", metrics);
   for (const std::string& note : notes) out << "  note: " << note << "\n";
   std::snprintf(buf, sizeof(buf), "  %zu regression(s)\n", num_regressions());
@@ -155,6 +178,32 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
     (void)cur_s;
     if (baseline_timings.find(name) == baseline_timings.end()) {
       report.notes.push_back("timing only in current: " + name);
+    }
+  }
+
+  // Latency quantiles gate like timings: a slowdown must clear both the
+  // relative threshold and the absolute noise floor to flag.
+  auto baseline_quantiles = CollectQuantiles(baseline);
+  auto current_quantiles = CollectQuantiles(current);
+  for (const auto& [name, base_s] : baseline_quantiles) {
+    auto it = current_quantiles.find(name);
+    if (it == current_quantiles.end()) {
+      report.notes.push_back("quantile only in baseline: " + name);
+      continue;
+    }
+    BenchDiffEntry entry;
+    entry.name = name;
+    entry.baseline = base_s;
+    entry.current = it->second;
+    entry.delta_ratio = Ratio(base_s, it->second);
+    entry.regression = it->second - base_s > options.min_seconds &&
+                       it->second > base_s * (1.0 + options.time_threshold);
+    report.quantiles.push_back(std::move(entry));
+  }
+  for (const auto& [name, cur_s] : current_quantiles) {
+    (void)cur_s;
+    if (baseline_quantiles.find(name) == baseline_quantiles.end()) {
+      report.notes.push_back("quantile only in current: " + name);
     }
   }
 

@@ -3,7 +3,11 @@
 // Timings are keyed by `phase@threads` and flagged when the current run is
 // slower than baseline by more than a relative threshold *and* an absolute
 // noise floor (min_seconds) — sub-10ms phases jitter too much for a pure
-// ratio test. Metrics come from the embedded obs report: deterministic
+// ratio test. Latency quantile series from the embedded obs report
+// (`metrics.quantiles`, obs/quantile.h) are gated the same way: every
+// `_ns`-suffixed quantile histogram contributes `name/p50` and `name/p99`
+// entries, converted to seconds, under the timing threshold + noise floor
+// rule. Metrics come from the embedded obs report: deterministic
 // counters/gauges are pure functions of (inputs, seed), so any drift
 // between runs of the same workload is a behavioural change and is
 // flagged in either direction; `.bytes` / `.bytes_peak` gauges are
@@ -42,6 +46,8 @@ struct BenchDiffEntry {
 struct BenchDiffReport {
   std::string bench;
   std::vector<BenchDiffEntry> timings;
+  /// `name/pXX` latency-quantile entries (seconds), timing-gated.
+  std::vector<BenchDiffEntry> quantiles;
   std::vector<BenchDiffEntry> metrics;
   /// Non-fatal observations: phases/metrics present on only one side.
   std::vector<std::string> notes;

@@ -1,0 +1,88 @@
+#include "obs/event_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace autofeat::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+EventField::EventField(std::string k, uint64_t v)
+    : key(std::move(k)), rendered(std::to_string(v)) {}
+EventField::EventField(std::string k, int64_t v)
+    : key(std::move(k)), rendered(std::to_string(v)) {}
+EventField::EventField(std::string k, double v)
+    : key(std::move(k)), rendered(FormatDouble(v)) {}
+EventField::EventField(std::string k, bool v)
+    : key(std::move(k)), rendered(v ? "true" : "false") {}
+EventField::EventField(std::string k, const char* v)
+    : key(std::move(k)), rendered('"' + JsonEscape(v) + '"') {}
+EventField::EventField(std::string k, const std::string& v)
+    : key(std::move(k)), rendered('"' + JsonEscape(v) + '"') {}
+
+uint64_t EventLog::Append(const std::string& type,
+                          std::initializer_list<EventField> fields) {
+  double ts = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            origin_)
+                  .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record rec;
+  rec.seq = events_.size() + 1;
+  rec.ts_s = ts;
+  rec.type = type;
+  rec.fields.assign(fields.begin(), fields.end());
+  events_.push_back(std::move(rec));
+  return events_.back().seq;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+bool EventLog::IsTimestampKey(const std::string& key) {
+  return EndsWith(key, "_s") || EndsWith(key, "_ms") || EndsWith(key, "_us") ||
+         EndsWith(key, "_ns");
+}
+
+std::string EventLog::Jsonl(bool include_timestamps) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const Record& rec : events_) {
+    out << "{\"seq\": " << rec.seq;
+    if (include_timestamps) out << ", \"ts_s\": " << FormatDouble(rec.ts_s);
+    out << ", \"type\": \"" << JsonEscape(rec.type) << '"';
+    for (const EventField& f : rec.fields) {
+      if (!include_timestamps && IsTimestampKey(f.key)) continue;
+      out << ", \"" << JsonEscape(f.key) << "\": " << f.rendered;
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+bool EventLog::WriteFile(const std::string& path,
+                         bool include_timestamps) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << Jsonl(include_timestamps);
+  return static_cast<bool>(out);
+}
+
+}  // namespace autofeat::obs

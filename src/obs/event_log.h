@@ -1,0 +1,102 @@
+// Structured JSONL event log for the serving path.
+//
+// Metrics answer "how much / how fast in aggregate"; the event log answers
+// "what happened, in order". Each appended event becomes one JSON object on
+// its own line:
+//
+//     {"seq": 7, "ts_s": 0.001234, "type": "query_end", "query": 3,
+//      "latency_ns": 412000, ...}
+//
+// `seq` is a per-log monotonic sequence number assigned under the log's
+// mutex, so the line order is the append order even when multiple threads
+// record concurrently. `ts_s` is wall-clock seconds since the log was
+// created.
+//
+// Determinism contract (mirrors obs/report.h): the log is *deterministic
+// modulo timestamps*. Every wall-clock-derived field carries a time-unit
+// key suffix — `_s`, `_ms`, `_us`, or `_ns` — and Jsonl(false) strips those
+// fields (including the built-in `ts_s`). Two replays of the same command
+// script therefore produce byte-identical stripped logs; everything that
+// survives stripping must be a pure function of (inputs, seed).
+//
+// Event vocabulary used by the serving layer (src/serve): `query_start`,
+// `query_end`, `mutation_apply`, `epoch_publish`, `cache_evict`,
+// `cache_rebuild`, `slow_query`. The log itself enforces no schema — any
+// component may append its own types.
+
+#ifndef AUTOFEAT_OBS_EVENT_LOG_H_
+#define AUTOFEAT_OBS_EVENT_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autofeat::obs {
+
+/// \brief One key/value field of an event; the value is rendered to its
+/// JSON form at construction so appends stay allocation-light.
+struct EventField {
+  EventField(std::string key, uint64_t v);
+  EventField(std::string key, int64_t v);
+  EventField(std::string key, int v) : EventField(std::move(key), int64_t{v}) {}
+  EventField(std::string key, unsigned v)
+      : EventField(std::move(key), uint64_t{v}) {}
+  EventField(std::string key, double v);
+  EventField(std::string key, bool v);
+  EventField(std::string key, const char* v);
+  EventField(std::string key, const std::string& v);
+
+  std::string key;
+  std::string rendered;  // Valid JSON value (number, bool, or quoted string).
+};
+
+/// \brief Thread-safe append-only structured event log with JSONL export.
+class EventLog {
+ public:
+  EventLog() : origin_(std::chrono::steady_clock::now()) {}
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event and returns its sequence number (first event = 1).
+  uint64_t Append(const std::string& type,
+                  std::initializer_list<EventField> fields = {});
+
+  size_t size() const;
+
+  /// Serializes every event, one JSON object per line. With
+  /// `include_timestamps` false, `ts_s` and every field whose key ends in
+  /// `_s`/`_ms`/`_us`/`_ns` are dropped — the deterministic projection.
+  std::string Jsonl(bool include_timestamps = true) const;
+
+  /// Writes Jsonl() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path, bool include_timestamps = true) const;
+
+  /// True when `key` names a wall-clock-derived field by the suffix
+  /// convention above (stripped from the deterministic projection).
+  static bool IsTimestampKey(const std::string& key);
+
+ private:
+  struct Record {
+    uint64_t seq = 0;
+    double ts_s = 0.0;
+    std::string type;
+    std::vector<EventField> fields;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Record> events_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Null-safe append: the disabled path is one branch, as with metrics.
+inline uint64_t Append(EventLog* log, const std::string& type,
+                       std::initializer_list<EventField> fields = {}) {
+  return log != nullptr ? log->Append(type, fields) : 0;
+}
+
+}  // namespace autofeat::obs
+
+#endif  // AUTOFEAT_OBS_EVENT_LOG_H_

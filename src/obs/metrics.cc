@@ -31,8 +31,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      bool deterministic) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[name];
-  if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+  if (entry.empty()) {
     entry.kind = MetricKind::kCounter;
     entry.deterministic = deterministic;
     entry.counter = std::make_unique<Counter>();
@@ -43,8 +42,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name, bool deterministic) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[name];
-  if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+  if (entry.empty()) {
     entry.kind = MetricKind::kGauge;
     entry.deterministic = deterministic;
     entry.gauge = std::make_unique<Gauge>();
@@ -56,14 +54,25 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          bool deterministic) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[name];
-  if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+  if (entry.empty()) {
     entry.kind = MetricKind::kHistogram;
     entry.deterministic = deterministic;
     entry.histogram = std::make_unique<Histogram>();
   }
   return entry.kind == MetricKind::kHistogram ? entry.histogram.get()
                                               : nullptr;
+}
+
+QuantileHistogram* MetricsRegistry::GetQuantile(const std::string& name,
+                                                bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.empty()) {
+    entry.kind = MetricKind::kQuantile;
+    entry.deterministic = deterministic;
+    entry.quantile = std::make_unique<QuantileHistogram>();
+  }
+  return entry.kind == MetricKind::kQuantile ? entry.quantile.get() : nullptr;
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
@@ -92,6 +101,21 @@ uint64_t MetricsRegistry::HistogramSum(const std::string& name) const {
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.histogram == nullptr) return 0;
   return it->second.histogram->sum();
+}
+
+uint64_t MetricsRegistry::QuantileCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.quantile == nullptr) return 0;
+  return it->second.quantile->count();
+}
+
+uint64_t MetricsRegistry::QuantileValueAt(const std::string& name,
+                                          double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.quantile == nullptr) return 0;
+  return it->second.quantile->ValueAtQuantile(q);
 }
 
 size_t MetricsRegistry::num_metrics() const {
@@ -126,6 +150,22 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
           if (c > 0) sample.buckets.emplace_back(b, c);
         }
         snap.histograms.push_back(std::move(sample));
+        break;
+      }
+      case MetricKind::kQuantile: {
+        const QuantileHistogram& q = *entry.quantile;
+        QuantileSample sample;
+        sample.name = name;
+        sample.deterministic = entry.deterministic;
+        sample.count = q.count();
+        sample.sum = q.sum();
+        sample.min = q.min();
+        sample.max = q.max();
+        sample.p50 = q.p50();
+        sample.p90 = q.p90();
+        sample.p99 = q.p99();
+        sample.p999 = q.p999();
+        snap.quantiles.push_back(std::move(sample));
         break;
       }
     }

@@ -1,7 +1,8 @@
 // Zero-dependency metrics substrate for the observability layer.
 //
-// A MetricsRegistry names three metric kinds: monotonic Counters, last-value
-// Gauges, and Histograms over fixed log2 buckets. All update paths are
+// A MetricsRegistry names four metric kinds: monotonic Counters, last-value
+// Gauges, Histograms over fixed log2 buckets, and QuantileHistograms
+// (obs/quantile.h) for exact-quantile latency series. All update paths are
 // lock-free atomics, safe to hit from ThreadPool workers; the registry map
 // itself is mutex-protected, so components resolve their metric handles once
 // (construction time) and increment through the handle on the hot path.
@@ -30,6 +31,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/quantile.h"
 
 namespace autofeat::obs {
 
@@ -94,7 +97,7 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kQuantile };
 
 /// Point-in-time copy of one histogram (for reports/tests).
 struct HistogramSample {
@@ -120,11 +123,27 @@ struct GaugeSample {
   int64_t value = 0;
 };
 
+/// Point-in-time copy of one quantile histogram (obs/quantile.h): the
+/// summary stats plus the four serving-grade quantiles.
+struct QuantileSample {
+  std::string name;
+  bool deterministic = true;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
 /// Name-sorted copy of every registered metric.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<QuantileSample> quantiles;
 };
 
 /// \brief Thread-safe name -> metric registry.
@@ -145,6 +164,10 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name, bool deterministic = true);
   Gauge* GetGauge(const std::string& name, bool deterministic = true);
   Histogram* GetHistogram(const std::string& name, bool deterministic = true);
+  /// Latency-style distributions are wall-clock derived, so quantile
+  /// histograms default to non-deterministic (excluded from the digest).
+  QuantileHistogram* GetQuantile(const std::string& name,
+                                 bool deterministic = false);
 
   /// Snapshot reads; 0 when the metric does not exist (or is another kind).
   uint64_t CounterValue(const std::string& name) const;
@@ -152,6 +175,9 @@ class MetricsRegistry {
   /// Histogram count()/sum() reads with the same missing-is-zero contract.
   uint64_t HistogramCount(const std::string& name) const;
   uint64_t HistogramSum(const std::string& name) const;
+  /// QuantileHistogram reads with the same missing-is-zero contract.
+  uint64_t QuantileCount(const std::string& name) const;
+  uint64_t QuantileValueAt(const std::string& name, double q) const;
 
   size_t num_metrics() const;
 
@@ -164,6 +190,12 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<QuantileHistogram> quantile;
+
+    bool empty() const {
+      return counter == nullptr && gauge == nullptr && histogram == nullptr &&
+             quantile == nullptr;
+    }
   };
 
   mutable std::mutex mutex_;
@@ -188,6 +220,12 @@ inline Histogram* GetHistogram(MetricsRegistry* registry,
   return registry != nullptr ? registry->GetHistogram(name, deterministic)
                              : nullptr;
 }
+inline QuantileHistogram* GetQuantile(MetricsRegistry* registry,
+                                      const std::string& name,
+                                      bool deterministic = false) {
+  return registry != nullptr ? registry->GetQuantile(name, deterministic)
+                             : nullptr;
+}
 
 /// Null-safe update helpers — the disabled path is this one branch.
 inline void Increment(Counter* counter, uint64_t n = 1) {
@@ -201,6 +239,9 @@ inline void UpdateMax(Gauge* gauge, int64_t v) {
 }
 inline void Record(Histogram* histogram, uint64_t v) {
   if (histogram != nullptr) histogram->Record(v);
+}
+inline void Record(QuantileHistogram* quantile, uint64_t v) {
+  if (quantile != nullptr) quantile->Record(v);
 }
 
 }  // namespace autofeat::obs

@@ -1,0 +1,92 @@
+#include "obs/quantile.h"
+
+#include <bit>
+#include <cmath>
+
+namespace autofeat::obs {
+
+size_t QuantileHistogram::BucketOf(uint64_t v) {
+  if (v < kSubBucketCount) return static_cast<size_t>(v);
+  // v has bit_width > kSubBucketBits; shifting by (bit_width -
+  // kSubBucketBits) normalises it into [kSubBucketHalf, kSubBucketCount).
+  const size_t shift =
+      static_cast<size_t>(std::bit_width(v)) - kSubBucketBits;
+  const size_t sub = static_cast<size_t>(v >> shift) - kSubBucketHalf;
+  return kSubBucketCount + (shift - 1) * kSubBucketHalf + sub;
+}
+
+uint64_t QuantileHistogram::BucketUpperBound(size_t b) {
+  if (b < kSubBucketCount) return static_cast<uint64_t>(b);
+  const size_t shift = 1 + (b - kSubBucketCount) / kSubBucketHalf;
+  const uint64_t sub = (b - kSubBucketCount) % kSubBucketHalf;
+  const uint64_t low = (kSubBucketHalf + sub) << shift;
+  return low + ((uint64_t{1} << shift) - 1);
+}
+
+void QuantileHistogram::Record(uint64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void QuantileHistogram::Merge(const QuantileHistogram& other) {
+  uint64_t merged = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    buckets_[b].fetch_add(c, std::memory_order_relaxed);
+    merged += c;
+  }
+  if (merged == 0) return;
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t v = other.min_.load(std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  v = other.max();
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t QuantileHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketUpperBound(b);
+  }
+  // Racing recorders can make the bucket sum lag the count; the highest
+  // non-empty bucket is then the best consistent answer.
+  for (size_t b = kNumBuckets; b-- > 0;) {
+    if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+      return BucketUpperBound(b);
+    }
+  }
+  return 0;
+}
+
+uint64_t QuantileHistogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+}  // namespace autofeat::obs

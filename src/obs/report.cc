@@ -77,6 +77,20 @@ std::string JsonReport(const MetricsRegistry& metrics, const Tracer* tracer,
   }
   out << (first ? "},\n" : "\n  },\n");
 
+  out << "  \"quantiles\": {";
+  first = true;
+  for (const QuantileSample& q : snap.quantiles) {
+    if (!options.include_volatile && !q.deterministic) continue;
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, q.name);
+    out << ": {\"count\": " << q.count << ", \"sum\": " << q.sum
+        << ", \"min\": " << q.min << ", \"max\": " << q.max
+        << ", \"p50\": " << q.p50 << ", \"p90\": " << q.p90
+        << ", \"p99\": " << q.p99 << ", \"p999\": " << q.p999 << "}";
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
   out << "  \"spans\": [";
   first = true;
   if (tracer != nullptr) {

@@ -1,7 +1,12 @@
 #include "serve/lake_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 #include <utility>
+
+#include "obs/trace.h"
+#include "util/string_utils.h"
 
 namespace autofeat::serve {
 
@@ -17,20 +22,35 @@ std::vector<PairMatch> ToPairMatches(std::vector<ColumnMatch> matches) {
   return out;
 }
 
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 LakeService::LakeService(ServeOptions options, obs::MetricsRegistry* metrics,
-                         obs::Tracer* tracer)
+                         obs::Tracer* tracer, obs::EventLog* event_log)
     : options_(std::move(options)),
       metrics_(metrics),
       tracer_(tracer),
+      event_log_(event_log),
       mutations_(obs::GetCounter(metrics, "serve.mutations")),
       mutations_failed_(obs::GetCounter(metrics, "serve.mutations_failed")),
       queries_(obs::GetCounter(metrics, "serve.queries")),
       tables_rematched_(obs::GetCounter(metrics, "serve.tables_rematched")),
       pairs_rescored_(obs::GetCounter(metrics, "serve.pairs_rescored")),
       pairs_skipped_(obs::GetCounter(metrics, "serve.pairs_skipped")),
-      epoch_gauge_(obs::GetGauge(metrics, "serve.epoch")) {
+      // Whether a query crosses the slow threshold is wall-clock dependent,
+      // as are the latency quantiles — all excluded from the digest.
+      slow_queries_(obs::GetCounter(metrics, "serve.slow_queries",
+                                    /*deterministic=*/false)),
+      epoch_gauge_(obs::GetGauge(metrics, "serve.epoch")),
+      query_latency_(obs::GetQuantile(metrics, "serve.query_latency_ns")),
+      mutation_latency_(
+          obs::GetQuantile(metrics, "serve.mutation_latency_ns")) {
   if (ResolveNumThreads(options_.config.num_threads) > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.config.num_threads);
     if (metrics_ != nullptr) pool_->set_metrics(metrics_);
@@ -40,23 +60,37 @@ LakeService::LakeService(ServeOptions options, obs::MetricsRegistry* metrics,
 
 Result<std::unique_ptr<LakeService>> LakeService::Create(
     DataLake initial, ServeOptions options, obs::MetricsRegistry* metrics,
-    obs::Tracer* tracer) {
+    obs::Tracer* tracer, obs::EventLog* event_log) {
   std::unique_ptr<LakeService> service(
-      new LakeService(std::move(options), metrics, tracer));
+      new LakeService(std::move(options), metrics, tracer, event_log));
   auto snap = std::make_shared<LakeSnapshot>();
   snap->epoch = 0;
   snap->lake = std::move(initial);
   snap->sketch_cache = std::make_shared<LakeSketchCache>(
       &snap->lake, service->options_.match.max_sample_values, metrics,
       service->options_.match.memory_budget_bytes);
+  snap->sketch_cache->set_event_log(event_log);
   snap->sketch_cache->PrewarmAll(service->pool_.get());
-  AF_RETURN_NOT_OK(service->MatchAllPairs(*snap));
+  MatchStats stats;
+  AF_RETURN_NOT_OK(service->MatchAllPairs(*snap, &stats));
   AF_ASSIGN_OR_RETURN(snap->drg,
                       service->match_store_.BuildGraph(snap->lake.TableNames()));
   snap->join_cache = std::make_shared<JoinIndexCache>(
       &snap->lake, service->options_.config.seed, metrics, tracer,
       service->options_.config.memory_budget_bytes);
+  snap->join_cache->set_event_log(event_log);
   obs::Set(service->epoch_gauge_, 0);
+
+  EpochLineage lineage;
+  lineage.epoch = 0;
+  lineage.mutation_id = 0;
+  lineage.cause = "create";
+  lineage.num_tables = snap->lake.num_tables();
+  lineage.drg_edges = snap->drg.num_edges();
+  lineage.pairs_rescored = stats.rescored;
+  lineage.pairs_skipped = stats.skipped;
+  service->RecordLineage(std::move(lineage));
+
   service->current_ = std::move(snap);
   return service;
 }
@@ -80,7 +114,8 @@ const std::vector<ColumnLshProfile>& LakeService::ProfileFor(
       .first->second;
 }
 
-Status LakeService::MatchAllPairs(const LakeSnapshot& snap) {
+Status LakeService::MatchAllPairs(const LakeSnapshot& snap,
+                                  MatchStats* stats) {
   match_store_ = DrgMatchStore();
   profiles_.clear();
   const auto tables = snap.lake.tables();
@@ -96,6 +131,7 @@ Status LakeService::MatchAllPairs(const LakeSnapshot& snap) {
           pairs.emplace_back(i, j);
         } else {
           obs::Increment(pairs_skipped_);
+          if (stats != nullptr) ++stats->skipped;
         }
       }
     }
@@ -124,11 +160,13 @@ Status LakeService::MatchAllPairs(const LakeSnapshot& snap) {
                             ToPairMatches(std::move(matches[p])));
   }
   obs::Increment(pairs_rescored_, pairs.size());
+  if (stats != nullptr) stats->rescored += pairs.size();
   return Status::OK();
 }
 
 Status LakeService::RematchTable(const LakeSnapshot& snap,
-                                 const std::string& target) {
+                                 const std::string& target,
+                                 MatchStats* stats) {
   const auto tables = snap.lake.tables();
   const size_t n = tables.size();
   size_t target_idx = n;
@@ -156,6 +194,7 @@ Status LakeService::RematchTable(const LakeSnapshot& snap,
                            std::max(u, target_idx));
       } else {
         obs::Increment(pairs_skipped_);
+        if (stats != nullptr) ++stats->skipped;
       }
     }
   } else {
@@ -182,12 +221,17 @@ Status LakeService::RematchTable(const LakeSnapshot& snap,
                             ToPairMatches(std::move(matches[p])));
   }
   obs::Increment(pairs_rescored_, pairs.size());
+  if (stats != nullptr) stats->rescored += pairs.size();
   obs::Increment(tables_rematched_);
   return Status::OK();
 }
 
 Result<uint64_t> LakeService::Apply(const LakeMutation& mutation) {
   std::lock_guard<std::mutex> writer(writer_mutex_);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t mutation_id = ++next_mutation_id_;
+  const char* kind_name = MutationKindName(mutation.kind);
+  obs::ScopedSpan span(tracer_, "serve.mutation");
   SnapshotPin prev = snapshot();
   auto next = std::make_shared<LakeSnapshot>();
   next->epoch = prev->epoch + 1;
@@ -197,32 +241,56 @@ Result<uint64_t> LakeService::Apply(const LakeMutation& mutation) {
     // Failed mutations are no-ops: nothing published, epoch unchanged —
     // the same contract a cold replay of the trace observes.
     obs::Increment(mutations_failed_);
+    const uint64_t latency_ns = ElapsedNs(start);
+    obs::Record(mutation_latency_, latency_ns);
+    obs::Append(event_log_, "mutation_apply",
+                {{"mutation", mutation_id},
+                 {"kind", kind_name},
+                 {"table", mutation.TargetTable()},
+                 {"ok", false},
+                 {"latency_ns", latency_ns}});
     return applied;
   }
   const std::string target = mutation.TargetTable();
   const std::unordered_set<std::string> invalidated{target};
+
+  EpochLineage lineage;
+  lineage.epoch = next->epoch;
+  lineage.mutation_id = mutation_id;
+  lineage.cause = kind_name;
+  lineage.target_table = target;
 
   // Precise invalidation: every untouched table's sketches carry over by
   // pointer; the target's entry (if any) is left behind.
   next->sketch_cache = std::make_shared<LakeSketchCache>(
       &next->lake, options_.match.max_sample_values, metrics_,
       options_.match.memory_budget_bytes);
-  next->sketch_cache->CarryOver(*prev->sketch_cache, invalidated);
+  next->sketch_cache->set_event_log(event_log_);
+  lineage.sketch_entries_carried =
+      next->sketch_cache->CarryOver(*prev->sketch_cache, invalidated);
 
   // Incremental DRG maintenance: drop the target's pairs, re-score only
   // pairs touching it, rebuild the graph canonically (see drg_delta.h).
   match_store_.PurgeTable(target);
   profiles_.erase(target);
+  lineage.pairs_carried = match_store_.num_pairs();
   if (mutation.kind != LakeMutation::Kind::kDropTable) {
-    AF_RETURN_NOT_OK(RematchTable(*next, target));
+    MatchStats stats;
+    AF_RETURN_NOT_OK(RematchTable(*next, target, &stats));
+    lineage.pairs_rescored = stats.rescored;
+    lineage.pairs_skipped = stats.skipped;
   }
   AF_ASSIGN_OR_RETURN(next->drg,
                       match_store_.BuildGraph(next->lake.TableNames()));
+  lineage.num_tables = next->lake.num_tables();
+  lineage.drg_edges = next->drg.num_edges();
 
   next->join_cache = std::make_shared<JoinIndexCache>(
       &next->lake, options_.config.seed, metrics_, tracer_,
       options_.config.memory_budget_bytes);
-  next->join_cache->CarryOver(*prev->join_cache, invalidated);
+  next->join_cache->set_event_log(event_log_);
+  lineage.join_entries_carried =
+      next->join_cache->CarryOver(*prev->join_cache, invalidated);
 
   obs::Increment(mutations_);
   obs::Set(epoch_gauge_, static_cast<int64_t>(next->epoch));
@@ -230,6 +298,15 @@ Result<uint64_t> LakeService::Apply(const LakeMutation& mutation) {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     current_ = std::move(next);
   }
+  const uint64_t latency_ns = ElapsedNs(start);
+  obs::Record(mutation_latency_, latency_ns);
+  obs::Append(event_log_, "mutation_apply",
+              {{"mutation", mutation_id},
+               {"kind", kind_name},
+               {"table", target},
+               {"ok", true},
+               {"latency_ns", latency_ns}});
+  RecordLineage(std::move(lineage));
   return epoch();
 }
 
@@ -277,17 +354,48 @@ AutoFeatConfig LakeService::QueryConfig(const LakeSnapshot& snap,
 Result<LakeService::DiscoverOutcome> LakeService::Discover(
     const std::string& base_table, const std::string& label_column,
     obs::MetricsRegistry* metrics, obs::Tracer* tracer) const {
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t query_id = next_query_id_.fetch_add(1) + 1;
   obs::Increment(queries_);
-  // Pin one snapshot for the whole query: concurrent mutations publish new
-  // snapshots but never touch this one.
-  SnapshotPin snap = snapshot();
+  obs::Append(event_log_, "query_start",
+              {{"query", query_id},
+               {"kind", "discover"},
+               {"base", base_table},
+               {"label", label_column}});
+  // The per-query span tree: a constant-named root (query ids stay out of
+  // the deterministic projection), the snapshot pin as a child, and the
+  // engine's own spans nested under the root.
+  obs::ScopedSpan qspan(tracer, "serve.discover");
+  SnapshotPin snap;
+  {
+    obs::ScopedSpan pin_span(tracer, "serve.pin_snapshot");
+    // Pin one snapshot for the whole query: concurrent mutations publish
+    // new snapshots but never touch this one.
+    snap = snapshot();
+  }
+  // Flow link from command ingest (the capture point under qspan) to the
+  // execution worker span — the enqueue -> execute arrow in Perfetto.
+  obs::TaskContext ctx = obs::CaptureTaskContext(tracer);
   AutoFeat engine(&snap->lake, &snap->drg,
                   QueryConfig(*snap, metrics, tracer));
-  AF_ASSIGN_OR_RETURN(DiscoveryResult discovery,
-                      engine.DiscoverFeatures(base_table, label_column));
+  Result<DiscoveryResult> discovery = [&] {
+    obs::ScopedWorkerSpan exec(ctx, "serve.execute");
+    return engine.DiscoverFeatures(base_table, label_column);
+  }();
+  const uint64_t latency_ns = ElapsedNs(start);
+  obs::Record(query_latency_, latency_ns);
+  obs::Append(event_log_, "query_end",
+              {{"query", query_id},
+               {"kind", "discover"},
+               {"epoch", snap->epoch},
+               {"ok", discovery.ok()},
+               {"ranked", discovery.ok() ? discovery->ranked.size() : 0},
+               {"latency_ns", latency_ns}});
+  MaybeRecordSlowQuery(query_id, "discover", latency_ns);
+  AF_RETURN_NOT_OK(discovery.status());
   DiscoverOutcome outcome;
   outcome.epoch = snap->epoch;
-  outcome.discovery = std::move(discovery);
+  outcome.discovery = std::move(*discovery);
   return outcome;
 }
 
@@ -295,16 +403,99 @@ Result<LakeService::AugmentOutcome> LakeService::Augment(
     const std::string& base_table, const std::string& label_column,
     ml::ModelKind model, obs::MetricsRegistry* metrics,
     obs::Tracer* tracer) const {
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t query_id = next_query_id_.fetch_add(1) + 1;
   obs::Increment(queries_);
-  SnapshotPin snap = snapshot();
+  obs::Append(event_log_, "query_start",
+              {{"query", query_id},
+               {"kind", "augment"},
+               {"base", base_table},
+               {"label", label_column}});
+  obs::ScopedSpan qspan(tracer, "serve.augment");
+  SnapshotPin snap;
+  {
+    obs::ScopedSpan pin_span(tracer, "serve.pin_snapshot");
+    snap = snapshot();
+  }
+  obs::TaskContext ctx = obs::CaptureTaskContext(tracer);
   AutoFeat engine(&snap->lake, &snap->drg,
                   QueryConfig(*snap, metrics, tracer));
-  AF_ASSIGN_OR_RETURN(AugmentationResult augmentation,
-                      engine.Augment(base_table, label_column, model));
+  Result<AugmentationResult> augmentation = [&] {
+    obs::ScopedWorkerSpan exec(ctx, "serve.execute");
+    return engine.Augment(base_table, label_column, model);
+  }();
+  const uint64_t latency_ns = ElapsedNs(start);
+  obs::Record(query_latency_, latency_ns);
+  obs::Append(event_log_, "query_end",
+              {{"query", query_id},
+               {"kind", "augment"},
+               {"epoch", snap->epoch},
+               {"ok", augmentation.ok()},
+               {"latency_ns", latency_ns}});
+  MaybeRecordSlowQuery(query_id, "augment", latency_ns);
+  AF_RETURN_NOT_OK(augmentation.status());
   AugmentOutcome outcome;
   outcome.epoch = snap->epoch;
-  outcome.augmentation = std::move(augmentation);
+  outcome.augmentation = std::move(*augmentation);
   return outcome;
+}
+
+void LakeService::MaybeRecordSlowQuery(uint64_t query_id, const char* kind,
+                                       uint64_t latency_ns) const {
+  if (options_.slow_query_threshold_ns == 0 ||
+      latency_ns <= options_.slow_query_threshold_ns) {
+    return;
+  }
+  obs::Increment(slow_queries_);
+  obs::Append(event_log_, "slow_query",
+              {{"query", query_id},
+               {"kind", kind},
+               {"latency_ns", latency_ns},
+               {"threshold_ns", options_.slow_query_threshold_ns}});
+}
+
+void LakeService::RecordLineage(EpochLineage record) {
+  obs::Append(event_log_, "epoch_publish",
+              {{"epoch", record.epoch},
+               {"mutation", record.mutation_id},
+               {"cause", record.cause},
+               {"table", record.target_table},
+               {"tables", record.num_tables},
+               {"drg_edges", record.drg_edges},
+               {"pairs_rescored", record.pairs_rescored},
+               {"pairs_skipped", record.pairs_skipped},
+               {"pairs_carried", record.pairs_carried},
+               {"join_entries_carried", record.join_entries_carried},
+               {"sketch_entries_carried", record.sketch_entries_carried}});
+  std::lock_guard<std::mutex> lock(lineage_mutex_);
+  lineage_.push_back(std::move(record));
+}
+
+std::vector<EpochLineage> LakeService::Lineage() const {
+  std::lock_guard<std::mutex> lock(lineage_mutex_);
+  return lineage_;
+}
+
+std::string LakeService::LineageJson() const {
+  std::vector<EpochLineage> records = Lineage();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const EpochLineage& r = records[i];
+    out << (i == 0 ? "\n  " : ",\n  ");
+    out << "{\"epoch\": " << r.epoch << ", \"mutation\": " << r.mutation_id
+        << ", \"cause\": \"" << JsonEscape(r.cause) << "\", \"table\": \""
+        << JsonEscape(r.target_table) << "\", \"tables\": " << r.num_tables
+        << ", \"drg_edges\": " << r.drg_edges
+        << ", \"pairs_rescored\": " << r.pairs_rescored
+        << ", \"pairs_skipped\": " << r.pairs_skipped
+        << ", \"pairs_carried\": " << r.pairs_carried
+        << ", \"join_entries_carried\": " << r.join_entries_carried
+        << ", \"sketch_entries_carried\": " << r.sketch_entries_carried
+        << "}";
+  }
+  out << (records.empty() ? "]\n" : "\n]\n");
+  return out.str();
 }
 
 }  // namespace autofeat::serve

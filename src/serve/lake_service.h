@@ -34,6 +34,7 @@
 #ifndef AUTOFEAT_SERVE_LAKE_SERVICE_H_
 #define AUTOFEAT_SERVE_LAKE_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +52,7 @@
 #include "graph/drg.h"
 #include "graph/drg_delta.h"
 #include "ml/trainer.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "serve/mutation.h"
 #include "util/status.h"
@@ -69,6 +71,36 @@ struct ServeOptions {
   /// maintenance pool (sketching + pair re-scoring fan out over it);
   /// join_cache is overwritten per query with the snapshot's shared cache.
   AutoFeatConfig config;
+  /// Queries whose wall latency exceeds this threshold append a
+  /// `slow_query` event to the attached event log; 0 disables. Whether a
+  /// given query is "slow" is wall-clock dependent, so replay-determinism
+  /// of the event log holds only at 0 (no slow-query events) — the
+  /// stripped-timestamp byte-identity contract assumes the default.
+  uint64_t slow_query_threshold_ns = 0;
+};
+
+/// \brief Provenance of one published epoch: what caused it and how much
+/// incremental maintenance it needed versus carried over. Every field is a
+/// pure function of the mutation trace (deterministic across replays).
+struct EpochLineage {
+  uint64_t epoch = 0;
+  /// Monotonic mutation id (1-based); 0 for the epoch-0 initial build.
+  uint64_t mutation_id = 0;
+  /// "create" for epoch 0, else the mutation kind ("add"/"append"/"drop").
+  std::string cause;
+  /// Mutated table; empty for epoch 0.
+  std::string target_table;
+  size_t num_tables = 0;
+  size_t drg_edges = 0;
+  /// Candidate pairs actually re-scored for this epoch vs pairs skipped by
+  /// the LSH collision predicate vs scored pairs carried from the previous
+  /// epoch's match store untouched.
+  size_t pairs_rescored = 0;
+  size_t pairs_skipped = 0;
+  size_t pairs_carried = 0;
+  /// Cache entries carried into this epoch's caches by pointer copy.
+  size_t join_entries_carried = 0;
+  size_t sketch_entries_carried = 0;
 };
 
 /// \brief A published, immutable view of the service state at one epoch.
@@ -107,10 +139,16 @@ class LakeService {
   /// Builds the service over `initial`: sketches every table, discovers
   /// the epoch-0 DRG (kLsh candidate filtering via pairwise profiles when
   /// configured) and prepares the caches. A non-null `metrics` receives
-  /// the `serve.*` counters plus both caches' counters for every epoch.
+  /// the `serve.*` counters plus both caches' counters for every epoch,
+  /// and the `serve.query_latency_ns` / `serve.mutation_latency_ns`
+  /// quantile histograms (non-deterministic — wall-clock derived). A
+  /// non-null `event_log` receives the structured serving events
+  /// (query_start/query_end, mutation_apply, epoch_publish, cache
+  /// evict/rebuild, slow_query — see obs/event_log.h).
   static Result<std::unique_ptr<LakeService>> Create(
       DataLake initial, ServeOptions options,
-      obs::MetricsRegistry* metrics = nullptr, obs::Tracer* tracer = nullptr);
+      obs::MetricsRegistry* metrics = nullptr, obs::Tracer* tracer = nullptr,
+      obs::EventLog* event_log = nullptr);
 
   // -- Mutations (serialised; each returns the new epoch) -----------------
 
@@ -150,9 +188,24 @@ class LakeService {
   uint64_t epoch() const { return snapshot()->epoch; }
   const ServeOptions& options() const { return options_; }
 
+  // -- Lineage (concurrent) -----------------------------------------------
+
+  /// One record per published epoch (epoch 0 first), in publish order.
+  std::vector<EpochLineage> Lineage() const;
+
+  /// Lineage() rendered as a JSON array (pretty-printed, one record per
+  /// object) — what the daemon's `lineage` command prints.
+  std::string LineageJson() const;
+
  private:
+  /// Per-mutation incremental-maintenance tallies feeding EpochLineage.
+  struct MatchStats {
+    size_t rescored = 0;
+    size_t skipped = 0;
+  };
+
   LakeService(ServeOptions options, obs::MetricsRegistry* metrics,
-              obs::Tracer* tracer);
+              obs::Tracer* tracer, obs::EventLog* event_log);
 
   /// True when LSH candidate filtering is active (mirrors the
   /// BuildDrgByDiscovery fallback rule: name-only edges are reachable when
@@ -166,11 +219,21 @@ class LakeService {
                                                   const std::string& name);
 
   /// Re-scores every candidate pair touching `target` (present in
-  /// snap->lake) and updates the match store. Writer mutex held.
-  Status RematchTable(const LakeSnapshot& snap, const std::string& target);
+  /// snap->lake) and updates the match store. Writer mutex held. A
+  /// non-null `stats` receives this call's rescored/skipped tallies.
+  Status RematchTable(const LakeSnapshot& snap, const std::string& target,
+                      MatchStats* stats = nullptr);
 
   /// Builds a fresh epoch-0 match store for snap->lake. Writer mutex held.
-  Status MatchAllPairs(const LakeSnapshot& snap);
+  Status MatchAllPairs(const LakeSnapshot& snap, MatchStats* stats = nullptr);
+
+  /// Records one epoch's lineage (and its `epoch_publish` event).
+  void RecordLineage(EpochLineage record);
+
+  /// Appends a `slow_query` event when `latency_ns` crosses the configured
+  /// threshold (0 disables).
+  void MaybeRecordSlowQuery(uint64_t query_id, const char* kind,
+                            uint64_t latency_ns) const;
 
   AutoFeatConfig QueryConfig(const LakeSnapshot& snap,
                              obs::MetricsRegistry* metrics,
@@ -179,14 +242,30 @@ class LakeService {
   ServeOptions options_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
+  obs::EventLog* event_log_;
   obs::Counter* mutations_;
   obs::Counter* mutations_failed_;
   obs::Counter* queries_;
   obs::Counter* tables_rematched_;
   obs::Counter* pairs_rescored_;
   obs::Counter* pairs_skipped_;
+  obs::Counter* slow_queries_;
   obs::Gauge* epoch_gauge_;
+  /// Wall-clock latency series (service registry, non-deterministic).
+  obs::QuantileHistogram* query_latency_;
+  obs::QuantileHistogram* mutation_latency_;
+  /// Monotonic query ids; mutable because queries are const. Ids feed the
+  /// event log and trace flow links only — never the per-query registries,
+  /// whose digests stay pure functions of snapshot state.
+  mutable std::atomic<uint64_t> next_query_id_{0};
+  /// Monotonic mutation ids (guarded by writer_mutex_).
+  uint64_t next_mutation_id_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Per-epoch provenance, publish order (guarded by lineage_mutex_ so
+  /// readers never contend with the writer path beyond this vector).
+  mutable std::mutex lineage_mutex_;
+  std::vector<EpochLineage> lineage_;
 
   // Writer-side state (guarded by writer_mutex_): the canonical match
   // store the DRG is rebuilt from, and the per-table LSH profiles.

@@ -121,6 +121,81 @@ TEST(BenchDiffTest, ThresholdsAreConfigurable) {
   EXPECT_FALSE(strict_report->ok());
 }
 
+// A doc whose embedded obs report carries a latency quantile series (the
+// serving bench shape): one `_ns` histogram plus a unitless one that the
+// gate must ignore.
+std::string QuantileDoc(double p50_ns, double p99_ns) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\": \"autofeat.bench.v1\", \"bench\": \"serving\","
+      " \"mode\": \"quick\", \"timings\": [],"
+      " \"metrics\": {\"quantiles\": {"
+      "\"serve.query_latency_ns\": {\"count\": 100, \"sum\": 1, \"min\": 1,"
+      " \"max\": 1, \"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f,"
+      " \"p999\": %.0f},"
+      "\"frontier_size\": {\"count\": 9, \"sum\": 9, \"min\": 1, \"max\": 1,"
+      " \"p50\": 1, \"p90\": 1, \"p99\": 1, \"p999\": 1}}}}",
+      p50_ns, p99_ns, p99_ns, p99_ns);
+  return buf;
+}
+
+TEST(BenchDiffTest, QuantileSlowdownFlagsUnderTimingRule) {
+  // p99 goes 100ms -> 150ms: +50% relative and a 50ms absolute delta,
+  // over both the 10% threshold and the 10ms floor.
+  std::string baseline = QuantileDoc(50e6, 100e6);
+  std::string current = QuantileDoc(50e6, 150e6);
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->num_regressions(), 1u);
+  bool flagged = false;
+  for (const obs::BenchDiffEntry& e : report->quantiles) {
+    // The unitless series must not appear at all.
+    EXPECT_EQ(e.name.rfind("frontier_size", 0), std::string::npos) << e.name;
+    if (e.name == "serve.query_latency_ns/p99") {
+      flagged = e.regression;
+      EXPECT_NEAR(e.baseline, 0.1, 1e-9);  // ns converted to seconds
+      EXPECT_NEAR(e.current, 0.15, 1e-9);
+      EXPECT_NEAR(e.delta_ratio, 0.5, 1e-9);
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(report->Summary().find("quantile"), std::string::npos);
+}
+
+TEST(BenchDiffTest, QuantileNoiseFloorAbsorbsSmallDeltas) {
+  // p50 doubles 2ms -> 4ms: +100% relative but 2ms absolute, under the
+  // 10ms floor — exactly the timing rule.
+  std::string baseline = QuantileDoc(2e6, 100e6);
+  std::string current = QuantileDoc(4e6, 100e6);
+  auto report = obs::DiffBenchReports(baseline, current);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  // And a speedup never flags.
+  auto faster = obs::DiffBenchReports(QuantileDoc(50e6, 100e6),
+                                      QuantileDoc(25e6, 50e6));
+  ASSERT_TRUE(faster.ok());
+  EXPECT_TRUE(faster->ok());
+}
+
+TEST(BenchDiffTest, QuantileOnlyOnOneSideBecomesANote) {
+  std::string with = QuantileDoc(50e6, 100e6);
+  std::string without =
+      "{\"bench\": \"serving\", \"mode\": \"quick\", \"timings\": [],"
+      " \"metrics\": {}}";
+  auto report = obs::DiffBenchReports(with, without);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  bool noted = false;
+  for (const std::string& note : report->notes) {
+    if (note.find("quantile only in baseline") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
 TEST(BenchDiffTest, OneSidedEntriesBecomeNotesNotRegressions) {
   std::string baseline =
       "{\"bench\": \"b\", \"mode\": \"quick\", \"timings\": ["

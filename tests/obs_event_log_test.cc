@@ -1,0 +1,137 @@
+// EventLog (obs/event_log.h): JSONL validity, append ordering, field
+// rendering and the deterministic (timestamp-stripped) projection.
+
+#include "obs/event_log.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/report.h"
+
+namespace autofeat::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+TEST(EventLogTest, EveryLineIsValidJson) {
+  EventLog log;
+  log.Append("query_start", {{"query", 1}, {"base", "tbl"}});
+  log.Append("query_end", {{"query", 1}, {"ok", true},
+                           {"latency_ns", uint64_t{412000}}});
+  log.Append("weird", {{"s", "quote \" backslash \\ newline \n done"},
+                       {"f", 0.25},
+                       {"neg", int64_t{-7}}});
+  for (const std::string& line : Lines(log.Jsonl())) {
+    EXPECT_TRUE(JsonIsValid(line)) << line;
+  }
+  for (const std::string& line : Lines(log.Jsonl(false))) {
+    EXPECT_TRUE(JsonIsValid(line)) << line;
+  }
+}
+
+TEST(EventLogTest, SequenceNumbersFollowAppendOrder) {
+  EventLog log;
+  EXPECT_EQ(log.Append("a"), 1u);
+  EXPECT_EQ(log.Append("b"), 2u);
+  EXPECT_EQ(log.Append("c"), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  std::vector<std::string> lines = Lines(log.Jsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\": 2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"seq\": 3"), std::string::npos);
+}
+
+TEST(EventLogTest, TimestampKeysFollowSuffixConvention) {
+  EXPECT_TRUE(EventLog::IsTimestampKey("ts_s"));
+  EXPECT_TRUE(EventLog::IsTimestampKey("latency_ns"));
+  EXPECT_TRUE(EventLog::IsTimestampKey("elapsed_ms"));
+  EXPECT_TRUE(EventLog::IsTimestampKey("wait_us"));
+  EXPECT_FALSE(EventLog::IsTimestampKey("epoch"));
+  EXPECT_FALSE(EventLog::IsTimestampKey("pairs"));
+  EXPECT_FALSE(EventLog::IsTimestampKey("ns"));    // bare suffix, no stem
+  EXPECT_FALSE(EventLog::IsTimestampKey("banns"));  // no underscore
+}
+
+TEST(EventLogTest, StrippedProjectionDropsExactlyTheTimestampFields) {
+  EventLog log;
+  log.Append("query_end", {{"query", 7},
+                           {"ok", true},
+                           {"latency_ns", uint64_t{5000000}},
+                           {"queue_ms", 1.5}});
+  std::string full = log.Jsonl();
+  std::string stripped = log.Jsonl(false);
+  EXPECT_NE(full.find("\"ts_s\""), std::string::npos);
+  EXPECT_NE(full.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(full.find("\"queue_ms\""), std::string::npos);
+  EXPECT_EQ(stripped.find("\"ts_s\""), std::string::npos);
+  EXPECT_EQ(stripped.find("\"latency_ns\""), std::string::npos);
+  EXPECT_EQ(stripped.find("\"queue_ms\""), std::string::npos);
+  // The deterministic fields survive.
+  EXPECT_NE(stripped.find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(stripped.find("\"type\": \"query_end\""), std::string::npos);
+  EXPECT_NE(stripped.find("\"query\": 7"), std::string::npos);
+  EXPECT_NE(stripped.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(EventLogTest, StrippedProjectionIsReplayStable) {
+  // Two logs recording the same logical events at different wall-clock
+  // moments agree byte-for-byte once timestamps are stripped.
+  auto record = [](EventLog* log) {
+    log->Append("mutation_apply",
+                {{"mutation", 1}, {"kind", "drop"}, {"ok", true},
+                 {"latency_ns", uint64_t{123456}}});
+    log->Append("epoch_publish", {{"epoch", 1}, {"tables", 5}});
+  };
+  EventLog a;
+  record(&a);
+  EventLog b;
+  record(&b);
+  EXPECT_EQ(a.Jsonl(false), b.Jsonl(false));
+  // The full serialization still carries per-log wall-clock fields.
+  EXPECT_NE(a.Jsonl().find("\"ts_s\""), std::string::npos);
+}
+
+TEST(EventLogTest, ConcurrentAppendsGetUniqueContiguousSeqs) {
+  EventLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append("tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::vector<std::string> lines = Lines(log.Jsonl());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string want = "{\"seq\": " + std::to_string(i + 1) + ",";
+    EXPECT_EQ(lines[i].rfind(want, 0), 0u) << lines[i];
+  }
+}
+
+TEST(EventLogTest, NullSafeAppendHelperIsANoOp) {
+  EXPECT_EQ(Append(nullptr, "ignored", {{"k", 1}}), 0u);
+  EventLog log;
+  EXPECT_EQ(Append(&log, "kept"), 1u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace autofeat::obs

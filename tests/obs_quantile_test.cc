@@ -1,0 +1,153 @@
+// QuantileHistogram (obs/quantile.h): bucket layout, quantile queries,
+// mergeability and the bounded-relative-error contract.
+
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace autofeat::obs {
+namespace {
+
+TEST(QuantileHistogramTest, EmptyHistogramReportsZero) {
+  QuantileHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(QuantileHistogramTest, SingleSampleDominatesEveryQuantile) {
+  QuantileHistogram h;
+  h.Record(42);  // below kSubBucketCount: exact region
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 42u) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogramTest, ExactRegionIsExact) {
+  // Values below kSubBucketCount each get their own bucket.
+  QuantileHistogram h;
+  for (uint64_t v = 0; v < QuantileHistogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(QuantileHistogram::BucketOf(v), v);
+    EXPECT_EQ(QuantileHistogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(QuantileHistogramTest, BucketOrderIsTotalAndUpperBoundsRoundTrip) {
+  // BucketOf is monotone in v and BucketUpperBound(b) is the largest value
+  // mapping back to bucket b.
+  uint64_t probes[] = {0,    1,    63,        64,        65,   100,
+                       127,  128,  1000,      4095,      4096, 1 << 20,
+                       1u << 31, uint64_t{1} << 40, UINT64_MAX - 1, UINT64_MAX};
+  size_t prev = 0;
+  for (uint64_t v : probes) {
+    size_t b = QuantileHistogram::BucketOf(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+    EXPECT_LT(b, QuantileHistogram::kNumBuckets);
+    uint64_t upper = QuantileHistogram::BucketUpperBound(b);
+    EXPECT_GE(upper, v);
+    EXPECT_EQ(QuantileHistogram::BucketOf(upper), b);
+  }
+}
+
+TEST(QuantileHistogramTest, OverflowBucketHoldsHugeValues) {
+  // The top of the uint64 range must land in a valid bucket and report
+  // back without overflowing or wrapping.
+  QuantileHistogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), UINT64_MAX);
+  EXPECT_EQ(QuantileHistogram::BucketOf(UINT64_MAX),
+            QuantileHistogram::kNumBuckets - 1);
+}
+
+TEST(QuantileHistogramTest, QuantilesNeverUnderReport) {
+  // The contract: true <= estimate <= true * (1 + 1/kSubBucketHalf).
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  QuantileHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = static_cast<uint64_t>(rng.UniformInt(0, 1 << 22));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double max_ratio =
+      1.0 + 1.0 / static_cast<double>(QuantileHistogram::kSubBucketHalf);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    size_t rank = static_cast<size_t>(
+        std::min<double>(std::ceil(q * static_cast<double>(samples.size())),
+                         static_cast<double>(samples.size())));
+    uint64_t truth = samples[rank == 0 ? 0 : rank - 1];
+    uint64_t estimate = h.ValueAtQuantile(q);
+    EXPECT_GE(estimate, truth) << "q=" << q;
+    EXPECT_LE(static_cast<double>(estimate),
+              static_cast<double>(truth) * max_ratio + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogramTest, MergeIsAssociativeAndLossless) {
+  // (a + b) + c == a + (b + c) == one histogram over all samples: merge is
+  // bucket-wise addition, so any grouping gives identical buckets.
+  Rng rng(11);
+  QuantileHistogram parts[3];
+  QuantileHistogram all;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 300; ++i) {
+      uint64_t v = static_cast<uint64_t>(rng.UniformInt(0, 1 << 18));
+      parts[p].Record(v);
+      all.Record(v);
+    }
+  }
+  QuantileHistogram left;  // (a + b) + c
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  QuantileHistogram bc;  // a + (b + c)
+  bc.Merge(parts[1]);
+  bc.Merge(parts[2]);
+  QuantileHistogram right;
+  right.Merge(parts[0]);
+  right.Merge(bc);
+  for (const QuantileHistogram* h : {&left, &right}) {
+    EXPECT_EQ(h->count(), all.count());
+    EXPECT_EQ(h->sum(), all.sum());
+    EXPECT_EQ(h->min(), all.min());
+    EXPECT_EQ(h->max(), all.max());
+    for (size_t b = 0; b < QuantileHistogram::kNumBuckets; ++b) {
+      ASSERT_EQ(h->bucket(b), all.bucket(b)) << "bucket " << b;
+    }
+    for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(h->ValueAtQuantile(q), all.ValueAtQuantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(QuantileHistogramTest, QuantileIsClampedToValidRange) {
+  QuantileHistogram h;
+  h.Record(5);
+  h.Record(500);
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.ValueAtQuantile(1.0));
+}
+
+}  // namespace
+}  // namespace autofeat::obs

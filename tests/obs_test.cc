@@ -160,9 +160,13 @@ TEST(ReportTest, GoldenDeterministicProjection) {
   registry.GetGauge("g.peak")->Set(7);
   obs::Histogram* h = registry.GetHistogram("h.vals");
   for (uint64_t v : {0, 1, 2, 3}) h->Record(v);
+  // A deterministic quantile series: 100 lands in the bucket whose upper
+  // bound is 101, documenting the bounded-error contract in the golden.
+  registry.GetQuantile("q.lat", /*deterministic=*/true)->Record(100);
   // Non-deterministic metrics exist but are excluded from the projection.
   registry.GetCounter("thread_pool.tasks_executed", /*deterministic=*/false)
       ->Increment(99);
+  registry.GetQuantile("serve.query_latency_ns")->Record(12345);
 
   obs::Tracer tracer;
   {
@@ -187,6 +191,11 @@ TEST(ReportTest, GoldenDeterministicProjection) {
       "  \"histograms\": {\n"
       "    \"h.vals\": {\"count\": 4, \"sum\": 6, \"min\": 0, \"max\": 3, "
       "\"buckets\": [[0, 1], [1, 1], [2, 2]]}\n"
+      "  },\n"
+      "  \"quantiles\": {\n"
+      "    \"q.lat\": {\"count\": 1, \"sum\": 100, \"min\": 100, "
+      "\"max\": 100, \"p50\": 101, \"p90\": 101, \"p99\": 101, "
+      "\"p999\": 101}\n"
       "  },\n"
       "  \"spans\": [\n"
       "    {\"id\": 1, \"parent\": 0, \"name\": \"outer\"},\n"

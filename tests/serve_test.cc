@@ -1,18 +1,25 @@
 // LakeService: mutation semantics, epoch/snapshot consistency, precise
-// cache invalidation, incremental-vs-cold equivalence and a concurrent
-// mutator+readers stress suite (run under TSan in CI).
+// cache invalidation, incremental-vs-cold equivalence, the per-query
+// observability surface (event log, lineage, latency quantiles, slow-query
+// events, deterministic digests) and a concurrent mutator+readers stress
+// suite (run under TSan in CI with tracing and the event log attached).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "discovery/data_lake.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "qa/invariants.h"
 #include "qa/lake_fuzzer.h"
 #include "serve/lake_service.h"
@@ -188,16 +195,170 @@ TEST(LakeServiceTest, IncrementalEquivalenceInvariantPassesFuzzedTraces) {
   }
 }
 
+TEST(LakeServiceObsTest, EventLogRecordsQueriesMutationsAndLineage) {
+  obs::MetricsRegistry metrics;
+  obs::EventLog events;
+  Result<std::unique_ptr<LakeService>> service = LakeService::Create(
+      testsupport::MakeOrdersCustomersLake(), ServeOptions{}, &metrics,
+      /*tracer=*/nullptr, &events);
+  ASSERT_TRUE(service.ok()) << service.status().message();
+
+  // Epoch 0 is already on record: one epoch_publish, one lineage entry.
+  EXPECT_EQ(events.size(), 1u);
+  ASSERT_TRUE((*service)->AddTable(MakeCustSatellite("regions", 0)).ok());
+  ASSERT_TRUE((*service)
+                  ->Discover("orders", "amount")
+                  .ok());
+  EXPECT_FALSE((*service)->DropTable("no_such_table").ok());
+
+  std::string log = events.Jsonl();
+  EXPECT_NE(log.find("\"type\": \"epoch_publish\""), std::string::npos);
+  EXPECT_NE(log.find("\"type\": \"mutation_apply\""), std::string::npos);
+  EXPECT_NE(log.find("\"type\": \"query_start\""), std::string::npos);
+  EXPECT_NE(log.find("\"type\": \"query_end\""), std::string::npos);
+  // The failed drop is on record with ok=false but published no epoch.
+  EXPECT_NE(log.find("\"table\": \"no_such_table\", \"ok\": false"),
+            std::string::npos);
+
+  std::vector<EpochLineage> lineage = (*service)->Lineage();
+  ASSERT_EQ(lineage.size(), 2u);
+  EXPECT_EQ(lineage[0].epoch, 0u);
+  EXPECT_EQ(lineage[0].mutation_id, 0u);
+  EXPECT_EQ(lineage[0].cause, "create");
+  EXPECT_EQ(lineage[0].target_table, "");
+  EXPECT_EQ(lineage[0].num_tables, 2u);
+  EXPECT_EQ(lineage[0].pairs_carried, 0u);
+  EXPECT_EQ(lineage[1].epoch, 1u);
+  EXPECT_EQ(lineage[1].mutation_id, 1u);
+  EXPECT_EQ(lineage[1].cause, "add");
+  EXPECT_EQ(lineage[1].target_table, "regions");
+  EXPECT_EQ(lineage[1].num_tables, 3u);
+  // The add re-scored its own pairs; the orders/customers pair carried.
+  EXPECT_GT(lineage[1].pairs_rescored, 0u);
+  EXPECT_GT(lineage[1].sketch_entries_carried, 0u);
+
+  std::string json = (*service)->LineageJson();
+  EXPECT_TRUE(obs::JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"cause\": \"create\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\": \"add\""), std::string::npos);
+
+  // Latency quantiles landed in the service registry (non-deterministic);
+  // the failed drop records a mutation latency too.
+  EXPECT_EQ(metrics.QuantileCount("serve.query_latency_ns"), 1u);
+  EXPECT_EQ(metrics.QuantileCount("serve.mutation_latency_ns"), 2u);
+  EXPECT_GT(metrics.QuantileValueAt("serve.query_latency_ns", 0.5), 0u);
+}
+
+TEST(LakeServiceObsTest, ReplayedSequencesGiveByteIdenticalObservability) {
+  // Two services replaying the same mutation/query sequence must agree on
+  // the stripped event log and the full lineage, byte for byte — at any
+  // thread count.
+  auto replay = [](size_t threads, obs::EventLog* events,
+                   std::string* lineage_json) {
+    ServeOptions options;
+    options.config.num_threads = threads;
+    Result<std::unique_ptr<LakeService>> service = LakeService::Create(
+        testsupport::MakeOrdersCustomersLake(), options, /*metrics=*/nullptr,
+        /*tracer=*/nullptr, events);
+    ASSERT_TRUE(service.ok()) << service.status().message();
+    ASSERT_TRUE((*service)->AddTable(MakeCustSatellite("regions", 0)).ok());
+    ASSERT_TRUE((*service)
+                    ->Discover("orders", "amount")
+                    .ok());
+    ASSERT_TRUE((*service)->DropTable("regions").ok());
+    ASSERT_TRUE((*service)
+                    ->Discover("orders", "amount")
+                    .ok());
+    *lineage_json = (*service)->LineageJson();
+  };
+  obs::EventLog events1, events2, events8;
+  std::string lineage1, lineage2, lineage8;
+  replay(1, &events1, &lineage1);
+  replay(2, &events2, &lineage2);
+  replay(8, &events8, &lineage8);
+  EXPECT_EQ(events1.Jsonl(false), events2.Jsonl(false));
+  EXPECT_EQ(events1.Jsonl(false), events8.Jsonl(false));
+  EXPECT_EQ(lineage1, lineage2);
+  EXPECT_EQ(lineage1, lineage8);
+}
+
+TEST(LakeServiceObsTest, QueryDigestIsInvariantAcrossThreadsAndSchedulers) {
+  // A query's deterministic obs digest is a pure function of the snapshot
+  // state: identical across thread counts and both schedulers.
+  std::vector<std::string> digests;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (SchedulerKind scheduler :
+         {SchedulerKind::kForkJoin, SchedulerKind::kMorsel}) {
+      ServeOptions options;
+      options.config.num_threads = threads;
+      options.config.scheduler = scheduler;
+      std::unique_ptr<LakeService> service =
+          MakeService(testsupport::MakeOrdersCustomersLake(), options);
+      ASSERT_TRUE(service->AddTable(MakeCustSatellite("regions", 0)).ok());
+      obs::MetricsRegistry query_metrics;
+      obs::Tracer query_tracer;
+      ASSERT_TRUE(service
+                      ->Discover("orders", "amount",
+                                 &query_metrics, &query_tracer)
+                      .ok());
+      digests.push_back(
+          obs::DeterministicDigest(query_metrics, &query_tracer));
+    }
+  }
+  for (const std::string& digest : digests) {
+    EXPECT_EQ(digest, digests.front());
+  }
+}
+
+TEST(LakeServiceObsTest, SlowQueryThresholdEmitsEventsAndCounts) {
+  obs::MetricsRegistry metrics;
+  obs::EventLog events;
+  ServeOptions options;
+  options.slow_query_threshold_ns = 1;  // every real query is "slow"
+  Result<std::unique_ptr<LakeService>> service = LakeService::Create(
+      testsupport::MakeOrdersCustomersLake(), options, &metrics,
+      /*tracer=*/nullptr, &events);
+  ASSERT_TRUE(service.ok()) << service.status().message();
+  ASSERT_TRUE((*service)
+                  ->Discover("orders", "amount")
+                  .ok());
+  EXPECT_EQ(metrics.CounterValue("serve.slow_queries"), 1u);
+  std::string log = events.Jsonl();
+  EXPECT_NE(log.find("\"type\": \"slow_query\""), std::string::npos);
+  EXPECT_NE(log.find("\"threshold_ns\": 1"), std::string::npos);
+
+  // Threshold 0 (the default) disables slow-query events entirely.
+  obs::MetricsRegistry quiet_metrics;
+  obs::EventLog quiet_events;
+  Result<std::unique_ptr<LakeService>> quiet = LakeService::Create(
+      testsupport::MakeOrdersCustomersLake(), ServeOptions{}, &quiet_metrics,
+      /*tracer=*/nullptr, &quiet_events);
+  ASSERT_TRUE(quiet.ok());
+  ASSERT_TRUE(
+      (*quiet)->Discover("orders", "amount").ok());
+  EXPECT_EQ(quiet_metrics.CounterValue("serve.slow_queries"), 0u);
+  EXPECT_EQ(quiet_events.Jsonl().find("slow_query"), std::string::npos);
+}
+
 TEST(LakeServiceStressTest, ConcurrentReadersSeeOnlyPublishedStates) {
   // One mutator applies a known sequence of successful mutations while N
   // reader threads run Discover; every result must carry an epoch in
   // [0, kMutations] and be byte-identical to a cold service built at that
   // epoch's lake state — a reader can never observe a half-applied
-  // mutation or a cache entry from a different epoch.
+  // mutation or a cache entry from a different epoch. The full
+  // observability surface stays attached (metrics, tracer, event log,
+  // per-query tracers) so TSan exercises the instrumentation hot paths
+  // under the same contention.
   qa::FuzzedLake fz = testsupport::MakeAdversarialLake(11);
   ServeOptions options;
   options.config = qa::FuzzDiscoveryConfig(fz, 1);
-  std::unique_ptr<LakeService> service = MakeService(fz.lake, options);
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  obs::EventLog events;
+  Result<std::unique_ptr<LakeService>> created =
+      LakeService::Create(fz.lake, options, &metrics, &tracer, &events);
+  ASSERT_TRUE(created.ok()) << created.status().message();
+  std::unique_ptr<LakeService> service = created.MoveValue();
 
   constexpr size_t kMutations = 6;
   constexpr size_t kReaders = 4;
@@ -233,9 +394,11 @@ TEST(LakeServiceStressTest, ConcurrentReadersSeeOnlyPublishedStates) {
   readers.reserve(kReaders);
   for (size_t r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
+      obs::Tracer reader_tracer;
       for (size_t q = 0; q < kQueriesPerReader; ++q) {
-        Result<LakeService::DiscoverOutcome> out =
-            service->Discover(fz.base_table, fz.label_column);
+        Result<LakeService::DiscoverOutcome> out = service->Discover(
+            fz.base_table, fz.label_column, /*metrics=*/nullptr,
+            &reader_tracer);
         ASSERT_TRUE(out.ok()) << out.status().message();
         std::lock_guard<std::mutex> lock(mu);
         observed.emplace_back(out->epoch,
@@ -256,6 +419,29 @@ TEST(LakeServiceStressTest, ConcurrentReadersSeeOnlyPublishedStates) {
     EXPECT_EQ(fingerprint, expected[epoch]) << "at epoch " << epoch;
   }
   EXPECT_EQ(service->epoch(), kMutations);
+
+  // The concurrently-written observability is complete and well-formed:
+  // every query and mutation is on record, and the interleaved log is
+  // valid JSONL line by line.
+  EXPECT_EQ(metrics.CounterValue("serve.queries"),
+            kReaders * kQueriesPerReader);
+  EXPECT_EQ(metrics.QuantileCount("serve.query_latency_ns"),
+            kReaders * kQueriesPerReader);
+  EXPECT_EQ(metrics.CounterValue("serve.mutations"), kMutations);
+  EXPECT_EQ((*service).Lineage().size(), kMutations + 1);
+  std::string log = events.Jsonl();
+  size_t query_ends = 0;
+  for (size_t pos = 0;
+       (pos = log.find("\"type\": \"query_end\"", pos)) != std::string::npos;
+       ++pos) {
+    ++query_ends;
+  }
+  EXPECT_EQ(query_ends, kReaders * kQueriesPerReader);
+  std::istringstream lines(log);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(obs::JsonIsValid(line)) << line;
+  }
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 //                      [--drg-matcher all_pairs|lsh] [--threshold F]
 //                      [--threads N] [--scheduler forkjoin|morsel]
 //                      [--memory-budget-mb N] [--script FILE]
-//                      [--metrics-out FILE.json]
+//                      [--metrics-out FILE.json] [--trace-out FILE.json]
+//                      [--event-log FILE.jsonl] [--metrics-text FILE]
+//                      [--slow-query-ms N]
 //
 // Commands (one per line; '#' starts a comment):
 //   add FILE.csv [NAME]      add a table (NAME defaults to the file stem)
@@ -23,8 +25,19 @@
 //                            full augmentation; optionally save the table
 //   tables                   list tables at the current epoch
 //   epoch                    print the current epoch
-//   stats                    print the service observability report
+//   stats [--json]           serving summary (or the full JSON obs report)
+//   lineage                  per-epoch provenance records as JSON
+//   metrics                  Prometheus text exposition of every metric
 //   quit                     exit
+//
+// Observability sinks, all written at exit: --metrics-out (JSON obs
+// report), --trace-out (Chrome/Perfetto trace with one span tree per
+// command, per-query spans and enqueue->execute flow arrows),
+// --event-log (structured JSONL: query start/end, mutation apply, epoch
+// publish, cache evict/rebuild, slow queries). --slow-query-ms sets the
+// slow-query event threshold (0 = disabled; note that which queries cross
+// a nonzero threshold is wall-clock dependent, so replay determinism of
+// the event log holds at the default 0).
 //
 // A failed command (bad file, duplicate table, schema mismatch, ...)
 // prints the error and leaves the service state untouched; the daemon
@@ -41,7 +54,11 @@
 #include "discovery/data_lake.h"
 #include "graph/path_format.h"
 #include "ml/trainer.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/prometheus.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "serve/lake_service.h"
 #include "table/csv.h"
 #include "util/scheduler.h"
@@ -57,9 +74,13 @@ struct CliOptions {
   std::string scheduler = "morsel";
   std::string script;
   std::string metrics_output;
+  std::string trace_output;
+  std::string event_log_output;
+  std::string metrics_text_output;
   double threshold = 0.55;
   size_t threads = 1;
   size_t memory_budget_mb = 0;
+  size_t slow_query_ms = 0;
 };
 
 void PrintUsage() {
@@ -71,6 +92,10 @@ void PrintUsage() {
       "                          [--scheduler forkjoin|morsel]\n"
       "                          [--memory-budget-mb N] [--script FILE]\n"
       "                          [--metrics-out FILE.json]\n"
+      "                          [--trace-out FILE.json]\n"
+      "                          [--event-log FILE.jsonl]\n"
+      "                          [--metrics-text FILE]\n"
+      "                          [--slow-query-ms N]\n"
       "commands (stdin or --script, one per line, '#' comments):\n"
       "  add FILE.csv [NAME]    add a table (NAME defaults to the stem)\n"
       "  append TABLE FILE.csv  append rows (schema must match exactly)\n"
@@ -78,7 +103,7 @@ void PrintUsage() {
       "  discover BASE LABEL    rank transitive join paths from BASE\n"
       "  augment BASE LABEL [lightgbm|rf|extratrees|xgboost|knn|logreg]\n"
       "                    [OUT.csv]\n"
-      "  tables | epoch | stats | quit\n");
+      "  tables | epoch | stats [--json] | lineage | metrics | quit\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -111,6 +136,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->metrics_output = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      options->trace_output = v;
+    } else if (arg == "--event-log") {
+      const char* v = next();
+      if (!v) return false;
+      options->event_log_output = v;
+    } else if (arg == "--metrics-text") {
+      const char* v = next();
+      if (!v) return false;
+      options->metrics_text_output = v;
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (!v) return false;
+      options->slow_query_ms = static_cast<size_t>(std::atol(v));
     } else if (arg == "--threshold") {
       const char* v = next();
       if (!v) return false;
@@ -153,9 +194,10 @@ std::string FileStem(const std::string& path) {
 }
 
 /// Executes one command line. Returns false on a failed command (the
-/// daemon keeps running either way); sets *quit on "quit".
+/// daemon keeps running either way); sets *quit on "quit". A non-null
+/// `tracer` records every query's span tree (--trace-out).
 bool RunCommand(serve::LakeService* service, const obs::MetricsRegistry& metrics,
-                const std::string& line, bool* quit) {
+                obs::Tracer* tracer, const std::string& line, bool* quit) {
   std::istringstream fields(line);
   std::string command;
   if (!(fields >> command) || command[0] == '#') return true;
@@ -188,7 +230,43 @@ bool RunCommand(serve::LakeService* service, const obs::MetricsRegistry& metrics
     return true;
   }
   if (command == "stats") {
-    std::printf("%s\n", obs::JsonReport(metrics, nullptr).c_str());
+    std::string flag;
+    fields >> flag;
+    if (flag == "--json") {
+      std::printf("%s\n", obs::JsonReport(metrics, tracer).c_str());
+      return true;
+    }
+    serve::LakeService::SnapshotPin snap = service->snapshot();
+    std::printf("epoch %llu: %zu tables, %zu DRG edges\n",
+                static_cast<unsigned long long>(snap->epoch),
+                snap->lake.num_tables(), snap->drg.num_edges());
+    auto ms = [&](const char* name, double q) {
+      return static_cast<double>(metrics.QuantileValueAt(name, q)) / 1e6;
+    };
+    std::printf("  queries   %llu (p50 %.3f ms, p99 %.3f ms)\n",
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("serve.queries")),
+                ms("serve.query_latency_ns", 0.50),
+                ms("serve.query_latency_ns", 0.99));
+    std::printf("  mutations %llu ok, %llu failed (p50 %.3f ms, p99 %.3f "
+                "ms)\n",
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("serve.mutations")),
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("serve.mutations_failed")),
+                ms("serve.mutation_latency_ns", 0.50),
+                ms("serve.mutation_latency_ns", 0.99));
+    std::printf("  slow queries %llu\n",
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("serve.slow_queries")));
+    return true;
+  }
+  if (command == "lineage") {
+    std::printf("%s", service->LineageJson().c_str());
+    return true;
+  }
+  if (command == "metrics") {
+    std::printf("%s", obs::PrometheusText(metrics).c_str());
     return true;
   }
   if (command == "add") {
@@ -241,7 +319,10 @@ bool RunCommand(serve::LakeService* service, const obs::MetricsRegistry& metrics
       std::fprintf(stderr, "usage: discover BASE LABEL\n");
       return false;
     }
-    auto out = service->Discover(base, label);
+    // Command-ingest span: the query's serve.discover span (and its flow
+    // link to execution) nests under it in the exported trace.
+    obs::ScopedSpan cmd(tracer, "serve.command");
+    auto out = service->Discover(base, label, /*metrics=*/nullptr, tracer);
     if (!out.ok()) return fail(out.status(), "discover");
     serve::LakeService::SnapshotPin snap = service->snapshot();
     std::printf("epoch %llu: %zu ranked path(s), %zu explored in %.3fs\n",
@@ -264,7 +345,9 @@ bool RunCommand(serve::LakeService* service, const obs::MetricsRegistry& metrics
     fields >> model_name >> output;
     auto model = ParseModel(model_name);
     if (!model.ok()) return fail(model.status(), "augment");
-    auto out = service->Augment(base, label, *model);
+    obs::ScopedSpan cmd(tracer, "serve.command");
+    auto out =
+        service->Augment(base, label, *model, /*metrics=*/nullptr, tracer);
     if (!out.ok()) return fail(out.status(), "augment");
     serve::LakeService::SnapshotPin snap = service->snapshot();
     std::printf(
@@ -283,7 +366,7 @@ bool RunCommand(serve::LakeService* service, const obs::MetricsRegistry& metrics
   }
   std::fprintf(stderr,
                "unknown command: %s (valid: add, append, drop, discover, "
-               "augment, tables, epoch, stats, quit)\n",
+               "augment, tables, epoch, stats, lineage, metrics, quit)\n",
                command.c_str());
   return false;
 }
@@ -326,6 +409,8 @@ int main(int argc, char** argv) {
   serve_options.config.scheduler = *scheduler;
   serve_options.config.memory_budget_bytes =
       serve_options.match.memory_budget_bytes;
+  serve_options.slow_query_threshold_ns =
+      options.slow_query_ms * uint64_t{1000000};
 
   auto lake = DataLake::FromDirectory(options.lake_dir, *format);
   lake.status().Abort("loading lake");
@@ -333,8 +418,14 @@ int main(int argc, char** argv) {
               options.lake_dir.c_str());
 
   obs::MetricsRegistry metrics;
-  auto service =
-      serve::LakeService::Create(lake.MoveValue(), serve_options, &metrics);
+  obs::Tracer tracer;
+  obs::Tracer* tracer_ptr = options.trace_output.empty() ? nullptr : &tracer;
+  obs::EventLog event_log;
+  obs::EventLog* event_log_ptr =
+      options.event_log_output.empty() ? nullptr : &event_log;
+  auto service = serve::LakeService::Create(lake.MoveValue(), serve_options,
+                                            &metrics, tracer_ptr,
+                                            event_log_ptr);
   service.status().Abort("starting lake service");
   {
     serve::LakeService::SnapshotPin snap = (*service)->snapshot();
@@ -359,14 +450,36 @@ int main(int argc, char** argv) {
   std::string line;
   if (interactive) std::printf("> ");
   while (!quit && std::getline(input, line)) {
-    if (!RunCommand(service->get(), metrics, line, &quit)) ++failed;
+    if (!RunCommand(service->get(), metrics, tracer_ptr, line, &quit)) {
+      ++failed;
+    }
     if (interactive && !quit) std::printf("> ");
   }
 
   if (!options.metrics_output.empty()) {
     std::ofstream out(options.metrics_output);
-    out << obs::JsonReport(metrics, nullptr);
+    out << obs::JsonReport(metrics, tracer_ptr);
     std::printf("metrics written to %s\n", options.metrics_output.c_str());
+  }
+  if (!options.trace_output.empty()) {
+    std::ofstream out(options.trace_output);
+    out << obs::ChromeTraceJson(tracer);
+    std::printf("trace written to %s\n", options.trace_output.c_str());
+  }
+  if (!options.event_log_output.empty()) {
+    if (!event_log.WriteFile(options.event_log_output)) {
+      std::fprintf(stderr, "cannot write --event-log %s\n",
+                   options.event_log_output.c_str());
+      return 1;
+    }
+    std::printf("event log written to %s\n",
+                options.event_log_output.c_str());
+  }
+  if (!options.metrics_text_output.empty()) {
+    std::ofstream out(options.metrics_text_output);
+    out << obs::PrometheusText(metrics);
+    std::printf("metrics text written to %s\n",
+                options.metrics_text_output.c_str());
   }
   if (failed > 0) {
     std::fprintf(stderr, "%d command(s) failed\n", failed);
